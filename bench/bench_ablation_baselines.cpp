@@ -1,0 +1,64 @@
+// Ablation: fault-free baselines.  How do FTSA(ε=0) and FTBAR(Npf=0)
+// compare against the classic heterogeneous list schedulers HEFT
+// (insertion-based EFT) and CPOP (critical path on a processor)?
+//
+// This isolates the quality of the paper's processor-selection rule from
+// the replication machinery.
+#include <iostream>
+
+#include "ftsched/core/cpop.hpp"
+#include "ftsched/core/ftbar.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/heft.hpp"
+#include "ftsched/metrics/metrics.hpp"
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/stats.hpp"
+#include "ftsched/util/table.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+using namespace ftsched;
+
+int main() {
+  const auto graphs = static_cast<std::size_t>(env_int("FTSCHED_GRAPHS", 30));
+  const auto seed = static_cast<std::uint64_t>(env_int("FTSCHED_SEED", 42));
+
+  std::cout << "=== Ablation: fault-free baselines (normalized latency; "
+            << graphs << " graphs, m=20) ===\n";
+  TextTable table(
+      {"granularity", "FTSA(0)", "FTBAR(0)", "HEFT", "HEFT-noins", "CPOP"});
+  for (double granularity : {0.2, 0.6, 1.0, 1.4, 2.0}) {
+    OnlineStats stats[5];
+    Rng root(seed);
+    for (std::size_t i = 0; i < graphs; ++i) {
+      Rng rng = root.split();
+      PaperWorkloadParams params;
+      params.granularity = granularity;
+      const auto w = make_paper_workload(rng, params);
+      const std::uint64_t s = rng();
+      auto norm = [&w](double latency) {
+        return normalized_latency(latency, w->costs());
+      };
+      FtsaOptions fo;
+      fo.epsilon = 0;
+      fo.seed = s;
+      stats[0].add(norm(ftsa_schedule(w->costs(), fo).lower_bound()));
+      FtbarOptions bo;
+      bo.npf = 0;
+      bo.seed = s;
+      stats[1].add(norm(ftbar_schedule(w->costs(), bo).lower_bound()));
+      HeftOptions insertion;
+      insertion.insertion = true;
+      stats[2].add(norm(heft_schedule(w->costs(), insertion).lower_bound()));
+      HeftOptions append;
+      append.insertion = false;
+      stats[3].add(norm(heft_schedule(w->costs(), append).lower_bound()));
+      stats[4].add(norm(cpop_schedule(w->costs()).lower_bound()));
+    }
+    table.add_numeric_row(format_double(granularity, 1),
+                          {stats[0].mean(), stats[1].mean(), stats[2].mean(),
+                           stats[3].mean(), stats[4].mean()});
+  }
+  table.print(std::cout);
+  std::cout << "csv:\n" << table.csv();
+  return 0;
+}

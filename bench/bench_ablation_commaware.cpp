@@ -1,0 +1,88 @@
+// Ablation: contention-AWARE scheduling (the paper's §7 future work as a
+// scheduler feature, not just an execution model).  Schedules computed
+// with and without send-port awareness are executed under the matching
+// one-port simulator.
+//
+// Spoiler (see EXPERIMENTS.md): this is a NEGATIVE result at paper scale.
+// Port waits are source-side and nearly destination-independent, so the
+// awareness barely changes placements — it mostly inflates the planned
+// start times, and the resulting per-processor orders execute *worse*
+// under one-port contention than the optimistic plan.  The effective
+// lever against contention is the message volume itself (MC-FTSA), which
+// is exactly what the paper's conclusion anticipates.
+#include <iostream>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/metrics/metrics.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/stats.hpp"
+#include "ftsched/util/table.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+using namespace ftsched;
+
+int main() {
+  const auto graphs = static_cast<std::size_t>(env_int("FTSCHED_GRAPHS", 30));
+  const auto seed = static_cast<std::uint64_t>(env_int("FTSCHED_SEED", 42));
+  const std::size_t epsilon = 2;
+
+  std::cout << "=== Ablation: contention-aware scheduling (epsilon=2, m=20, "
+            << graphs
+            << " graphs; normalized latency of one-port execution) ===\n";
+  TextTable table({"algorithm", "naive-oneport", "aware-oneport",
+                   "improvement%", "naive-free", "aware-free"});
+  for (const bool mc : {false, true}) {
+    OnlineStats naive_oneport;
+    OnlineStats aware_oneport;
+    OnlineStats naive_free;
+    OnlineStats aware_free;
+    Rng root(seed);
+    for (std::size_t i = 0; i < graphs; ++i) {
+      Rng rng = root.split();
+      PaperWorkloadParams params;
+      params.granularity = 0.5;  // comm-heavy: contention matters most
+      const auto w = make_paper_workload(rng, params);
+      const std::uint64_t s = rng();
+      auto make_schedule = [&](bool aware) {
+        CommAwareness comm;
+        comm.ports = aware ? 1 : 0;
+        if (mc) {
+          McFtsaOptions options;
+          options.epsilon = epsilon;
+          options.seed = s;
+          options.comm = comm;
+          return mc_ftsa_schedule(w->costs(), options);
+        }
+        FtsaOptions options;
+        options.epsilon = epsilon;
+        options.seed = s;
+        options.comm = comm;
+        return ftsa_schedule(w->costs(), options);
+      };
+      SimulationOptions oneport;
+      oneport.comm.kind = CommModelKind::kOnePort;
+      const auto naive = make_schedule(false);
+      const auto aware = make_schedule(true);
+      auto norm = [&w](double latency) {
+        return normalized_latency(latency, w->costs());
+      };
+      naive_oneport.add(norm(simulate(naive, {}, oneport).latency));
+      aware_oneport.add(norm(simulate(aware, {}, oneport).latency));
+      naive_free.add(norm(simulate(naive).latency));
+      aware_free.add(norm(simulate(aware).latency));
+    }
+    table.add_numeric_row(
+        mc ? "MC-FTSA" : "FTSA",
+        {naive_oneport.mean(), aware_oneport.mean(),
+         100.0 * (naive_oneport.mean() - aware_oneport.mean()) /
+             naive_oneport.mean(),
+         naive_free.mean(), aware_free.mean()});
+  }
+  table.print(std::cout);
+  std::cout << "csv:\n" << table.csv();
+  std::cout << "(negative improvement = the aware schedule executes slower; "
+               "see the header comment and EXPERIMENTS.md)\n";
+  return 0;
+}

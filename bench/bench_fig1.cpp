@@ -1,0 +1,13 @@
+// Reproduces paper Figure 1 (ε = 1, 20 processors): (a) schedule bounds,
+// (b) simulated crash latencies, (c) overheads, vs granularity 0.2..2.0.
+//
+// Environment overrides: FTSCHED_GRAPHS (default 60 graphs per point, as
+// in the paper), FTSCHED_SEED (default 42).
+#include <iostream>
+
+#include "ftsched/experiments/figures.hpp"
+
+int main() {
+  ftsched::run_figure(std::cout, 1);
+  return 0;
+}

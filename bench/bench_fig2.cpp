@@ -1,0 +1,9 @@
+// Reproduces paper Figure 2 (ε = 2, 20 processors); see bench_fig1.cpp.
+#include <iostream>
+
+#include "ftsched/experiments/figures.hpp"
+
+int main() {
+  ftsched::run_figure(std::cout, 2);
+  return 0;
+}

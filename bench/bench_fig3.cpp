@@ -1,0 +1,9 @@
+// Reproduces paper Figure 3 (ε = 5, 20 processors); see bench_fig1.cpp.
+#include <iostream>
+
+#include "ftsched/experiments/figures.hpp"
+
+int main() {
+  ftsched::run_figure(std::cout, 3);
+  return 0;
+}

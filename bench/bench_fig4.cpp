@@ -1,0 +1,10 @@
+// Reproduces paper Figure 4 (5 processors, ε = 2): FTSA latency and
+// overhead with 0, 1 and 2 crashes; see bench_fig1.cpp.
+#include <iostream>
+
+#include "ftsched/experiments/figures.hpp"
+
+int main() {
+  ftsched::run_figure(std::cout, 4);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// google-benchmark microbenches for the three schedulers, the Table-1
+// complexity story as a microbench: FTSA / MC-FTSA stay near-linear in the
+// task count, FTBAR grows cubically.
+#include <benchmark/benchmark.h>
+
+#include "ftsched/core/ftbar.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/heft.hpp"
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace {
+
+using namespace ftsched;
+
+std::unique_ptr<Workload> bench_workload(std::size_t tasks,
+                                         std::size_t procs) {
+  Rng rng(7);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  return make_paper_workload(rng, params);
+}
+
+void BM_Ftsa(benchmark::State& state) {
+  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
+  FtsaOptions options;
+  options.epsilon = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftsa_schedule(w->costs(), options).lower_bound());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Ftsa)->Arg(125)->Arg(500)->Arg(2000)->Complexity();
+
+void BM_McFtsaGreedy(benchmark::State& state) {
+  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
+  McFtsaOptions options;
+  options.epsilon = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mc_ftsa_schedule(w->costs(), options).lower_bound());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_McFtsaGreedy)->Arg(125)->Arg(500)->Arg(2000)->Complexity();
+
+void BM_Ftbar(benchmark::State& state) {
+  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
+  FtbarOptions options;
+  options.npf = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ftbar_schedule(w->costs(), options).lower_bound());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Ftbar)->Arg(125)->Arg(250)->Arg(500)->Complexity();
+
+void BM_Heft(benchmark::State& state) {
+  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heft_schedule(w->costs()).lower_bound());
+  }
+}
+BENCHMARK(BM_Heft)->Arg(125)->Arg(1000);
+
+}  // namespace

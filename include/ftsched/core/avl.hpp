@@ -1,0 +1,231 @@
+// AVL-tree ordered multiset.
+//
+// The paper specifies that the free-task priority list α "is implemented by
+// using a balanced search tree data structure (AVL)" with O(log ω) insert,
+// erase and head extraction.  This is that structure: a self-balancing BST
+// storing keys in ascending order; the scheduler's head H(α) is max().
+//
+// Header-only template so tests can instantiate it with simple key types.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+template <typename Key, typename Compare = std::less<Key>>
+class AvlTree {
+ public:
+  AvlTree() = default;
+  explicit AvlTree(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void insert(const Key& key) {
+    root_ = insert_node(std::move(root_), key);
+    ++size_;
+  }
+
+  /// Removes one occurrence of `key`; returns false if absent.
+  bool erase_one(const Key& key) {
+    bool erased = false;
+    root_ = erase_node(std::move(root_), key, erased);
+    if (erased) --size_;
+    return erased;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (cmp_(key, n->key)) {
+        n = n->left.get();
+      } else if (cmp_(n->key, key)) {
+        n = n->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Largest key. Precondition: !empty().
+  [[nodiscard]] const Key& max() const {
+    FTSCHED_REQUIRE(root_ != nullptr, "max() on empty AVL tree");
+    const Node* n = root_.get();
+    while (n->right) n = n->right.get();
+    return n->key;
+  }
+
+  /// Smallest key. Precondition: !empty().
+  [[nodiscard]] const Key& min() const {
+    FTSCHED_REQUIRE(root_ != nullptr, "min() on empty AVL tree");
+    const Node* n = root_.get();
+    while (n->left) n = n->left.get();
+    return n->key;
+  }
+
+  /// Removes and returns the largest key. Precondition: !empty().
+  Key extract_max() {
+    Key k = max();
+    (void)erase_one(k);
+    return k;
+  }
+
+  void clear() noexcept {
+    // Iterative teardown: the default recursive unique_ptr destruction can
+    // overflow the stack on long chains.
+    std::vector<NodePtr> pending;
+    if (root_) pending.push_back(std::move(root_));
+    while (!pending.empty()) {
+      NodePtr n = std::move(pending.back());
+      pending.pop_back();
+      if (n->left) pending.push_back(std::move(n->left));
+      if (n->right) pending.push_back(std::move(n->right));
+    }
+    size_ = 0;
+  }
+
+  ~AvlTree() { clear(); }
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+  AvlTree(AvlTree&&) noexcept = default;
+  AvlTree& operator=(AvlTree&&) noexcept = default;
+
+  /// Keys in ascending order (testing / debugging).
+  [[nodiscard]] std::vector<Key> to_sorted_vector() const {
+    std::vector<Key> out;
+    out.reserve(size_);
+    in_order(root_.get(), out);
+    return out;
+  }
+
+  /// Validates BST ordering and the AVL balance invariant; throws on
+  /// violation. Exposed for the test suite.
+  void validate() const { (void)validate_node(root_.get()); }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    Key key;
+    NodePtr left;
+    NodePtr right;
+    int height = 1;
+  };
+
+  static int height(const Node* n) noexcept { return n ? n->height : 0; }
+  static int balance_factor(const Node* n) noexcept {
+    return n ? height(n->left.get()) - height(n->right.get()) : 0;
+  }
+  static void update_height(Node* n) noexcept {
+    const int hl = height(n->left.get());
+    const int hr = height(n->right.get());
+    n->height = 1 + (hl > hr ? hl : hr);
+  }
+
+  static NodePtr rotate_right(NodePtr y) noexcept {
+    NodePtr x = std::move(y->left);
+    y->left = std::move(x->right);
+    update_height(y.get());
+    x->right = std::move(y);
+    update_height(x.get());
+    return x;
+  }
+
+  static NodePtr rotate_left(NodePtr x) noexcept {
+    NodePtr y = std::move(x->right);
+    x->right = std::move(y->left);
+    update_height(x.get());
+    y->left = std::move(x);
+    update_height(y.get());
+    return y;
+  }
+
+  static NodePtr rebalance(NodePtr n) noexcept {
+    update_height(n.get());
+    const int bf = balance_factor(n.get());
+    if (bf > 1) {
+      if (balance_factor(n->left.get()) < 0) {
+        n->left = rotate_left(std::move(n->left));
+      }
+      return rotate_right(std::move(n));
+    }
+    if (bf < -1) {
+      if (balance_factor(n->right.get()) > 0) {
+        n->right = rotate_right(std::move(n->right));
+      }
+      return rotate_left(std::move(n));
+    }
+    return n;
+  }
+
+  NodePtr insert_node(NodePtr n, const Key& key) {
+    if (!n) return std::make_unique<Node>(key);
+    if (cmp_(key, n->key)) {
+      n->left = insert_node(std::move(n->left), key);
+    } else {
+      // Equal keys go right: the multiset keeps duplicates.
+      n->right = insert_node(std::move(n->right), key);
+    }
+    return rebalance(std::move(n));
+  }
+
+  NodePtr erase_node(NodePtr n, const Key& key, bool& erased) {
+    if (!n) return nullptr;
+    if (cmp_(key, n->key)) {
+      n->left = erase_node(std::move(n->left), key, erased);
+    } else if (cmp_(n->key, key)) {
+      n->right = erase_node(std::move(n->right), key, erased);
+    } else {
+      erased = true;
+      if (!n->left) return std::move(n->right);
+      if (!n->right) return std::move(n->left);
+      // Two children: replace with the in-order successor's key.
+      Node* succ = n->right.get();
+      while (succ->left) succ = succ->left.get();
+      n->key = succ->key;
+      bool dummy = false;
+      n->right = erase_node(std::move(n->right), n->key, dummy);
+    }
+    return rebalance(std::move(n));
+  }
+
+  void in_order(const Node* n, std::vector<Key>& out) const {
+    if (!n) return;
+    in_order(n->left.get(), out);
+    out.push_back(n->key);
+    in_order(n->right.get(), out);
+  }
+
+  // Returns subtree height; throws if invariants are broken.
+  int validate_node(const Node* n) const {
+    if (!n) return 0;
+    const int hl = validate_node(n->left.get());
+    const int hr = validate_node(n->right.get());
+    FTSCHED_REQUIRE(n->height == 1 + (hl > hr ? hl : hr),
+                    "AVL node height is stale");
+    FTSCHED_REQUIRE(hl - hr >= -1 && hl - hr <= 1,
+                    "AVL balance factor out of range");
+    if (n->left) {
+      FTSCHED_REQUIRE(!cmp_(n->key, n->left->key), "BST order violated (left)");
+    }
+    if (n->right) {
+      FTSCHED_REQUIRE(!cmp_(n->right->key, n->key),
+                      "BST order violated (right)");
+    }
+    return n->height;
+  }
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,58 @@
+// Bi-criteria drivers (paper §4.3).
+//
+// Three modes beyond plain FTSA (latency minimized for fixed ε):
+//  1. latency fixed → maximize the number of supported failures ε, by
+//     linear scan or binary search over ε;
+//  2. both fixed → per-task deadlines d(ti) computed in reverse topological
+//     order; scheduling aborts as soon as a task provably misses d(ti),
+//     detecting infeasibility early on very large graphs;
+//  3. the deadline computation itself, exposed for tests and tooling.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/schedule.hpp"
+
+namespace ftsched {
+
+/// Which schedule bound must meet the latency target.
+enum class LatencyBound {
+  kLower,  ///< M* (eq. 2): latency promised when nothing fails
+  kUpper,  ///< M  (eq. 4): latency guaranteed under <= ε failures
+};
+
+struct MaxFailuresResult {
+  std::size_t epsilon = 0;   ///< largest supported failure count
+  double lower_bound = 0.0;  ///< M* of the retained schedule
+  double upper_bound = 0.0;  ///< M of the retained schedule
+  std::size_t schedules_computed = 0;  ///< FTSA invocations performed
+};
+
+/// Maximizes ε such that the FTSA schedule's `bound` stays <= `latency`.
+/// Returns nullopt when even ε = 0 misses the target.  `binary_search`
+/// selects the §4.3 bisection (O(log m) FTSA runs) over the linear scan;
+/// both assume the bound is non-decreasing in ε (true in practice, and the
+/// linear scan stops at the first violation either way).
+[[nodiscard]] std::optional<MaxFailuresResult> max_supported_failures(
+    const CostModel& costs, double latency,
+    LatencyBound bound = LatencyBound::kUpper, const FtsaOptions& base = {},
+    bool binary_search = true);
+
+/// §4.3 deadlines: d(ti) = L for exit tasks, otherwise
+/// min over successors tj of { d(tj) − E*(tj) − W*(ti,tj) }, with E* the
+/// average execution time on the task's ε+1 fastest processors and W* the
+/// average communication cost over the ε+1 fastest links.
+[[nodiscard]] std::vector<double> task_deadlines(const CostModel& costs,
+                                                 double latency,
+                                                 std::size_t epsilon);
+
+/// FTSA with both criteria fixed: schedules under the deadlines above and
+/// returns nullopt as soon as some task provably misses its deadline
+/// ("Failed to satisfy both criteria simultaneously").
+[[nodiscard]] std::optional<ReplicatedSchedule> ftsa_schedule_with_deadline(
+    const CostModel& costs, double latency, const FtsaOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,26 @@
+// Communication awareness of the scheduling engine (paper §7 future work).
+//
+// The paper schedules under the contention-free model and only names
+// one-port / bounded multi-port models as future work.  When awareness is
+// enabled, the engine books outgoing-message *send ports* per processor
+// while it schedules: every committed channel occupies a port of its
+// source processor for the message's duration, and the eq.-(1) arrival
+// estimates query the port state.  Schedules then adapt to serialization —
+// favouring co-location and less message fan-out — and execute markedly
+// better under the matching simulator contention model
+// (sim/comm_model.hpp; see bench_ablation_commaware).
+#pragma once
+
+#include <cstddef>
+
+namespace ftsched {
+
+struct CommAwareness {
+  /// Send ports per processor. 0 = contention-free (the paper's model);
+  /// 1 = one-port; k > 1 = bounded multi-port.
+  std::size_t ports = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return ports > 0; }
+};
+
+}  // namespace ftsched

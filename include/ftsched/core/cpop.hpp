@@ -1,0 +1,18 @@
+// CPOP — Critical-Path-On-a-Processor (Topcuoglu, Hariri, Wu).
+//
+// Second classic fault-free baseline besides HEFT: tasks are prioritized
+// by upward + downward rank; the tasks of the critical path are all pinned
+// to the single processor that minimizes the path's total execution time,
+// every other task is mapped by insertion-based earliest finish time.
+// Useful for ablations of FTSA's ε = 0 behaviour.
+#pragma once
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/cost_model.hpp"
+
+namespace ftsched {
+
+/// Runs CPOP; returns a ReplicatedSchedule with ε = 0.
+[[nodiscard]] ReplicatedSchedule cpop_schedule(const CostModel& costs);
+
+}  // namespace ftsched

@@ -1,0 +1,44 @@
+// FTSA — Fault Tolerant Scheduling Algorithm (paper §4.1, Algorithm 4.1).
+//
+// Greedy list scheduling driven by task criticalness (dynamic top level +
+// static bottom level).  Each selected task is replicated onto the ε+1
+// processors minimizing its eq.-(1) finish time, which tolerates ε
+// arbitrary fail-silent processor failures (Theorem 4.1).  The resulting
+// schedule carries both the failure-free lower bound M* (eq. 2) and the
+// guaranteed upper bound M (eq. 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ftsched/core/comm_awareness.hpp"
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/cost_model.hpp"
+
+namespace ftsched {
+
+/// Free-task priority (ablation knob; the paper uses kCriticalness).
+enum class FtsaPriority {
+  kCriticalness,  ///< tℓ(t) + bℓ(t), the paper's §4.1 definition
+  kBottomLevel,   ///< bℓ(t) only (static priority)
+  kRandom,        ///< uniformly random order (control)
+};
+
+struct FtsaOptions {
+  /// ε: number of fail-silent processor failures to tolerate.
+  /// Requires epsilon + 1 <= number of processors.  epsilon == 0 yields the
+  /// paper's "fault free" (no-replication) schedule.
+  std::size_t epsilon = 1;
+  /// Seed for the random tie-breaking in the priority list α.
+  std::uint64_t seed = 0;
+  FtsaPriority priority = FtsaPriority::kCriticalness;
+  /// Contention awareness of the arrival estimates (default: the paper's
+  /// contention-free model). See core/comm_awareness.hpp.
+  CommAwareness comm;
+};
+
+/// Runs FTSA on the given workload. Complexity O(e·m² + v·log ω).
+[[nodiscard]] ReplicatedSchedule ftsa_schedule(const CostModel& costs,
+                                               const FtsaOptions& options = {});
+
+}  // namespace ftsched

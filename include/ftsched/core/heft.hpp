@@ -1,0 +1,27 @@
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al.).
+//
+// Not part of the paper, but the de-facto fault-free list-scheduling
+// baseline on heterogeneous platforms; included so ablations can compare
+// the paper's "fault free FTSA" (ε = 0, no back-filling) against an
+// insertion-based scheduler.  Produces a ReplicatedSchedule with ε = 0.
+#pragma once
+
+#include <cstdint>
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/cost_model.hpp"
+
+namespace ftsched {
+
+struct HeftOptions {
+  /// Use insertion-based earliest-finish-time (the classic HEFT policy);
+  /// when false, tasks are appended after the processor's last replica.
+  bool insertion = true;
+};
+
+/// Runs HEFT: tasks in non-increasing upward-rank order, each mapped to the
+/// processor minimizing its (insertion-based) earliest finish time.
+[[nodiscard]] ReplicatedSchedule heft_schedule(const CostModel& costs,
+                                               const HeftOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,52 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// MC-FTSA's optimal channel selector (paper §4.2) binary-searches a weight
+// threshold T and, at each probe, asks whether the bipartite channel graph
+// restricted to edges of weight <= T admits a matching saturating every
+// left node.  Hopcroft–Karp answers each probe in O(E·sqrt(V)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsched {
+
+/// A bipartite graph with `left_count` left and `right_count` right nodes;
+/// adjacency is left -> list of right indices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::size_t left_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t right_count() const noexcept {
+    return right_count_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t left) const {
+    return adj_[left];
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t right_count_;
+};
+
+/// Result of a maximum matching: `pair_of_left[l]` is the matched right
+/// node of left node l, or kUnmatched.
+struct Matching {
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pair_of_left;
+  std::vector<std::size_t> pair_of_right;
+  std::size_t size = 0;
+
+  [[nodiscard]] bool saturates_left() const noexcept {
+    return size == pair_of_left.size();
+  }
+};
+
+/// Hopcroft–Karp maximum matching. O(E·sqrt(V)).
+[[nodiscard]] Matching hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace ftsched

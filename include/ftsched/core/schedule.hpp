@@ -1,0 +1,136 @@
+// Fault-tolerant (replicated) schedule representation (paper §4).
+//
+// Every task is mapped onto ε+1 distinct processors (its *replicas*); each
+// precedence edge is realized by explicit *channels* between replicas.
+// FTSA materializes all replica pairs (minus the intra-processor shortcut);
+// MC-FTSA keeps exactly one inbound channel per replica per edge.
+//
+// Each replica carries two time pairs:
+//  * (start, finish)       — the failure-free (lower-bound) timeline, eq. (1);
+//  * (pess_start, pess_finish) — the all-messages-late timeline, eq. (3),
+//    whose maximum over exit replicas is the guaranteed upper bound M.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftsched/platform/cost_model.hpp"
+#include "ftsched/util/ids.hpp"
+
+namespace ftsched {
+
+struct Replica {
+  ProcId proc;
+  double start = 0.0;
+  double finish = 0.0;
+  double pess_start = 0.0;
+  double pess_finish = 0.0;
+};
+
+/// A realized communication: replica `src_replica` of edge.src sends the
+/// edge's data to replica `dst_replica` of edge.dst.
+struct Channel {
+  std::size_t src_replica = 0;
+  std::size_t dst_replica = 0;
+};
+
+/// One replica's slot in a processor timeline.
+struct PlacedReplica {
+  TaskId task;
+  std::size_t replica = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+class ReplicatedSchedule {
+ public:
+  ReplicatedSchedule(const CostModel& costs, std::size_t epsilon,
+                     std::string algorithm);
+
+  [[nodiscard]] const CostModel& costs() const noexcept { return *costs_; }
+  [[nodiscard]] const TaskGraph& graph() const noexcept {
+    return costs_->graph();
+  }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return costs_->platform();
+  }
+
+  /// Number of failures tolerated; every task has epsilon()+1 replicas.
+  [[nodiscard]] std::size_t epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return epsilon_ + 1;
+  }
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+
+  /// Registers the replicas of `t` (must be called once per task, replicas
+  /// on pairwise-distinct processors). Also appends to processor timelines.
+  /// At least ε+1 replicas are required; algorithms using duplication
+  /// (FTBAR's minimize-start-time) may register more.
+  void place_task(TaskId t, std::vector<Replica> replicas);
+
+  /// Registers the channels realizing graph edge `edge_index`.
+  void set_channels(std::size_t edge_index, std::vector<Channel> channels);
+
+  [[nodiscard]] bool is_placed(TaskId t) const {
+    return !replicas_[t.index()].empty();
+  }
+  [[nodiscard]] const std::vector<Replica>& replicas(TaskId t) const {
+    return replicas_[t.index()];
+  }
+  [[nodiscard]] const std::vector<Channel>& channels(
+      std::size_t edge_index) const {
+    return channels_[edge_index];
+  }
+  [[nodiscard]] const std::vector<PlacedReplica>& timeline(ProcId p) const {
+    return timeline_[p.index()];
+  }
+
+  /// Lower bound M* (eq. 2): latency if no processor fails.
+  [[nodiscard]] double lower_bound() const;
+  /// Upper bound M (eq. 4): guaranteed latency under <= ε failures.
+  [[nodiscard]] double upper_bound() const;
+
+  /// Total number of inter-processor messages (intra-processor channels are
+  /// free and not counted). FTSA ~ e(ε+1)², MC-FTSA <= e(ε+1).
+  [[nodiscard]] std::size_t interproc_message_count() const;
+  /// All realized channels, including intra-processor ones.
+  [[nodiscard]] std::size_t channel_count() const;
+
+  /// The paper's v×m binary mapping matrix X (row-major).
+  [[nodiscard]] std::vector<char> mapping_matrix() const;
+
+  /// Tasks whose channels were repaired by MC-FTSA's end-to-end
+  /// fault-tolerance enforcement (see mc_ftsa.hpp); empty for other
+  /// algorithms or when no repair was needed.
+  [[nodiscard]] const std::vector<TaskId>& repaired_tasks() const noexcept {
+    return repaired_;
+  }
+  void set_repaired_tasks(std::vector<TaskId> tasks) {
+    repaired_ = std::move(tasks);
+  }
+
+  /// Structural + temporal validation; throws Error with a diagnostic when
+  /// any invariant is violated:
+  ///  * every task placed, exactly ε+1 replicas on distinct processors
+  ///    (Prop. 4.1);
+  ///  * replicas on one processor do not overlap in time;
+  ///  * execution times match the cost model;
+  ///  * every replica has >= 1 inbound channel per incoming edge, and its
+  ///    start is >= the earliest channel arrival (failure-free times);
+  ///  * pessimistic times dominate failure-free times.
+  void validate() const;
+
+ private:
+  const CostModel* costs_;
+  std::size_t epsilon_;
+  std::string algorithm_;
+  std::vector<std::vector<Replica>> replicas_;   // per task
+  std::vector<std::vector<Channel>> channels_;   // per edge
+  std::vector<std::vector<PlacedReplica>> timeline_;  // per processor
+  std::vector<TaskId> repaired_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,37 @@
+// Serialization of replicated schedules.
+//
+// Text format (line oriented, '#' comments allowed):
+//   schedule <algorithm> <epsilon>
+//   replica <task> <proc> <start> <finish> <pess_start> <pess_finish>
+//   channel <edge-index> <src-replica> <dst-replica>
+//   repaired <task>
+//
+// Reading requires the cost model the schedule was built against (the
+// format stores no graph/platform data); `read_schedule` cross-checks the
+// replica durations against it via ReplicatedSchedule::validate().
+//
+// The JSON export (with optional execution results) lives in
+// ftsched/sim/trace.hpp, next to the other trace emitters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ftsched/core/schedule.hpp"
+
+namespace ftsched {
+
+void write_schedule(std::ostream& os, const ReplicatedSchedule& schedule);
+[[nodiscard]] std::string schedule_to_string(
+    const ReplicatedSchedule& schedule);
+
+/// Parses the text format; `validate` controls whether the reloaded
+/// schedule is checked against `costs` before returning.
+[[nodiscard]] ReplicatedSchedule read_schedule(std::istream& is,
+                                               const CostModel& costs,
+                                               bool validate = true);
+[[nodiscard]] ReplicatedSchedule schedule_from_string(const std::string& text,
+                                                      const CostModel& costs,
+                                                      bool validate = true);
+
+}  // namespace ftsched

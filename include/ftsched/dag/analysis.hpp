@@ -1,0 +1,47 @@
+// Structural analyses of task graphs: levels, width, critical path.
+//
+// The paper uses the graph width ω (maximum number of pairwise-independent
+// tasks) to bound the size of the priority list α, and the granularity
+// g(G,P) to parameterize the experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ftsched/dag/graph.hpp"
+
+namespace ftsched {
+
+/// Per-task depth: length (in hops) of the longest path from an entry task.
+/// Entry tasks have depth 0.
+[[nodiscard]] std::vector<std::size_t> depths(const TaskGraph& g);
+
+/// Tasks grouped by depth; layer 0 holds the entry tasks.
+[[nodiscard]] std::vector<std::vector<TaskId>> layers(const TaskGraph& g);
+
+/// Lower bound on the width ω: the largest number of tasks sharing a depth
+/// layer. Cheap (O(v+e)); exact on layered graphs where all edges go between
+/// consecutive layers (our generators produce mostly such graphs).
+[[nodiscard]] std::size_t layer_width(const TaskGraph& g);
+
+/// Exact width ω: size of a maximum antichain, computed via Dilworth's
+/// theorem as v − (maximum matching in the transitive-closure bipartite
+/// graph). O(v³) worst case — intended for graphs up to a few thousand
+/// tasks or for validating layer_width in tests.
+[[nodiscard]] std::size_t exact_width(const TaskGraph& g);
+
+/// Length of the longest path where each task contributes `node_cost[t]`
+/// and each edge contributes `edge_cost[e]` (both indexed as in the graph).
+/// This is the static critical-path length used for bℓ-style computations.
+[[nodiscard]] double longest_path(const TaskGraph& g,
+                                  const std::vector<double>& node_cost,
+                                  const std::vector<double>& edge_cost);
+
+/// Number of tasks on the longest (hop-count) path, i.e. depth+1.
+[[nodiscard]] std::size_t critical_path_hops(const TaskGraph& g);
+
+/// Reachability: closure[i*v + j] == true iff j is reachable from i by a
+/// non-empty path. O(v·e) bitset-free implementation for test-scale graphs.
+[[nodiscard]] std::vector<char> transitive_closure(const TaskGraph& g);
+
+}  // namespace ftsched

@@ -1,0 +1,18 @@
+// Graphviz DOT export for task graphs (debugging / documentation aid).
+#pragma once
+
+#include <string>
+
+#include "ftsched/dag/graph.hpp"
+
+namespace ftsched {
+
+struct DotOptions {
+  bool show_volumes = true;   ///< annotate edges with V(ti,tj)
+  bool left_to_right = true;  ///< rankdir=LR instead of top-down
+};
+
+/// Renders the graph in Graphviz DOT syntax.
+[[nodiscard]] std::string to_dot(const TaskGraph& g, const DotOptions& options = {});
+
+}  // namespace ftsched

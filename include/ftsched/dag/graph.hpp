@@ -1,0 +1,99 @@
+// Weighted directed acyclic task graph G = (V, E).
+//
+// Nodes are tasks; an edge (ti, tj) carries the data volume V(ti, tj) that
+// ti must send to tj (paper §2).  The graph is append-only: tasks and edges
+// are added during construction and the structure is then treated as
+// immutable by the schedulers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ftsched/util/ids.hpp"
+
+namespace ftsched {
+
+/// An edge of the task graph together with its data volume.
+struct Edge {
+  TaskId src;
+  TaskId dst;
+  double volume = 0.0;  ///< V(src, dst): data units sent from src to dst.
+};
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a task and returns its id. `label` is for diagnostics/DOT only.
+  TaskId add_task(std::string label = {});
+
+  /// Adds a precedence edge src -> dst carrying `volume` data units.
+  /// Throws InvalidArgument on self-loops, duplicate edges, or unknown ids.
+  void add_edge(TaskId src, TaskId dst, double volume);
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return labels_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::string& label(TaskId t) const;
+
+  /// Γ⁻(t): immediate predecessors (as indices into edges()).
+  [[nodiscard]] std::span<const std::size_t> in_edges(TaskId t) const;
+  /// Γ⁺(t): immediate successors (as indices into edges()).
+  [[nodiscard]] std::span<const std::size_t> out_edges(TaskId t) const;
+
+  [[nodiscard]] const Edge& edge(std::size_t e) const { return edges_[e]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  [[nodiscard]] std::size_t in_degree(TaskId t) const {
+    return in_edges(t).size();
+  }
+  [[nodiscard]] std::size_t out_degree(TaskId t) const {
+    return out_edges(t).size();
+  }
+
+  /// Data volume on edge (src, dst); throws if the edge does not exist.
+  [[nodiscard]] double volume(TaskId src, TaskId dst) const;
+  /// True iff the edge (src, dst) exists.
+  [[nodiscard]] bool has_edge(TaskId src, TaskId dst) const noexcept;
+
+  /// Tasks with no predecessors / no successors.
+  [[nodiscard]] std::vector<TaskId> entry_tasks() const;
+  [[nodiscard]] std::vector<TaskId> exit_tasks() const;
+
+  /// All task ids, 0..v-1.
+  [[nodiscard]] std::vector<TaskId> tasks() const;
+
+  /// Kahn topological order. Throws InvalidArgument if the graph has a
+  /// cycle (i.e. it is not actually a DAG).
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// True iff the edge set is acyclic.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Sum of all edge volumes.
+  [[nodiscard]] double total_volume() const noexcept;
+
+ private:
+  void check_task(TaskId t, const char* what) const;
+
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> in_;   // per task: edge indices
+  std::vector<std::vector<std::size_t>> out_;  // per task: edge indices
+};
+
+}  // namespace ftsched

@@ -1,0 +1,24 @@
+// Plain-text serialization of task graphs.
+//
+// Format (line oriented, '#' comments allowed):
+//   taskgraph <name>
+//   task <label>                # tasks are numbered in order of appearance
+//   edge <src-index> <dst-index> <volume>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ftsched/dag/graph.hpp"
+
+namespace ftsched {
+
+/// Writes `g` in the text format above.
+void write_graph(std::ostream& os, const TaskGraph& g);
+[[nodiscard]] std::string graph_to_string(const TaskGraph& g);
+
+/// Parses a graph; throws InvalidArgument on malformed input.
+[[nodiscard]] TaskGraph read_graph(std::istream& is);
+[[nodiscard]] TaskGraph graph_from_string(const std::string& text);
+
+}  // namespace ftsched

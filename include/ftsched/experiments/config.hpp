@@ -1,0 +1,46 @@
+// Experiment configurations matching the paper's §6 setup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+
+struct FigureConfig {
+  int figure = 1;
+  std::size_t epsilon = 1;
+  std::size_t proc_count = 20;
+  /// Graphs averaged per granularity point (paper: 60).
+  std::size_t graphs_per_point = 60;
+  std::uint64_t seed = 42;
+  /// Granularity sweep (paper: 0.2 .. 2.0, step 0.2).
+  std::vector<double> granularities;
+  /// Additional FTSA crash counts plotted besides 0 and ε
+  /// (Figure 2 adds 1; Figures 3 and 4 add 2 resp. 1).
+  std::vector<std::size_t> extra_crash_counts;
+  PaperWorkloadParams workload;
+};
+
+/// Configuration for paper Figure 1 (ε=1), 2 (ε=2), 3 (ε=5) or
+/// 4 (m=5, ε=2).  Honors the environment overrides FTSCHED_GRAPHS and
+/// FTSCHED_SEED so benches stay fast in CI and exact for reproduction.
+[[nodiscard]] FigureConfig figure_config(int figure);
+
+struct Table1Config {
+  std::vector<std::size_t> task_counts{100, 500, 1000, 2000, 3000, 5000};
+  std::size_t proc_count = 50;  ///< paper: 50 processors
+  std::size_t epsilon = 5;      ///< paper: 5 supported failures
+  std::size_t repetitions = 3;  ///< timing repetitions per size
+  std::uint64_t seed = 42;
+  /// FTBAR is O(P·N³); sizes above this are skipped for FTBAR unless
+  /// FTSCHED_FULL=1 (the paper itself reports 465 s at N=5000).
+  std::size_t ftbar_task_limit = 2000;
+};
+
+/// Honors FTSCHED_SEED / FTSCHED_REPS / FTSCHED_FULL.
+[[nodiscard]] Table1Config table1_config();
+
+}  // namespace ftsched

@@ -1,0 +1,22 @@
+// Drivers that print the paper's figures and table as text/CSV blocks.
+#pragma once
+
+#include <iosfwd>
+
+#include "ftsched/experiments/config.hpp"
+#include "ftsched/experiments/runner.hpp"
+
+namespace ftsched {
+
+/// Prints blocks (a) bounds, (b) crash latencies, (c) overheads for the
+/// given figure (1, 2, 3 or 4), exactly the series the paper plots.
+void print_figure(std::ostream& os, const FigureConfig& config,
+                  const SweepResult& sweep);
+
+/// Convenience: run_sweep + print_figure.
+void run_figure(std::ostream& os, int figure);
+
+/// Table 1: running times (seconds) of FTSA / MC-FTSA / FTBAR.
+void run_table1(std::ostream& os, const Table1Config& config);
+
+}  // namespace ftsched

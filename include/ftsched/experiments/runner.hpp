@@ -1,0 +1,59 @@
+// Per-instance evaluation and granularity-sweep aggregation.
+//
+// For one workload instance the runner computes every series the paper's
+// figures plot — schedule bounds, fault-free latencies, simulated crash
+// latencies and overheads — as a name → value map; the sweep averages the
+// maps over `graphs_per_point` random instances per granularity.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/experiments/config.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/util/rng.hpp"
+#include "ftsched/util/stats.hpp"
+
+namespace ftsched {
+
+/// Series name → value (normalized latency or overhead %), one instance.
+using SeriesSample = std::map<std::string, double>;
+
+struct InstanceOptions {
+  std::size_t epsilon = 1;
+  /// FTSA crash counts to simulate besides 0 and epsilon.
+  std::vector<std::size_t> extra_crash_counts;
+  McSelector mc_selector = McSelector::kGreedy;
+  SimulationOptions sim;
+  std::uint64_t seed = 0;  ///< scheduler tie-break seed
+};
+
+/// Evaluates one instance.  Crash victims are drawn from `rng` once and
+/// shared across algorithms (and truncated for smaller crash counts), so
+/// every curve faces the same failures.
+///
+/// Emitted series (see DESIGN.md §4):
+///   FTSA-LowerBound, FTSA-UpperBound, MC-FTSA-LowerBound,
+///   MC-FTSA-UpperBound, FTBAR-LowerBound, FTBAR-UpperBound,
+///   FaultFree-FTSA, FaultFree-FTBAR,
+///   FTSA-<k>Crash (k in {0, extras, ε}), MC-FTSA-<ε>Crash,
+///   FTBAR-<ε>Crash, and OH-<series> overhead twins of the crash/bound
+///   series (relative to FaultFree-FTSA, in percent).
+[[nodiscard]] SeriesSample evaluate_instance(const Workload& workload,
+                                             Rng& rng,
+                                             const InstanceOptions& options);
+
+/// Aggregated sweep: per granularity, per series, an OnlineStats over the
+/// instances.
+struct SweepResult {
+  std::vector<double> granularities;
+  /// result[series][granularity index]
+  std::map<std::string, std::vector<OnlineStats>> series;
+};
+
+/// Runs the full granularity sweep described by `config`.
+[[nodiscard]] SweepResult run_sweep(const FigureConfig& config);
+
+}  // namespace ftsched

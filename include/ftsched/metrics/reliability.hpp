@@ -1,0 +1,49 @@
+// Schedule reliability under probabilistic processor failures.
+//
+// The paper's conclusion (§7) names "a more complex failure model, in which
+// we would also account for the failure probability of the application" as
+// future work.  This module implements it for fail-stop-at-start failures:
+// each processor independently fails with probability p (or its own p_k),
+// and the *reliability* of a replicated schedule is the probability that
+// every exit task still completes.
+//
+// Two estimators:
+//  * exact over processor subsets (exponential in m, for small platforms);
+//  * Monte Carlo with the execution simulator (any m).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+/// Exact reliability by enumerating all 2^m crash subsets and simulating
+/// each. Requires proc_count <= 20 (2^20 simulations at most; keep small).
+[[nodiscard]] double exact_reliability(const ReplicatedSchedule& schedule,
+                                       const std::vector<double>& fail_prob);
+
+/// Monte Carlo reliability estimate with `samples` independent scenarios.
+struct ReliabilityEstimate {
+  double reliability = 0.0;  ///< fraction of successful runs
+  double mean_latency = 0.0; ///< mean achieved latency over successful runs
+  std::size_t samples = 0;
+  std::size_t failures = 0;  ///< runs where the application failed
+};
+
+[[nodiscard]] ReliabilityEstimate monte_carlo_reliability(
+    const ReplicatedSchedule& schedule, const std::vector<double>& fail_prob,
+    Rng& rng, std::size_t samples);
+
+/// Analytic lower bound: the schedule survives whenever at most ε
+/// processors fail (Theorem 4.1), so reliability >= P[#failures <= ε].
+/// Computed exactly via dynamic programming over the Poisson-binomial
+/// distribution of the failure count.
+[[nodiscard]] double theorem_reliability_bound(
+    std::size_t proc_count, std::size_t epsilon,
+    const std::vector<double>& fail_prob);
+
+}  // namespace ftsched

@@ -1,0 +1,96 @@
+// Cost model binding a task graph to a platform (paper §2).
+//
+// E(t, Pk) — execution time of each task on each processor — is an arbitrary
+// v×m matrix (unrelated machines model).  W(ti,tj) = V(ti,tj)·d(Pk,Ph) is
+// derived from the graph's volumes and the platform's delays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ftsched/dag/graph.hpp"
+#include "ftsched/platform/platform.hpp"
+
+namespace ftsched {
+
+class CostModel {
+ public:
+  /// `exec[t][p]` = E(t, Pp); must be v×m with strictly positive entries.
+  CostModel(const TaskGraph& graph, const Platform& platform,
+            std::vector<std::vector<double>> exec);
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return *platform_;
+  }
+
+  /// E(t, Pk).
+  [[nodiscard]] double exec(TaskId t, ProcId p) const {
+    return exec_[t.index() * m_ + p.index()];
+  }
+
+  /// E̅(t) = (Σ_j E(t,Pj)) / m — average execution time over all processors.
+  [[nodiscard]] double avg_exec(TaskId t) const {
+    return avg_exec_[t.index()];
+  }
+
+  /// max_j E(t, Pj) — slowest execution (used by granularity).
+  [[nodiscard]] double max_exec(TaskId t) const {
+    return max_exec_[t.index()];
+  }
+
+  /// min_j E(t, Pj) — fastest execution.
+  [[nodiscard]] double min_exec(TaskId t) const {
+    return min_exec_[t.index()];
+  }
+
+  /// Mean over all processors of E restricted to `procs` (the paper §4.3
+  /// uses the average over the ε+1 fastest processors).
+  [[nodiscard]] double avg_exec_on(TaskId t,
+                                   const std::vector<ProcId>& procs) const;
+
+  /// Communication time W(ti,tj) when ti is on `from` and tj on `to`:
+  /// V(ti,tj) · d(from, to). Zero when from == to.
+  [[nodiscard]] double comm(std::size_t edge_index, ProcId from,
+                            ProcId to) const {
+    return graph_->edge(edge_index).volume * platform_->delay(from, to);
+  }
+
+  /// Average communication cost W̅(ti,tj) = V(ti,tj)·d̅ of an edge.
+  [[nodiscard]] double avg_comm(std::size_t edge_index) const {
+    return graph_->edge(edge_index).volume * platform_->average_delay();
+  }
+
+  /// Mean of E̅(t) over all tasks.
+  [[nodiscard]] double mean_avg_exec() const noexcept {
+    return mean_avg_exec_;
+  }
+
+  /// Mean of W̅(e) over all edges (0 for edgeless graphs).  Granularity
+  /// sweeps rescale execution times and leave communication untouched, so
+  /// this is the granularity-invariant unit used for "normalized latency".
+  [[nodiscard]] double mean_avg_comm() const;
+
+  /// Granularity g(G,P) = Σ_t max_j E(t,Pj) / Σ_e V(e)·max d (paper §2:
+  /// sum of slowest computations over sum of slowest communications).
+  /// Returns +inf for graphs without (positive-volume) edges.
+  [[nodiscard]] double granularity() const;
+
+  /// Multiplies all execution times by `factor` (used by the workload
+  /// generators to hit a target granularity exactly).
+  void scale_exec(double factor);
+
+ private:
+  const TaskGraph* graph_;
+  const Platform* platform_;
+  std::size_t m_;
+  std::vector<double> exec_;  // row-major v×m
+  std::vector<double> avg_exec_;
+  std::vector<double> max_exec_;
+  std::vector<double> min_exec_;
+  double mean_avg_exec_ = 0.0;
+
+  void recompute_aggregates();
+};
+
+}  // namespace ftsched

@@ -1,0 +1,73 @@
+// Fail-silent (fail-stop) processor failure scenarios (paper §1, §6).
+//
+// A scenario is a set of (processor, crash time) pairs.  A crashed processor
+// executes nothing whose finish time exceeds its crash time and sends no
+// messages after it.  crash time 0 models a processor dead from the start —
+// the worst case used for the paper's "crash" curves.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "ftsched/util/ids.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+struct Crash {
+  ProcId proc;
+  double time = 0.0;
+};
+
+class FailureScenario {
+ public:
+  FailureScenario() = default;
+  explicit FailureScenario(std::vector<Crash> crashes);
+
+  /// Adds a crash; a processor may appear at most once.
+  void add(ProcId proc, double time = 0.0);
+
+  [[nodiscard]] std::size_t crash_count() const noexcept {
+    return crashes_.size();
+  }
+  [[nodiscard]] const std::vector<Crash>& crashes() const noexcept {
+    return crashes_;
+  }
+
+  /// Crash time of `proc`, or +infinity if it never fails.
+  [[nodiscard]] double crash_time(ProcId proc) const noexcept;
+
+  [[nodiscard]] bool is_failed(ProcId proc) const noexcept {
+    return crash_time(proc) < std::numeric_limits<double>::infinity();
+  }
+
+  /// True iff `proc` is alive at `time` (strictly before its crash).
+  [[nodiscard]] bool alive_at(ProcId proc, double time) const noexcept {
+    return time < crash_time(proc);
+  }
+
+ private:
+  std::vector<Crash> crashes_;
+};
+
+/// `count` distinct victims drawn uniformly from the m processors, all
+/// crashing at time `crash_time` (paper §6 crash experiments).
+[[nodiscard]] FailureScenario random_crashes(Rng& rng, std::size_t proc_count,
+                                             std::size_t count,
+                                             double crash_time = 0.0);
+
+/// Like random_crashes but each victim gets an independent crash time drawn
+/// uniformly from [0, horizon).
+[[nodiscard]] FailureScenario random_timed_crashes(Rng& rng,
+                                                   std::size_t proc_count,
+                                                   std::size_t count,
+                                                   double horizon);
+
+/// Every subset of exactly `count` processors out of `proc_count`, crashing
+/// at time 0. Used by the exhaustive Theorem-4.1 validator; the number of
+/// scenarios is C(proc_count, count), so keep the inputs small.
+[[nodiscard]] std::vector<FailureScenario> all_crash_subsets(
+    std::size_t proc_count, std::size_t count);
+
+}  // namespace ftsched

@@ -1,0 +1,48 @@
+// Random platform and execution-cost generation.
+//
+// The paper draws unit link delays uniformly from [0.5, 1] and models task
+// computational heterogeneity with an arbitrary E(t, P) matrix; we offer the
+// two standard heterogeneity structures from the scheduling literature
+// (consistent = uniform machines with per-processor speeds; inconsistent =
+// unrelated machines) so ablations can compare them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ftsched/dag/graph.hpp"
+#include "ftsched/platform/platform.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+struct PlatformParams {
+  std::size_t proc_count = 20;
+  double delay_min = 0.5;  ///< paper: unit message delay ~ U[0.5, 1]
+  double delay_max = 1.0;
+};
+
+/// Fully-connected platform with i.i.d. uniform link delays.
+[[nodiscard]] Platform make_random_platform(Rng& rng,
+                                            const PlatformParams& params);
+
+enum class Heterogeneity {
+  kConsistent,    ///< E(t,P) = base(t) / speed(P): uniform machines
+  kInconsistent,  ///< E(t,P) i.i.d.: unrelated machines (paper's model)
+};
+
+struct ExecCostParams {
+  double base_min = 10.0;  ///< per-task base cost ~ U[base_min, base_max]
+  double base_max = 50.0;
+  /// Per-(task, processor) multiplicative jitter ~ U[1, 1+spread]
+  /// (kInconsistent) or per-processor speed ~ U[1, 1+spread] (kConsistent).
+  double spread = 1.0;
+  Heterogeneity heterogeneity = Heterogeneity::kInconsistent;
+};
+
+/// E(t, P) matrix (v rows, m columns), strictly positive.
+[[nodiscard]] std::vector<std::vector<double>> make_exec_costs(
+    Rng& rng, const TaskGraph& graph, std::size_t proc_count,
+    const ExecCostParams& params);
+
+}  // namespace ftsched

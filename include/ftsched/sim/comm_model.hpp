@@ -1,0 +1,44 @@
+// Communication contention models for the execution simulator.
+//
+// The paper's model is contention-free: a message of volume V from Pk to Ph
+// occupies nothing and arrives V·d(Pk,Ph) after it is sent.  §7 names the
+// one-port and bounded multi-port models as future work; both are
+// implemented here so the ablation benches can quantify their impact on the
+// achieved latency of FTSA/MC-FTSA/FTBAR schedules (MC-FTSA, with e(ε+1)
+// messages instead of e(ε+1)², is expected to degrade least).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ftsched/util/ids.hpp"
+
+namespace ftsched {
+
+enum class CommModelKind {
+  kContentionFree,   ///< paper's model: unlimited parallel sends
+  kOnePort,          ///< a processor sends one message at a time
+  kBoundedMultiPort  ///< at most `ports` concurrent sends per processor
+};
+
+/// Stateful per-run send scheduler.  Given that a message of `duration`
+/// time units becomes ready on `src` at `ready`, returns its arrival time
+/// at the destination and books the required sender capacity.
+class CommModel {
+ public:
+  virtual ~CommModel() = default;
+  virtual double deliver(ProcId src, double ready, double duration) = 0;
+  [[nodiscard]] virtual CommModelKind kind() const noexcept = 0;
+};
+
+struct CommModelOptions {
+  CommModelKind kind = CommModelKind::kContentionFree;
+  std::size_t ports = 2;  ///< only for kBoundedMultiPort
+};
+
+/// Fresh model instance for one simulation run over `proc_count` processors.
+[[nodiscard]] std::unique_ptr<CommModel> make_comm_model(
+    std::size_t proc_count, const CommModelOptions& options);
+
+}  // namespace ftsched

@@ -1,0 +1,69 @@
+// Discrete-event execution of a replicated schedule under fail-stop
+// processor crashes (the paper's §6 "crash" experiments).
+//
+// Semantics (documented in DESIGN.md):
+//  * each processor executes its replicas in scheduled order, data-driven:
+//    a replica starts once the processor is free and every incoming edge
+//    has delivered at least one message (first input wins, Prop. 4.2);
+//  * a replica on a processor that crashes before the replica's completion
+//    produces nothing; completed replicas' messages are always delivered;
+//  * a replica is *cancelled* (and skipped, unblocking its processor) when
+//    for some incoming edge every channel source is dead or cancelled —
+//    i.e. when it provably can never become ready;
+//  * the run succeeds when every exit task has a completed replica; the
+//    achieved latency is then max over exit tasks of the earliest completed
+//    replica finish time.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/sim/comm_model.hpp"
+
+namespace ftsched {
+
+enum class ReplicaStatus {
+  kNotStarted,  ///< never became ready before the simulation drained
+  kCompleted,
+  kDead,       ///< on a processor that crashed before completion
+  kCancelled,  ///< provably never-ready; skipped by its processor
+};
+
+struct ReplicaOutcome {
+  ReplicaStatus status = ReplicaStatus::kNotStarted;
+  double start = 0.0;   ///< actual start (valid unless kNotStarted/kCancelled)
+  double finish = 0.0;  ///< actual finish (valid when kCompleted)
+};
+
+struct SimulationResult {
+  bool success = false;
+  /// max over exit tasks of earliest completed replica finish;
+  /// +infinity when the run failed.
+  double latency = std::numeric_limits<double>::infinity();
+  std::size_t completed_replicas = 0;
+  std::size_t dead_replicas = 0;
+  std::size_t cancelled_replicas = 0;
+  std::size_t messages_delivered = 0;  ///< inter-processor messages only
+  /// Outcome per (task, replica), indexed like the schedule's replica lists.
+  std::vector<std::vector<ReplicaOutcome>> outcomes;
+
+  /// Actual completion time of task t (earliest completed replica), or
+  /// +infinity if no replica of t completed.
+  [[nodiscard]] double task_completion(TaskId t) const;
+};
+
+struct SimulationOptions {
+  CommModelOptions comm;
+};
+
+/// Executes `schedule` under `failures` and returns the outcome.
+/// The schedule is not modified; any number of crashes is allowed (with
+/// more than ε the run may legitimately fail).
+[[nodiscard]] SimulationResult simulate(const ReplicatedSchedule& schedule,
+                                        const FailureScenario& failures = {},
+                                        const SimulationOptions& options = {});
+
+}  // namespace ftsched

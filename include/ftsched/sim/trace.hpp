@@ -1,0 +1,37 @@
+// Human-readable schedule and execution traces (ASCII Gantt charts).
+#pragma once
+
+#include <string>
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/sim/event_sim.hpp"
+
+namespace ftsched {
+
+struct GanttOptions {
+  std::size_t width = 100;  ///< characters available for the time axis
+};
+
+/// Gantt chart of the planned (failure-free) schedule, one row per
+/// processor, replicas labelled with their task label.
+[[nodiscard]] std::string schedule_gantt(const ReplicatedSchedule& schedule,
+                                         const GanttOptions& options = {});
+
+/// Gantt chart of an actual execution: completed replicas only, plus a
+/// legend of dead/cancelled replicas.
+[[nodiscard]] std::string execution_gantt(const ReplicatedSchedule& schedule,
+                                          const SimulationResult& result,
+                                          const GanttOptions& options = {});
+
+/// One-line-per-replica textual dump of the schedule (debugging aid).
+[[nodiscard]] std::string schedule_listing(const ReplicatedSchedule& schedule);
+
+/// JSON export: schedule structure, bounds, message counts, and (when
+/// given) the per-replica outcomes of an execution.  Intended for external
+/// plotting/tooling; the text round-trip format lives in
+/// ftsched/core/schedule_io.hpp.
+[[nodiscard]] std::string schedule_to_json(
+    const ReplicatedSchedule& schedule,
+    const SimulationResult* execution = nullptr);
+
+}  // namespace ftsched

@@ -1,0 +1,36 @@
+// Exhaustive fault-tolerance validation (Theorem 4.1 / Prop. 4.2 / 4.3).
+//
+// For every subset of up to ε processors crashing at time 0, simulate the
+// schedule and check that it still succeeds and meets the guaranteed upper
+// bound M.  Exponential in ε (C(m, ε) scenarios) — meant for tests and for
+// certifying small deployments, not for the 20-processor sweeps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/sim/event_sim.hpp"
+
+namespace ftsched {
+
+struct ValidationReport {
+  bool valid = true;
+  std::size_t scenarios_checked = 0;
+  double worst_latency = 0.0;       ///< max achieved latency over scenarios
+  std::string failure_description;  ///< empty when valid
+};
+
+struct ValidatorOptions {
+  /// Also require achieved latency <= schedule.upper_bound() (Prop. 4.2).
+  bool check_upper_bound = true;
+  /// Relative tolerance for the bound comparison.
+  double tolerance = 1e-6;
+  SimulationOptions sim;
+};
+
+/// Checks every crash subset of size 0..epsilon (inclusive).
+[[nodiscard]] ValidationReport validate_fault_tolerance(
+    const ReplicatedSchedule& schedule, const ValidatorOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,34 @@
+// Terminal line charts for the figure benches.
+//
+// The paper's evaluation is a set of line plots (latency/overhead vs
+// granularity); besides the numeric tables and CSV blocks, the benches
+// render the same series as an ASCII chart so the figure shape is visible
+// directly in the terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftsched {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> y;  ///< one value per x position
+  char marker = '*';
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   ///< plot area width in characters
+  std::size_t height = 20;  ///< plot area height in characters
+  bool y_from_zero = true;  ///< include 0 in the y range
+};
+
+/// Renders `series` against the common x axis `xs` (must all have the same
+/// length).  Series are drawn in order; later series overwrite earlier
+/// markers on collisions.  Returns a multi-line string including axes,
+/// y-tick labels and a legend.
+[[nodiscard]] std::string render_chart(const std::vector<double>& xs,
+                                       const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,58 @@
+// Error handling primitives.
+//
+// Library invariant violations throw `ftsched::Error` (a std::runtime_error)
+// so callers can distinguish library failures from standard-library ones.
+// `FTSCHED_REQUIRE` guards public-API preconditions and is always on;
+// `FTSCHED_ASSERT` guards internal invariants and compiles out in NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftsched {
+
+/// Base exception for all ftsched errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input (graph, platform, parameters) is malformed.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a requested bi-criteria combination is infeasible.
+class Infeasible : public Error {
+ public:
+  explicit Infeasible(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace ftsched
+
+#define FTSCHED_REQUIRE(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::ftsched::detail::throw_require_failure(#cond, __FILE__, __LINE__, \
+                                               (msg));                   \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define FTSCHED_ASSERT(cond, msg) ((void)0)
+#else
+#define FTSCHED_ASSERT(cond, msg) FTSCHED_REQUIRE(cond, msg)
+#endif

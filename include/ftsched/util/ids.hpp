@@ -1,0 +1,65 @@
+// Strong integer identifier types.
+//
+// The scheduler juggles three id spaces (tasks, processors, replicas); using
+// a distinct wrapper per space turns accidental cross-space indexing into a
+// compile error while keeping the runtime representation a plain integer.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ftsched {
+
+/// A strongly-typed, trivially-copyable integer id.
+///
+/// `Tag` only disambiguates the type; it is never instantiated.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel for "no id"; also the default-constructed value.
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+  constexpr explicit Id(std::size_t v) noexcept
+      : value_(static_cast<underlying_type>(v)) {}
+  constexpr explicit Id(int v) noexcept
+      : value_(static_cast<underlying_type>(v)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  /// Convenience for indexing into std:: containers.
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct TaskTag;
+struct ProcTag;
+
+/// Identifies a task (node) of a task graph.
+using TaskId = Id<TaskTag>;
+/// Identifies a processor of a platform.
+using ProcId = Id<ProcTag>;
+
+}  // namespace ftsched
+
+template <typename Tag>
+struct std::hash<ftsched::Id<Tag>> {
+  std::size_t operator()(ftsched::Id<Tag> id) const noexcept {
+    return std::hash<typename ftsched::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,54 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsched {
+
+/// Numerically-stable streaming mean/variance (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `xs` (copied and sorted internally; `xs` may be empty).
+[[nodiscard]] Summary summarize(std::vector<double> xs);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0,1].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q) noexcept;
+
+}  // namespace ftsched

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used for the Table-1 running-time reproduction.
+#pragma once
+
+#include <chrono>
+
+namespace ftsched {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,66 @@
+// Classic application task graphs from the scheduling literature.
+//
+// These give the examples and property tests structurally diverse DAGs:
+// chains, fork-joins, trees, FFT butterflies, Gaussian elimination,
+// 2-D wavefront stencils, and random series-parallel graphs.
+#pragma once
+
+#include <cstddef>
+
+#include "ftsched/dag/graph.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+/// Uniform message volume assigned to every edge of the classic generators.
+struct ClassicParams {
+  double volume = 100.0;
+};
+
+/// t0 -> t1 -> ... -> t(n-1).
+[[nodiscard]] TaskGraph make_chain(std::size_t length,
+                                   const ClassicParams& params = {});
+
+/// One source fanning out to `width` parallel tasks joined by one sink.
+[[nodiscard]] TaskGraph make_fork_join(std::size_t width,
+                                       const ClassicParams& params = {});
+
+/// Complete binary in-tree (reduction) with `leaves` leaves (power of two).
+[[nodiscard]] TaskGraph make_in_tree(std::size_t leaves,
+                                     const ClassicParams& params = {});
+
+/// Complete binary out-tree (broadcast) with `leaves` leaves (power of two).
+[[nodiscard]] TaskGraph make_out_tree(std::size_t leaves,
+                                      const ClassicParams& params = {});
+
+/// FFT butterfly graph over `points` inputs (power of two):
+/// log2(points)+1 ranks of `points` tasks each, butterfly wiring.
+[[nodiscard]] TaskGraph make_fft(std::size_t points,
+                                 const ClassicParams& params = {});
+
+/// Gaussian-elimination task graph for an n×n matrix: pivot column tasks
+/// plus update tasks, the standard wavefront of dependences.
+[[nodiscard]] TaskGraph make_gaussian_elimination(
+    std::size_t n, const ClassicParams& params = {});
+
+/// 2-D wavefront (stencil) over a rows×cols grid: each cell depends on its
+/// north and west neighbors.
+[[nodiscard]] TaskGraph make_wavefront(std::size_t rows, std::size_t cols,
+                                       const ClassicParams& params = {});
+
+/// Random series-parallel DAG built by recursive series/parallel expansion
+/// of a single edge until it has ~`task_count` tasks.
+[[nodiscard]] TaskGraph make_series_parallel(Rng& rng, std::size_t task_count,
+                                             const ClassicParams& params = {});
+
+/// Tiled Cholesky factorization DAG over a b×b tile matrix: POTRF / TRSM /
+/// SYRK / GEMM tasks with the standard dependence pattern.
+[[nodiscard]] TaskGraph make_cholesky(std::size_t tiles,
+                                      const ClassicParams& params = {});
+
+/// Tiled LU factorization (no pivoting) DAG over a b×b tile matrix:
+/// GETRF / TRSM (row+column) / GEMM updates.
+[[nodiscard]] TaskGraph make_lu(std::size_t tiles,
+                                const ClassicParams& params = {});
+
+}  // namespace ftsched

@@ -1,0 +1,18 @@
+// Granularity targeting (paper §2, §6).
+//
+// The experiments sweep the granularity g(G,P) from 0.2 (fine grain) to 2.0
+// (coarse grain).  Because g is a ratio of total computation to total
+// communication, multiplying every execution time by a constant rescales g
+// exactly; `set_granularity` exploits this to hit the target precisely.
+#pragma once
+
+#include "ftsched/platform/cost_model.hpp"
+
+namespace ftsched {
+
+/// Rescales the cost model's execution times so granularity() == target.
+/// Throws InvalidArgument when the graph has no communication (granularity
+/// would be infinite regardless of scaling).
+void set_granularity(CostModel& costs, double target);
+
+}  // namespace ftsched

@@ -1,0 +1,66 @@
+// Factory for the paper's exact experimental workload (§6).
+//
+// One call produces a (graph, platform, cost model) triple drawn with the
+// published parameters: v ~ U[100, 150] tasks, message volumes ~ U[50, 150],
+// unit link delays ~ U[0.5, 1], m processors, execution costs rescaled to a
+// target granularity.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "ftsched/platform/cost_model.hpp"
+#include "ftsched/platform/generator.hpp"
+#include "ftsched/workload/random_dag.hpp"
+
+namespace ftsched {
+
+struct PaperWorkloadParams {
+  std::size_t task_min = 100;   ///< paper: v ~ U[100, 150]
+  std::size_t task_max = 150;
+  /// Average tasks per layer of the generated DAG; 0 = auto (v/15, min 8),
+  /// which keeps the paper's shape at v ~ 125 and lets the graph width —
+  /// and with it FTBAR's free-list — grow with v for the Table-1 sizes.
+  std::size_t avg_layer_width = 0;
+  std::size_t proc_count = 20;  ///< paper: 20 (5 for Figure 4)
+  double granularity = 1.0;     ///< paper sweep: 0.2 .. 2.0
+  double volume_min = 50.0;     ///< paper: U[50, 150]
+  double volume_max = 150.0;
+  double delay_min = 0.5;       ///< paper: U[0.5, 1]
+  double delay_max = 1.0;
+  ExecCostParams exec;          ///< heterogeneity of E(t, P)
+};
+
+/// A self-owning workload instance: the cost model keeps references into
+/// `graph` and `platform`, so the three are bundled and non-copyable.
+class Workload {
+ public:
+  Workload(TaskGraph graph, Platform platform,
+           std::vector<std::vector<double>> exec);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return *platform_;
+  }
+  [[nodiscard]] const CostModel& costs() const noexcept { return *costs_; }
+  [[nodiscard]] CostModel& costs() noexcept { return *costs_; }
+
+ private:
+  std::unique_ptr<TaskGraph> graph_;
+  std::unique_ptr<Platform> platform_;
+  std::unique_ptr<CostModel> costs_;
+};
+
+/// Draws one paper-style workload; granularity is hit exactly.
+[[nodiscard]] std::unique_ptr<Workload> make_paper_workload(
+    Rng& rng, const PaperWorkloadParams& params);
+
+/// Wraps an existing graph with a random paper-style platform/cost model
+/// (used by examples running classic application graphs).
+[[nodiscard]] std::unique_ptr<Workload> make_workload_for_graph(
+    Rng& rng, TaskGraph graph, const PaperWorkloadParams& params);
+
+}  // namespace ftsched

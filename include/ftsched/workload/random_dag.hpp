@@ -1,0 +1,52 @@
+// Random task graph generators.
+//
+// The paper evaluates on "randomly generated graphs, whose parameters are
+// consistent with those used in the literature": 100–150 tasks, message
+// volumes ~ U[50, 150].  The layered generator below is the standard
+// construction from that literature (Dogan & Ozguner; Qin & Jiang): tasks
+// are arranged in layers, and each task draws predecessors from nearby
+// earlier layers.  An Erdős–Rényi-style DAG generator is also provided.
+#pragma once
+
+#include <cstddef>
+
+#include "ftsched/dag/graph.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+struct LayeredDagParams {
+  std::size_t task_count = 120;
+  /// Average number of tasks per layer; the actual layer sizes are drawn
+  /// uniformly from [1, 2*avg_layer_width - 1].
+  std::size_t avg_layer_width = 8;
+  /// Probability of an edge between a task and each candidate predecessor
+  /// in the previous `max_layer_jump` layers.
+  double edge_probability = 0.25;
+  /// How far back (in layers) an edge may reach.
+  std::size_t max_layer_jump = 2;
+  /// Message volumes ~ U[volume_min, volume_max] (paper: [50, 150]).
+  double volume_min = 50.0;
+  double volume_max = 150.0;
+  /// Guarantee that every non-layer-0 task has at least one predecessor and
+  /// every non-final task at least one successor (keeps the DAG connected).
+  bool connect = true;
+};
+
+/// Layered random DAG. Deterministic given `rng`'s state.
+[[nodiscard]] TaskGraph make_layered_dag(Rng& rng,
+                                         const LayeredDagParams& params);
+
+struct GnpDagParams {
+  std::size_t task_count = 100;
+  /// Each pair (i, j) with i < j (in a random topological permutation)
+  /// becomes an edge with this probability.
+  double edge_probability = 0.05;
+  double volume_min = 50.0;
+  double volume_max = 150.0;
+};
+
+/// Erdős–Rényi DAG over a random permutation of the tasks.
+[[nodiscard]] TaskGraph make_gnp_dag(Rng& rng, const GnpDagParams& params);
+
+}  // namespace ftsched

@@ -1,0 +1,143 @@
+#include "ftsched/core/bicriteria.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftsched/util/error.hpp"
+#include "engine_detail.hpp"
+
+namespace ftsched {
+
+namespace {
+
+double bound_of(const ReplicatedSchedule& schedule, LatencyBound bound) {
+  return bound == LatencyBound::kLower ? schedule.lower_bound()
+                                       : schedule.upper_bound();
+}
+
+}  // namespace
+
+std::optional<MaxFailuresResult> max_supported_failures(
+    const CostModel& costs, double latency, LatencyBound bound,
+    const FtsaOptions& base, bool binary_search) {
+  FTSCHED_REQUIRE(latency > 0.0, "latency target must be positive");
+  const std::size_t max_epsilon = costs.platform().proc_count() - 1;
+  std::size_t computed = 0;
+
+  auto try_epsilon =
+      [&](std::size_t eps) -> std::optional<ReplicatedSchedule> {
+    FtsaOptions options = base;
+    options.epsilon = eps;
+    ++computed;
+    ReplicatedSchedule s = ftsa_schedule(costs, options);
+    if (bound_of(s, bound) <= latency) return s;
+    return std::nullopt;
+  };
+
+  auto zero = try_epsilon(0);
+  if (!zero.has_value()) return std::nullopt;
+
+  MaxFailuresResult result;
+  result.epsilon = 0;
+  result.lower_bound = zero->lower_bound();
+  result.upper_bound = zero->upper_bound();
+
+  if (binary_search) {
+    // Invariant: lo feasible, hi+1 infeasible (or hi == max_epsilon).
+    std::size_t lo = 0;
+    std::size_t hi = max_epsilon;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (auto s = try_epsilon(mid)) {
+        lo = mid;
+        result.epsilon = mid;
+        result.lower_bound = s->lower_bound();
+        result.upper_bound = s->upper_bound();
+      } else {
+        hi = mid - 1;
+      }
+    }
+  } else {
+    for (std::size_t eps = 1; eps <= max_epsilon; ++eps) {
+      auto s = try_epsilon(eps);
+      if (!s.has_value()) break;
+      result.epsilon = eps;
+      result.lower_bound = s->lower_bound();
+      result.upper_bound = s->upper_bound();
+    }
+  }
+  result.schedules_computed = computed;
+  return result;
+}
+
+std::vector<double> task_deadlines(const CostModel& costs, double latency,
+                                   std::size_t epsilon) {
+  const TaskGraph& g = costs.graph();
+  const Platform& platform = costs.platform();
+  const std::size_t n = epsilon + 1;
+  FTSCHED_REQUIRE(n <= platform.proc_count(),
+                  "epsilon+1 exceeds the number of processors");
+
+  // Average delay over the ε+1 fastest links of the system.
+  auto delays = platform.off_diagonal_delays();
+  double fast_delay = 0.0;
+  if (!delays.empty()) {
+    const std::size_t k = std::min(n, delays.size());
+    std::partial_sort(delays.begin(),
+                      delays.begin() + static_cast<std::ptrdiff_t>(k),
+                      delays.end());
+    for (std::size_t i = 0; i < k; ++i) fast_delay += delays[i];
+    fast_delay /= static_cast<double>(k);
+  }
+
+  // Average execution time on each task's ε+1 fastest processors.
+  std::vector<double> fast_exec(g.task_count());
+  std::vector<double> row(platform.proc_count());
+  for (TaskId t : g.tasks()) {
+    for (std::size_t j = 0; j < platform.proc_count(); ++j) {
+      row[j] = costs.exec(t, ProcId{j});
+    }
+    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(n),
+                      row.end());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += row[i];
+    fast_exec[t.index()] = sum / static_cast<double>(n);
+  }
+
+  std::vector<double> deadline(g.task_count(),
+                               std::numeric_limits<double>::infinity());
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    if (g.out_degree(t) == 0) {
+      deadline[t.index()] = latency;
+      continue;
+    }
+    for (std::size_t e : g.out_edges(t)) {
+      const Edge& edge = g.edge(e);
+      const double w = edge.volume * fast_delay;
+      deadline[t.index()] =
+          std::min(deadline[t.index()],
+                   deadline[edge.dst.index()] - fast_exec[edge.dst.index()] - w);
+    }
+  }
+  return deadline;
+}
+
+std::optional<ReplicatedSchedule> ftsa_schedule_with_deadline(
+    const CostModel& costs, double latency, const FtsaOptions& options) {
+  const auto deadlines = task_deadlines(costs, latency, options.epsilon);
+  detail::EngineOptions engine_options;
+  engine_options.epsilon = options.epsilon;
+  engine_options.seed = options.seed;
+  engine_options.policy = detail::ChannelPolicy::kAllPairs;
+  engine_options.deadlines = &deadlines;
+  engine_options.algorithm_name = "FTSA+deadline";
+  try {
+    return detail::run_list_engine(costs, engine_options);
+  } catch (const Infeasible&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ftsched

@@ -1,0 +1,63 @@
+// Internal: the list-scheduling engine shared by FTSA and MC-FTSA.
+//
+// Both algorithms run the same outer loop (Algorithm 4.1): pick the most
+// critical free task, evaluate eq. (1) on every processor, keep the ε+1
+// processors with minimal finish time, place the replicas, release free
+// successors.  They differ only in how predecessor→task channels are
+// realized, which is captured by ChannelPolicy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ftsched/core/comm_awareness.hpp"
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/cost_model.hpp"
+#include "ftsched/util/ids.hpp"
+
+namespace ftsched::detail {
+
+enum class ChannelPolicy {
+  kAllPairs,               // FTSA: every replica pair (intra-proc shortcut)
+  kMcGreedy,               // MC-FTSA, greedy edge selection (§4.2)
+  kMcBinarySearchMatching  // MC-FTSA, binary search + Hopcroft–Karp (§4.2)
+};
+
+/// Free-task priority used by the list loop (ablation of §4.1's
+/// criticalness definition; the paper uses kCriticalness).
+enum class PriorityMode {
+  kCriticalness,  // tℓ(t) + bℓ(t), the paper's definition
+  kBottomLevel,   // bℓ(t) only (static priority)
+  kRandom,        // uniformly random (control)
+};
+
+struct EngineOptions {
+  std::size_t epsilon = 1;
+  std::uint64_t seed = 0;  // tie-break randomization in α
+  ChannelPolicy policy = ChannelPolicy::kAllPairs;
+  /// MC policies only: enforce *end-to-end* ε-fault-tolerance.  The paper's
+  /// Prop. 4.3 is a per-edge guarantee; with several predecessors, one
+  /// processor may be the selected source of two different replicas via two
+  /// different edges, so a single crash can starve every replica of a task
+  /// (our exhaustive validator finds such cases).  When true, the engine
+  /// tracks per-replica kill sets and locally reverts a vulnerable task's
+  /// channels to all-pairs, restoring Theorem 4.1.
+  bool repair_vulnerable = true;
+  PriorityMode priority = PriorityMode::kCriticalness;
+  /// Send-port awareness of arrival estimates (0 = contention-free).
+  CommAwareness comm;
+  /// When set, enforce the §4.3 both-criteria test: scheduling throws
+  /// Infeasible as soon as max_{P ∈ P^(ε+1)} F(t,P) > deadline[t].
+  const std::vector<double>* deadlines = nullptr;
+  const char* algorithm_name = "FTSA";
+};
+
+/// Runs the engine to completion and returns the schedule.
+/// Throws InvalidArgument on bad inputs and Infeasible when a deadline
+/// cannot be met (only when options.deadlines is set).
+[[nodiscard]] ReplicatedSchedule run_list_engine(const CostModel& costs,
+                                                 const EngineOptions& options);
+
+}  // namespace ftsched::detail

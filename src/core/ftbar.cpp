@@ -1,0 +1,261 @@
+#include "ftsched/core/ftbar.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "ftsched/core/priorities.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class FtbarEngine {
+ public:
+  FtbarEngine(const CostModel& costs, const FtbarOptions& options)
+      : costs_(costs),
+        g_(costs.graph()),
+        platform_(costs.platform()),
+        options_(options),
+        m_(platform_.proc_count()),
+        n_rep_(options.npf + 1),
+        rng_(options.seed) {
+    FTSCHED_REQUIRE(n_rep_ <= m_, "Npf+1 exceeds the number of processors");
+  }
+
+  ReplicatedSchedule run() {
+    bl_ = bottom_levels(costs_);
+    replicas_.assign(g_.task_count(), {});
+    ready_.assign(m_, 0.0);
+    ready_pess_.assign(m_, 0.0);
+    pending_.assign(g_.task_count(), 0);
+    for (TaskId t : g_.tasks()) pending_[t.index()] = g_.in_degree(t);
+    free_ = g_.entry_tasks();
+    schedule_length_ = 0.0;  // R(0)
+
+    while (!free_.empty()) {
+      const auto [slot, procs] = select_most_urgent();
+      const TaskId t = free_[slot];
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(slot));
+      place(t, procs);
+      for (std::size_t e : g_.out_edges(t)) {
+        const TaskId s = g_.edge(e).dst;
+        if (--pending_[s.index()] == 0) free_.push_back(s);
+      }
+    }
+    return build_schedule();
+  }
+
+ private:
+  /// min over replicas of predecessor `src` of (finish + comm to pj).
+  double edge_arrival(const Edge& edge, ProcId pj) const {
+    double best = kInf;
+    for (const Replica& r : replicas_[edge.src.index()]) {
+      best = std::min(best,
+                      r.finish + edge.volume * platform_.delay(r.proc, pj));
+    }
+    return best;
+  }
+
+  /// Earliest start S(t, pj) given the current partial schedule.
+  double earliest_start(TaskId t, ProcId pj) const {
+    double arrival = 0.0;
+    for (std::size_t e : g_.in_edges(t)) {
+      arrival = std::max(arrival, edge_arrival(g_.edge(e), pj));
+    }
+    return std::max(arrival, ready_[pj.index()]);
+  }
+
+  /// Evaluates schedule pressure for every free task; returns the index of
+  /// the most urgent one and its Npf+1 minimum-pressure processors.
+  std::pair<std::size_t, std::vector<ProcId>> select_most_urgent() {
+    std::size_t best_slot = 0;
+    std::vector<ProcId> best_procs;
+    double best_urgency = -kInf;
+    std::uint64_t best_tie = 0;
+    for (std::size_t slot = 0; slot < free_.size(); ++slot) {
+      const TaskId t = free_[slot];
+      // σ(t, pj) = S(t, pj) + s(t) − R; the task-constant terms do not
+      // change the per-task argmin but do enter the urgency comparison.
+      std::vector<double> sigma(m_);
+      for (std::size_t j = 0; j < m_; ++j) {
+        sigma[j] = earliest_start(t, ProcId{j}) + bl_[t.index()] -
+                   schedule_length_;
+      }
+      std::vector<std::size_t> idx(m_);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&sigma](std::size_t a, std::size_t b) {
+                         return sigma[a] < sigma[b];
+                       });
+      // Urgency of t: the maximum pressure within its kept set.
+      double urgency = -kInf;
+      std::vector<ProcId> procs;
+      procs.reserve(n_rep_);
+      for (std::size_t i = 0; i < n_rep_; ++i) {
+        procs.emplace_back(idx[i]);
+        urgency = std::max(urgency, sigma[idx[i]]);
+      }
+      const std::uint64_t tie = rng_();
+      if (urgency > best_urgency ||
+          (urgency == best_urgency && tie > best_tie)) {
+        best_urgency = urgency;
+        best_tie = tie;
+        best_slot = slot;
+        best_procs = std::move(procs);
+      }
+    }
+    return {best_slot, std::move(best_procs)};
+  }
+
+  /// One-level Minimize-Start-Time: duplicate the predecessor whose message
+  /// dominates t's start on `pj` when that strictly lowers the start.
+  void try_minimize_start_time(TaskId t, ProcId pj) {
+    const auto in_edges = g_.in_edges(t);
+    if (in_edges.empty()) return;
+    // Find the dominating (critical) predecessor message.
+    double worst = -kInf;
+    std::size_t critical_edge = g_.edge_count();
+    for (std::size_t e : in_edges) {
+      const double a = edge_arrival(g_.edge(e), pj);
+      if (a > worst) {
+        worst = a;
+        critical_edge = e;
+      }
+    }
+    if (worst <= ready_[pj.index()]) return;  // processor-bound, not message-bound
+    const Edge& edge = g_.edge(critical_edge);
+    const TaskId tc = edge.src;
+    for (const Replica& r : replicas_[tc.index()]) {
+      if (r.proc == pj) return;  // already local; nothing to gain
+    }
+    // Hypothetical duplicate of tc on pj.
+    double dup_arrival = 0.0;
+    for (std::size_t e : g_.in_edges(tc)) {
+      dup_arrival = std::max(dup_arrival, edge_arrival(g_.edge(e), pj));
+    }
+    const double dup_start = std::max(dup_arrival, ready_[pj.index()]);
+    const double dup_finish = dup_start + costs_.exec(tc, pj);
+    // Start of t with the duplicate in place.
+    double other = dup_finish;  // critical edge now arrives locally
+    for (std::size_t e : in_edges) {
+      if (e == critical_edge) continue;
+      other = std::max(other, edge_arrival(g_.edge(e), pj));
+    }
+    const double new_start = std::max(other, dup_finish);
+    const double old_start = std::max(worst, ready_[pj.index()]);
+    if (new_start + 1e-12 >= old_start) return;  // no strict improvement
+
+    Replica dup;
+    dup.proc = pj;
+    dup.start = dup_start;
+    dup.finish = dup_finish;
+    double pess_arrival = 0.0;
+    for (std::size_t e : g_.in_edges(tc)) {
+      pess_arrival = std::max(pess_arrival, pess_edge_arrival(g_.edge(e), pj));
+    }
+    dup.pess_start = std::max(pess_arrival, ready_pess_[pj.index()]);
+    dup.pess_finish = dup.pess_start + costs_.exec(tc, pj);
+    ready_[pj.index()] = dup.finish;
+    ready_pess_[pj.index()] = dup.pess_finish;
+    replicas_[tc.index()].push_back(dup);
+  }
+
+  /// Worst-case arrival (eq.-(3) style): max over predecessor replicas,
+  /// with the intra-processor shortcut.
+  double pess_edge_arrival(const Edge& edge, ProcId pj) const {
+    const auto& reps = replicas_[edge.src.index()];
+    for (const Replica& r : reps) {
+      if (r.proc == pj) return r.pess_finish;
+    }
+    double worst = 0.0;
+    for (const Replica& r : reps) {
+      worst = std::max(worst,
+                       r.pess_finish + edge.volume * platform_.delay(r.proc, pj));
+    }
+    return worst;
+  }
+
+  void place(TaskId t, const std::vector<ProcId>& procs) {
+    for (ProcId pj : procs) {
+      if (options_.use_minimize_start_time) try_minimize_start_time(t, pj);
+      Replica r;
+      r.proc = pj;
+      r.start = earliest_start(t, pj);
+      r.finish = r.start + costs_.exec(t, pj);
+      double pess_arrival = 0.0;
+      for (std::size_t e : g_.in_edges(t)) {
+        pess_arrival = std::max(pess_arrival, pess_edge_arrival(g_.edge(e), pj));
+      }
+      r.pess_start = std::max(pess_arrival, ready_pess_[pj.index()]);
+      r.pess_finish = r.pess_start + costs_.exec(t, pj);
+      ready_[pj.index()] = r.finish;
+      ready_pess_[pj.index()] = r.pess_finish;
+      schedule_length_ = std::max(schedule_length_, r.finish);
+      replicas_[t.index()].push_back(r);
+    }
+  }
+
+  ReplicatedSchedule build_schedule() {
+    ReplicatedSchedule schedule(costs_, options_.npf, "FTBAR");
+    for (TaskId t : g_.tasks()) {
+      schedule.place_task(t, replicas_[t.index()]);
+    }
+    // All-pairs channels with the intra-processor shortcut, over the final
+    // replica sets (duplication included).
+    for (std::size_t e = 0; e < g_.edge_count(); ++e) {
+      const Edge& edge = g_.edge(e);
+      const auto& src_reps = replicas_[edge.src.index()];
+      const auto& dst_reps = replicas_[edge.dst.index()];
+      std::vector<Channel> channels;
+      for (std::size_t dk = 0; dk < dst_reps.size(); ++dk) {
+        std::size_t local = src_reps.size();
+        for (std::size_t sk = 0; sk < src_reps.size(); ++sk) {
+          if (src_reps[sk].proc == dst_reps[dk].proc) {
+            local = sk;
+            break;
+          }
+        }
+        if (local < src_reps.size()) {
+          channels.push_back(Channel{local, dk});
+        } else {
+          for (std::size_t sk = 0; sk < src_reps.size(); ++sk) {
+            channels.push_back(Channel{sk, dk});
+          }
+        }
+      }
+      schedule.set_channels(e, std::move(channels));
+    }
+    return schedule;
+  }
+
+  const CostModel& costs_;
+  const TaskGraph& g_;
+  const Platform& platform_;
+  FtbarOptions options_;
+  std::size_t m_;
+  std::size_t n_rep_;
+  Rng rng_;
+  std::vector<double> bl_;
+  std::vector<std::vector<Replica>> replicas_;
+  std::vector<double> ready_;
+  std::vector<double> ready_pess_;
+  std::vector<std::size_t> pending_;
+  std::vector<TaskId> free_;
+  double schedule_length_ = 0.0;
+};
+
+}  // namespace
+
+ReplicatedSchedule ftbar_schedule(const CostModel& costs,
+                                  const FtbarOptions& options) {
+  FtbarEngine engine(costs, options);
+  return engine.run();
+}
+
+}  // namespace ftsched

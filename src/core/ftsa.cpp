@@ -1,0 +1,29 @@
+#include "ftsched/core/ftsa.hpp"
+
+#include "engine_detail.hpp"
+
+namespace ftsched {
+
+ReplicatedSchedule ftsa_schedule(const CostModel& costs,
+                                 const FtsaOptions& options) {
+  detail::EngineOptions engine_options;
+  engine_options.epsilon = options.epsilon;
+  engine_options.seed = options.seed;
+  engine_options.policy = detail::ChannelPolicy::kAllPairs;
+  switch (options.priority) {
+    case FtsaPriority::kCriticalness:
+      engine_options.priority = detail::PriorityMode::kCriticalness;
+      break;
+    case FtsaPriority::kBottomLevel:
+      engine_options.priority = detail::PriorityMode::kBottomLevel;
+      break;
+    case FtsaPriority::kRandom:
+      engine_options.priority = detail::PriorityMode::kRandom;
+      break;
+  }
+  engine_options.comm = options.comm;
+  engine_options.algorithm_name = "FTSA";
+  return detail::run_list_engine(costs, engine_options);
+}
+
+}  // namespace ftsched

@@ -1,0 +1,89 @@
+#include "ftsched/core/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : adj_(left_count), right_count_(right_count) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  FTSCHED_REQUIRE(left < adj_.size(), "left index out of range");
+  FTSCHED_REQUIRE(right < right_count_, "right index out of range");
+  adj_[left].push_back(right);
+}
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+struct HkState {
+  const BipartiteGraph& g;
+  std::vector<std::size_t>& pair_left;
+  std::vector<std::size_t>& pair_right;
+  std::vector<std::size_t> dist;
+
+  // BFS layering over free left nodes; returns true if an augmenting path
+  // exists.
+  bool bfs() {
+    std::queue<std::size_t> q;
+    dist.assign(g.left_count(), kInf);
+    for (std::size_t l = 0; l < g.left_count(); ++l) {
+      if (pair_left[l] == Matching::kUnmatched) {
+        dist[l] = 0;
+        q.push(l);
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : g.neighbors(l)) {
+        const std::size_t next = pair_right[r];
+        if (next == Matching::kUnmatched) {
+          found = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found;
+  }
+
+  bool dfs(std::size_t l) {
+    for (std::size_t r : g.neighbors(l)) {
+      const std::size_t next = pair_right[r];
+      if (next == Matching::kUnmatched ||
+          (dist[next] == dist[l] + 1 && dfs(next))) {
+        pair_left[l] = r;
+        pair_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  Matching m;
+  m.pair_of_left.assign(g.left_count(), Matching::kUnmatched);
+  m.pair_of_right.assign(g.right_count(), Matching::kUnmatched);
+  HkState state{g, m.pair_of_left, m.pair_of_right, {}};
+  while (state.bfs()) {
+    for (std::size_t l = 0; l < g.left_count(); ++l) {
+      if (m.pair_of_left[l] == Matching::kUnmatched && state.dfs(l)) {
+        ++m.size;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace ftsched

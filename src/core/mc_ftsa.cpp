@@ -1,0 +1,21 @@
+#include "ftsched/core/mc_ftsa.hpp"
+
+#include "engine_detail.hpp"
+
+namespace ftsched {
+
+ReplicatedSchedule mc_ftsa_schedule(const CostModel& costs,
+                                    const McFtsaOptions& options) {
+  detail::EngineOptions engine_options;
+  engine_options.epsilon = options.epsilon;
+  engine_options.seed = options.seed;
+  engine_options.policy = options.selector == McSelector::kGreedy
+                              ? detail::ChannelPolicy::kMcGreedy
+                              : detail::ChannelPolicy::kMcBinarySearchMatching;
+  engine_options.repair_vulnerable = options.enforce_fault_tolerance;
+  engine_options.comm = options.comm;
+  engine_options.algorithm_name = "MC-FTSA";
+  return detail::run_list_engine(costs, engine_options);
+}
+
+}  // namespace ftsched

@@ -1,0 +1,36 @@
+#include "ftsched/core/priorities.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+std::vector<double> bottom_levels(const CostModel& costs) {
+  const TaskGraph& g = costs.graph();
+  std::vector<double> bl(g.task_count(), 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best = 0.0;
+    for (std::size_t e : g.out_edges(t)) {
+      const TaskId s = g.edge(e).dst;
+      best = std::max(best, costs.avg_comm(e) + bl[s.index()]);
+    }
+    bl[t.index()] = costs.avg_exec(t) + best;
+  }
+  return bl;
+}
+
+std::vector<double> static_top_levels(const CostModel& costs) {
+  const TaskGraph& g = costs.graph();
+  std::vector<double> tl(g.task_count(), 0.0);
+  for (TaskId t : g.topological_order()) {
+    for (std::size_t e : g.out_edges(t)) {
+      const TaskId s = g.edge(e).dst;
+      tl[s.index()] = std::max(
+          tl[s.index()], tl[t.index()] + costs.avg_exec(t) + costs.avg_comm(e));
+    }
+  }
+  return tl;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,175 @@
+#include "ftsched/core/robustness.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Dynamic bitset over processors (mirrors the engine's internal KillSet;
+/// kept separate so the public analysis has no dependency on engine
+/// internals).
+class Bits {
+ public:
+  explicit Bits(std::size_t bit_count) : words_((bit_count + 63) / 64, 0) {}
+
+  void set(std::size_t i) noexcept {
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void or_with(const Bits& other) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
+  }
+  void and_with(const Bits& other) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= other.words_[w];
+    }
+  }
+  [[nodiscard]] bool intersects(const Bits& other) const noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w) return false;
+    }
+    return true;
+  }
+  /// Index of the lowest set bit; undefined when empty().
+  [[nodiscard]] std::size_t first() const noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w]) {
+        return w * 64 +
+               static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace
+
+std::string RobustnessReport::summary() const {
+  std::ostringstream os;
+  switch (verdict) {
+    case RobustnessVerdict::kCertifiedRobust:
+      os << "certified robust: no <= epsilon crash set kills any task";
+      break;
+    case RobustnessVerdict::kSingleCrashFatal:
+      os << "NOT fault tolerant: " << fatal_tasks.size()
+         << " task(s) killable by a single crash (e.g. P"
+         << fatal_processors.front().value() << " kills task "
+         << fatal_tasks.front().value() << ")";
+      break;
+    case RobustnessVerdict::kInconclusive:
+      os << "inconclusive: no single fatal processor, but "
+         << overlapping_tasks.size()
+         << " task(s) have overlapping replica kill sets";
+      break;
+  }
+  return os.str();
+}
+
+RobustnessReport analyze_robustness(const ReplicatedSchedule& schedule) {
+  const TaskGraph& g = schedule.graph();
+  const std::size_t m = schedule.platform().proc_count();
+  const std::size_t epsilon = schedule.epsilon();
+
+  // kill[task][replica]: processors whose lone crash starves the replica.
+  std::vector<std::vector<Bits>> kill(g.task_count());
+  // certificate_ok stays true while every multi-channel (replica, edge)
+  // pair has >= ε+1 sources with pairwise-disjoint kill sets.
+  bool certificate_ok = true;
+
+  RobustnessReport report;
+  std::vector<char> overlap_flag(g.task_count(), 0);
+
+  for (TaskId t : g.topological_order()) {
+    const auto& reps = schedule.replicas(t);
+    FTSCHED_REQUIRE(!reps.empty(), "schedule incomplete: task unplaced");
+    kill[t.index()].assign(reps.size(), Bits(m));
+    for (std::size_t k = 0; k < reps.size(); ++k) {
+      kill[t.index()][k].set(reps[k].proc.index());
+    }
+    // Accumulate per (replica, in-edge) channel sources.
+    for (std::size_t e : g.in_edges(t)) {
+      const TaskId src_task = g.edge(e).src;
+      std::vector<std::vector<std::size_t>> sources(reps.size());
+      for (const Channel& c : schedule.channels(e)) {
+        sources[c.dst_replica].push_back(c.src_replica);
+      }
+      for (std::size_t k = 0; k < reps.size(); ++k) {
+        FTSCHED_REQUIRE(!sources[k].empty(),
+                        "replica lacks an inbound channel for an edge");
+        // Single crash starves the edge iff it starves *every* source.
+        Bits edge_kill = kill[src_task.index()][sources[k][0]];
+        for (std::size_t i = 1; i < sources[k].size(); ++i) {
+          edge_kill.and_with(kill[src_task.index()][sources[k][i]]);
+        }
+        kill[t.index()][k].or_with(edge_kill);
+        if (sources[k].size() > 1) {
+          // Certificate condition for multi-channel pairs: enough sources,
+          // pairwise-disjoint kill sets (=> no <= ε coalition starves it).
+          if (sources[k].size() < epsilon + 1) {
+            certificate_ok = false;
+          } else {
+            for (std::size_t a = 0;
+                 a < sources[k].size() && certificate_ok; ++a) {
+              for (std::size_t b = a + 1; b < sources[k].size(); ++b) {
+                if (kill[src_task.index()][sources[k][a]].intersects(
+                        kill[src_task.index()][sources[k][b]])) {
+                  certificate_ok = false;
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    // Single-crash fatality: some processor in every replica's kill set.
+    Bits fatal = kill[t.index()][0];
+    for (std::size_t k = 1; k < reps.size(); ++k) {
+      fatal.and_with(kill[t.index()][k]);
+    }
+    if (!fatal.empty() && epsilon >= 1) {
+      report.fatal_processors.emplace_back(fatal.first());
+      report.fatal_tasks.push_back(t);
+    }
+    // Pairwise overlap: the ε >= 2 coalition criterion.
+    for (std::size_t a = 0; a < reps.size() && !overlap_flag[t.index()];
+         ++a) {
+      for (std::size_t b = a + 1; b < reps.size(); ++b) {
+        if (kill[t.index()][a].intersects(kill[t.index()][b])) {
+          overlap_flag[t.index()] = 1;
+          break;
+        }
+      }
+    }
+    if (overlap_flag[t.index()]) report.overlapping_tasks.push_back(t);
+  }
+
+  if (!report.fatal_processors.empty()) {
+    report.verdict = RobustnessVerdict::kSingleCrashFatal;
+  } else if (report.overlapping_tasks.empty() && certificate_ok) {
+    report.verdict = RobustnessVerdict::kCertifiedRobust;
+  } else if (epsilon <= 1) {
+    // With ε <= 1 the single-crash analysis is complete: no fatal
+    // processor means the schedule survives any single crash.
+    report.verdict = RobustnessVerdict::kCertifiedRobust;
+  } else {
+    report.verdict = RobustnessVerdict::kInconclusive;
+  }
+  return report;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,166 @@
+#include "ftsched/core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+// Relative tolerance for floating-point schedule comparisons.
+constexpr double kTol = 1e-9;
+
+bool leq(double a, double b) { return a <= b + kTol * (1.0 + std::abs(b)); }
+}  // namespace
+
+ReplicatedSchedule::ReplicatedSchedule(const CostModel& costs,
+                                       std::size_t epsilon,
+                                       std::string algorithm)
+    : costs_(&costs),
+      epsilon_(epsilon),
+      algorithm_(std::move(algorithm)),
+      replicas_(costs.graph().task_count()),
+      channels_(costs.graph().edge_count()),
+      timeline_(costs.platform().proc_count()) {
+  FTSCHED_REQUIRE(epsilon + 1 <= costs.platform().proc_count(),
+                  "need at least epsilon+1 processors");
+}
+
+void ReplicatedSchedule::place_task(TaskId t, std::vector<Replica> replicas) {
+  FTSCHED_REQUIRE(t.index() < replicas_.size(), "unknown task");
+  FTSCHED_REQUIRE(replicas_[t.index()].empty(), "task already placed");
+  FTSCHED_REQUIRE(replicas.size() >= replica_count(),
+                  "task must have at least epsilon+1 replicas");
+  for (std::size_t k = 0; k < replicas.size(); ++k) {
+    const Replica& r = replicas[k];
+    FTSCHED_REQUIRE(r.proc.index() < timeline_.size(),
+                    "replica on unknown processor");
+    timeline_[r.proc.index()].push_back(
+        PlacedReplica{t, k, r.start, r.finish});
+  }
+  replicas_[t.index()] = std::move(replicas);
+}
+
+void ReplicatedSchedule::set_channels(std::size_t edge_index,
+                                      std::vector<Channel> channels) {
+  FTSCHED_REQUIRE(edge_index < channels_.size(), "unknown edge");
+  channels_[edge_index] = std::move(channels);
+}
+
+double ReplicatedSchedule::lower_bound() const {
+  // M* = max over exit tasks of (min over replicas of failure-free finish).
+  double bound = 0.0;
+  for (TaskId t : graph().exit_tasks()) {
+    const auto& reps = replicas_[t.index()];
+    FTSCHED_REQUIRE(!reps.empty(), "schedule incomplete: exit task unplaced");
+    double first = std::numeric_limits<double>::infinity();
+    for (const Replica& r : reps) first = std::min(first, r.finish);
+    bound = std::max(bound, first);
+  }
+  return bound;
+}
+
+double ReplicatedSchedule::upper_bound() const {
+  // M = max over exit tasks of (max over replicas of pessimistic finish).
+  double bound = 0.0;
+  for (TaskId t : graph().exit_tasks()) {
+    const auto& reps = replicas_[t.index()];
+    FTSCHED_REQUIRE(!reps.empty(), "schedule incomplete: exit task unplaced");
+    for (const Replica& r : reps) bound = std::max(bound, r.pess_finish);
+  }
+  return bound;
+}
+
+std::size_t ReplicatedSchedule::interproc_message_count() const {
+  std::size_t count = 0;
+  for (std::size_t e = 0; e < channels_.size(); ++e) {
+    const Edge& edge = graph().edge(e);
+    for (const Channel& c : channels_[e]) {
+      const ProcId src = replicas_[edge.src.index()][c.src_replica].proc;
+      const ProcId dst = replicas_[edge.dst.index()][c.dst_replica].proc;
+      if (src != dst) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t ReplicatedSchedule::channel_count() const {
+  std::size_t count = 0;
+  for (const auto& cs : channels_) count += cs.size();
+  return count;
+}
+
+std::vector<char> ReplicatedSchedule::mapping_matrix() const {
+  const std::size_t v = graph().task_count();
+  const std::size_t m = platform().proc_count();
+  std::vector<char> x(v * m, 0);
+  for (std::size_t t = 0; t < v; ++t) {
+    for (const Replica& r : replicas_[t]) x[t * m + r.proc.index()] = 1;
+  }
+  return x;
+}
+
+void ReplicatedSchedule::validate() const {
+  const TaskGraph& g = graph();
+  // 1. Placement and Prop. 4.1 (pairwise-distinct processors).
+  for (TaskId t : g.tasks()) {
+    const auto& reps = replicas_[t.index()];
+    FTSCHED_REQUIRE(reps.size() >= replica_count(),
+                    "task " + g.label(t) + " has fewer than epsilon+1 replicas");
+    for (std::size_t a = 0; a < reps.size(); ++a) {
+      for (std::size_t b = a + 1; b < reps.size(); ++b) {
+        FTSCHED_REQUIRE(reps[a].proc != reps[b].proc,
+                        "Prop 4.1 violated: two replicas of " + g.label(t) +
+                            " share a processor");
+      }
+    }
+    for (const Replica& r : reps) {
+      FTSCHED_REQUIRE(r.start >= -kTol, "negative start time");
+      const double e = costs_->exec(t, r.proc);
+      FTSCHED_REQUIRE(std::abs((r.finish - r.start) - e) <= kTol * (1.0 + e),
+                      "replica duration != E(t,P) for " + g.label(t));
+      FTSCHED_REQUIRE(leq(r.start, r.pess_start) && leq(r.finish, r.pess_finish),
+                      "pessimistic times must dominate failure-free times");
+    }
+  }
+  // 2. Processor timelines must not overlap.
+  for (std::size_t p = 0; p < timeline_.size(); ++p) {
+    auto slots = timeline_[p];
+    std::sort(slots.begin(), slots.end(),
+              [](const PlacedReplica& a, const PlacedReplica& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      FTSCHED_REQUIRE(leq(slots[i - 1].finish, slots[i].start),
+                      "overlapping replicas on processor " + std::to_string(p));
+    }
+  }
+  // 3. Channels: coverage and temporal feasibility (failure-free timeline).
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const auto& src_reps = replicas_[edge.src.index()];
+    const auto& dst_reps = replicas_[edge.dst.index()];
+    std::vector<double> earliest(dst_reps.size(),
+                                 std::numeric_limits<double>::infinity());
+    for (const Channel& c : channels_[e]) {
+      FTSCHED_REQUIRE(c.src_replica < src_reps.size() &&
+                          c.dst_replica < dst_reps.size(),
+                      "channel replica index out of range");
+      const Replica& src = src_reps[c.src_replica];
+      const Replica& dst = dst_reps[c.dst_replica];
+      const double arrival =
+          src.finish + costs_->comm(e, src.proc, dst.proc);
+      earliest[c.dst_replica] = std::min(earliest[c.dst_replica], arrival);
+    }
+    for (std::size_t k = 0; k < dst_reps.size(); ++k) {
+      FTSCHED_REQUIRE(std::isfinite(earliest[k]),
+                      "replica has no inbound channel for an incoming edge");
+      FTSCHED_REQUIRE(leq(earliest[k], dst_reps[k].start),
+                      "replica starts before its earliest input arrives");
+    }
+  }
+}
+
+}  // namespace ftsched

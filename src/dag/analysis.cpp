@@ -1,0 +1,113 @@
+#include "ftsched/dag/analysis.hpp"
+
+#include <algorithm>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+std::vector<std::size_t> depths(const TaskGraph& g) {
+  std::vector<std::size_t> depth(g.task_count(), 0);
+  for (TaskId t : g.topological_order()) {
+    for (std::size_t e : g.out_edges(t)) {
+      const TaskId s = g.edge(e).dst;
+      depth[s.index()] = std::max(depth[s.index()], depth[t.index()] + 1);
+    }
+  }
+  return depth;
+}
+
+std::vector<std::vector<TaskId>> layers(const TaskGraph& g) {
+  const auto depth = depths(g);
+  std::size_t max_depth = 0;
+  for (std::size_t d : depth) max_depth = std::max(max_depth, d);
+  std::vector<std::vector<TaskId>> result(g.empty() ? 0 : max_depth + 1);
+  for (std::size_t i = 0; i < depth.size(); ++i)
+    result[depth[i]].emplace_back(i);
+  return result;
+}
+
+std::size_t layer_width(const TaskGraph& g) {
+  std::size_t w = 0;
+  for (const auto& layer : layers(g)) w = std::max(w, layer.size());
+  return w;
+}
+
+std::vector<char> transitive_closure(const TaskGraph& g) {
+  const std::size_t v = g.task_count();
+  std::vector<char> closure(v * v, 0);
+  const auto order = g.topological_order();
+  // Process in reverse topological order: reach(i) = union of successors.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t i = it->index();
+    for (std::size_t e : g.out_edges(*it)) {
+      const std::size_t j = g.edge(e).dst.index();
+      closure[i * v + j] = 1;
+      for (std::size_t k = 0; k < v; ++k) {
+        if (closure[j * v + k]) closure[i * v + k] = 1;
+      }
+    }
+  }
+  return closure;
+}
+
+namespace {
+// Kuhn's augmenting-path matching on the comparability bipartite graph.
+// Used only by exact_width; the scheduler's Hopcroft–Karp lives in core.
+bool try_kuhn(std::size_t u, const std::vector<char>& closure, std::size_t v,
+              std::vector<int>& match_right, std::vector<char>& used) {
+  for (std::size_t w = 0; w < v; ++w) {
+    if (!closure[u * v + w] || used[w]) continue;
+    used[w] = 1;
+    if (match_right[w] < 0 ||
+        try_kuhn(static_cast<std::size_t>(match_right[w]), closure, v,
+                 match_right, used)) {
+      match_right[w] = static_cast<int>(u);
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::size_t exact_width(const TaskGraph& g) {
+  const std::size_t v = g.task_count();
+  if (v == 0) return 0;
+  // Dilworth: max antichain = v − max matching in the bipartite graph whose
+  // edges are the comparable pairs (i precedes j in the transitive closure).
+  const auto closure = transitive_closure(g);
+  std::vector<int> match_right(v, -1);
+  std::size_t matched = 0;
+  for (std::size_t u = 0; u < v; ++u) {
+    std::vector<char> used(v, 0);
+    if (try_kuhn(u, closure, v, match_right, used)) ++matched;
+  }
+  return v - matched;
+}
+
+double longest_path(const TaskGraph& g, const std::vector<double>& node_cost,
+                    const std::vector<double>& edge_cost) {
+  FTSCHED_REQUIRE(node_cost.size() == g.task_count(),
+                  "node_cost size mismatch");
+  FTSCHED_REQUIRE(edge_cost.size() == g.edge_count(),
+                  "edge_cost size mismatch");
+  std::vector<double> finish(g.task_count(), 0.0);
+  double best = 0.0;
+  for (TaskId t : g.topological_order()) {
+    finish[t.index()] += node_cost[t.index()];
+    best = std::max(best, finish[t.index()]);
+    for (std::size_t e : g.out_edges(t)) {
+      const std::size_t s = g.edge(e).dst.index();
+      finish[s] = std::max(finish[s], finish[t.index()] + edge_cost[e]);
+    }
+  }
+  return best;
+}
+
+std::size_t critical_path_hops(const TaskGraph& g) {
+  if (g.empty()) return 0;
+  const auto depth = depths(g);
+  return 1 + *std::max_element(depth.begin(), depth.end());
+}
+
+}  // namespace ftsched

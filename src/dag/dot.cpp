@@ -1,0 +1,27 @@
+#include "ftsched/dag/dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ftsched {
+
+std::string to_dot(const TaskGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << (g.name().empty() ? "taskgraph" : g.name())
+     << "\" {\n";
+  if (options.left_to_right) os << "  rankdir=LR;\n";
+  os << "  node [shape=ellipse];\n";
+  for (TaskId t : g.tasks()) {
+    os << "  n" << t.value() << " [label=\"" << g.label(t) << "\"];\n";
+  }
+  os << std::fixed << std::setprecision(1);
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.src.value() << " -> n" << e.dst.value();
+    if (options.show_volumes) os << " [label=\"" << e.volume << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ftsched

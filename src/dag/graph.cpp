@@ -1,0 +1,125 @@
+#include "ftsched/dag/graph.hpp"
+
+#include <algorithm>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+void TaskGraph::check_task(TaskId t, const char* what) const {
+  FTSCHED_REQUIRE(t.valid() && t.index() < labels_.size(),
+                  std::string("unknown task id in ") + what);
+}
+
+TaskId TaskGraph::add_task(std::string label) {
+  const TaskId id{labels_.size()};
+  if (label.empty()) label = "t" + std::to_string(id.value());
+  labels_.push_back(std::move(label));
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+void TaskGraph::add_edge(TaskId src, TaskId dst, double volume) {
+  check_task(src, "add_edge(src)");
+  check_task(dst, "add_edge(dst)");
+  FTSCHED_REQUIRE(src != dst, "self-loop edges are not allowed");
+  FTSCHED_REQUIRE(volume >= 0.0, "edge volume must be non-negative");
+  FTSCHED_REQUIRE(!has_edge(src, dst), "duplicate edge");
+  const std::size_t e = edges_.size();
+  edges_.push_back(Edge{src, dst, volume});
+  out_[src.index()].push_back(e);
+  in_[dst.index()].push_back(e);
+}
+
+const std::string& TaskGraph::label(TaskId t) const {
+  check_task(t, "label");
+  return labels_[t.index()];
+}
+
+std::span<const std::size_t> TaskGraph::in_edges(TaskId t) const {
+  check_task(t, "in_edges");
+  return in_[t.index()];
+}
+
+std::span<const std::size_t> TaskGraph::out_edges(TaskId t) const {
+  check_task(t, "out_edges");
+  return out_[t.index()];
+}
+
+bool TaskGraph::has_edge(TaskId src, TaskId dst) const noexcept {
+  if (!src.valid() || src.index() >= out_.size()) return false;
+  for (std::size_t e : out_[src.index()]) {
+    if (edges_[e].dst == dst) return true;
+  }
+  return false;
+}
+
+double TaskGraph::volume(TaskId src, TaskId dst) const {
+  check_task(src, "volume(src)");
+  check_task(dst, "volume(dst)");
+  for (std::size_t e : out_[src.index()]) {
+    if (edges_[e].dst == dst) return edges_[e].volume;
+  }
+  throw InvalidArgument("volume: edge does not exist");
+}
+
+std::vector<TaskId> TaskGraph::entry_tasks() const {
+  std::vector<TaskId> result;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (in_[i].empty()) result.emplace_back(i);
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::exit_tasks() const {
+  std::vector<TaskId> result;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (out_[i].empty()) result.emplace_back(i);
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::tasks() const {
+  std::vector<TaskId> result;
+  result.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) result.emplace_back(i);
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) indegree[i] = in_[i].size();
+  std::vector<TaskId> order;
+  order.reserve(labels_.size());
+  std::vector<TaskId> frontier = entry_tasks();
+  while (!frontier.empty()) {
+    const TaskId t = frontier.back();
+    frontier.pop_back();
+    order.push_back(t);
+    for (std::size_t e : out_[t.index()]) {
+      const TaskId s = edges_[e].dst;
+      if (--indegree[s.index()] == 0) frontier.push_back(s);
+    }
+  }
+  FTSCHED_REQUIRE(order.size() == labels_.size(),
+                  "graph contains a cycle; not a DAG");
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const InvalidArgument&) {
+    return false;
+  }
+}
+
+double TaskGraph::total_volume() const noexcept {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.volume;
+  return sum;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,159 @@
+#include "ftsched/experiments/runner.hpp"
+
+#include <algorithm>
+
+#include "ftsched/core/ftbar.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/metrics/metrics.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Simulated latency of `schedule` with the first `count` victims of
+/// `victims` crashing at time 0.
+double crash_latency(const ReplicatedSchedule& schedule,
+                     const std::vector<std::size_t>& victims,
+                     std::size_t count, const SimulationOptions& sim) {
+  FailureScenario scenario;
+  for (std::size_t i = 0; i < count; ++i) {
+    scenario.add(ProcId{victims[i]}, 0.0);
+  }
+  const SimulationResult result = simulate(schedule, scenario, sim);
+  FTSCHED_REQUIRE(result.success,
+                  "simulation failed with <= epsilon crashes (Thm 4.1 bug)");
+  return result.latency;
+}
+
+}  // namespace
+
+SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
+                               const InstanceOptions& options) {
+  const CostModel& costs = workload.costs();
+  const std::size_t m = workload.platform().proc_count();
+  FTSCHED_REQUIRE(options.epsilon < m, "epsilon must be < proc count");
+
+  // Shared crash victims for this instance.
+  const std::vector<std::size_t> victims =
+      rng.sample_without_replacement(m, options.epsilon);
+
+  FtsaOptions ftsa_opts;
+  ftsa_opts.epsilon = options.epsilon;
+  ftsa_opts.seed = options.seed;
+  const ReplicatedSchedule ftsa = ftsa_schedule(costs, ftsa_opts);
+
+  McFtsaOptions mc_opts;
+  mc_opts.epsilon = options.epsilon;
+  mc_opts.seed = options.seed;
+  mc_opts.selector = options.mc_selector;
+  const ReplicatedSchedule mc = mc_ftsa_schedule(costs, mc_opts);
+
+  FtbarOptions ftbar_opts;
+  ftbar_opts.npf = options.epsilon;
+  ftbar_opts.seed = options.seed;
+  const ReplicatedSchedule ftbar = ftbar_schedule(costs, ftbar_opts);
+
+  FtsaOptions ff_opts;
+  ff_opts.epsilon = 0;
+  ff_opts.seed = options.seed;
+  const ReplicatedSchedule ff_ftsa = ftsa_schedule(costs, ff_opts);
+  FtbarOptions ff_ftbar_opts;
+  ff_ftbar_opts.npf = 0;
+  ff_ftbar_opts.seed = options.seed;
+  const ReplicatedSchedule ff_ftbar = ftbar_schedule(costs, ff_ftbar_opts);
+
+  const double ftsa_star = ff_ftsa.lower_bound();  // FTSA* reference
+
+  SeriesSample sample;
+  auto norm = [&costs](double latency) {
+    return normalized_latency(latency, costs);
+  };
+  sample["FTSA-LowerBound"] = norm(ftsa.lower_bound());
+  sample["FTSA-UpperBound"] = norm(ftsa.upper_bound());
+  sample["MC-FTSA-LowerBound"] = norm(mc.lower_bound());
+  sample["MC-FTSA-UpperBound"] = norm(mc.upper_bound());
+  sample["FTBAR-LowerBound"] = norm(ftbar.lower_bound());
+  sample["FTBAR-UpperBound"] = norm(ftbar.upper_bound());
+  sample["FaultFree-FTSA"] = norm(ftsa_star);
+  sample["FaultFree-FTBAR"] = norm(ff_ftbar.lower_bound());
+  sample["OH-FTSA-LowerBound"] =
+      overhead_percent(ftsa.lower_bound(), ftsa_star);
+  sample["OH-FTBAR-LowerBound"] =
+      overhead_percent(ftbar.lower_bound(), ftsa_star);
+
+  // Crash series: FTSA at 0, the extras, and ε; MC/FTBAR at ε.
+  std::vector<std::size_t> counts{0};
+  counts.insert(counts.end(), options.extra_crash_counts.begin(),
+                options.extra_crash_counts.end());
+  counts.push_back(options.epsilon);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  for (std::size_t k : counts) {
+    const double latency = crash_latency(ftsa, victims, k, options.sim);
+    const std::string name = "FTSA-" + std::to_string(k) + "Crash";
+    sample[name] = norm(latency);
+    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
+  }
+  {
+    const double latency =
+        crash_latency(mc, victims, options.epsilon, options.sim);
+    const std::string name =
+        "MC-FTSA-" + std::to_string(options.epsilon) + "Crash";
+    sample[name] = norm(latency);
+    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
+  }
+  {
+    const double latency =
+        crash_latency(ftbar, victims, options.epsilon, options.sim);
+    const std::string name =
+        "FTBAR-" + std::to_string(options.epsilon) + "Crash";
+    sample[name] = norm(latency);
+    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
+  }
+  // Communication accounting for the ablation tables.
+  sample["Msg-FTSA"] = static_cast<double>(ftsa.interproc_message_count());
+  sample["Msg-MC-FTSA"] = static_cast<double>(mc.interproc_message_count());
+  sample["Msg-FTBAR"] = static_cast<double>(ftbar.interproc_message_count());
+  // Fraction of tasks whose channels the end-to-end repair touched
+  // (quantifies the cost of fixing the paper's Prop.-4.3 gap).
+  sample["MC-RepairRate"] =
+      static_cast<double>(mc.repaired_tasks().size()) /
+      static_cast<double>(costs.graph().task_count());
+  return sample;
+}
+
+SweepResult run_sweep(const FigureConfig& config) {
+  SweepResult result;
+  result.granularities = config.granularities;
+  Rng root(config.seed);
+
+  InstanceOptions options;
+  options.epsilon = config.epsilon;
+  options.extra_crash_counts = config.extra_crash_counts;
+
+  for (std::size_t gi = 0; gi < config.granularities.size(); ++gi) {
+    Rng point_rng = root.split();
+    for (std::size_t rep = 0; rep < config.graphs_per_point; ++rep) {
+      Rng instance_rng = point_rng.split();
+      PaperWorkloadParams params = config.workload;
+      params.proc_count = config.proc_count;
+      params.granularity = config.granularities[gi];
+      const auto workload = make_paper_workload(instance_rng, params);
+      options.seed = instance_rng();
+      const SeriesSample sample =
+          evaluate_instance(*workload, instance_rng, options);
+      for (const auto& [name, value] : sample) {
+        auto& stats = result.series[name];
+        if (stats.size() != config.granularities.size()) {
+          stats.resize(config.granularities.size());
+        }
+        stats[gi].add(value);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftsched

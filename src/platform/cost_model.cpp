@@ -1,0 +1,79 @@
+#include "ftsched/platform/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+CostModel::CostModel(const TaskGraph& graph, const Platform& platform,
+                     std::vector<std::vector<double>> exec)
+    : graph_(&graph), platform_(&platform), m_(platform.proc_count()) {
+  const std::size_t v = graph.task_count();
+  FTSCHED_REQUIRE(exec.size() == v, "exec matrix must have one row per task");
+  exec_.reserve(v * m_);
+  for (std::size_t t = 0; t < v; ++t) {
+    FTSCHED_REQUIRE(exec[t].size() == m_,
+                    "exec matrix must have one column per processor");
+    for (std::size_t p = 0; p < m_; ++p) {
+      FTSCHED_REQUIRE(exec[t][p] > 0.0, "execution times must be positive");
+      exec_.push_back(exec[t][p]);
+    }
+  }
+  recompute_aggregates();
+}
+
+void CostModel::recompute_aggregates() {
+  const std::size_t v = graph_->task_count();
+  avg_exec_.assign(v, 0.0);
+  max_exec_.assign(v, 0.0);
+  min_exec_.assign(v, std::numeric_limits<double>::infinity());
+  double total = 0.0;
+  for (std::size_t t = 0; t < v; ++t) {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < m_; ++p) {
+      const double e = exec_[t * m_ + p];
+      sum += e;
+      max_exec_[t] = std::max(max_exec_[t], e);
+      min_exec_[t] = std::min(min_exec_[t], e);
+    }
+    avg_exec_[t] = sum / static_cast<double>(m_);
+    total += avg_exec_[t];
+  }
+  mean_avg_exec_ = v > 0 ? total / static_cast<double>(v) : 0.0;
+}
+
+double CostModel::avg_exec_on(TaskId t,
+                              const std::vector<ProcId>& procs) const {
+  FTSCHED_REQUIRE(!procs.empty(), "avg_exec_on needs at least one processor");
+  double sum = 0.0;
+  for (ProcId p : procs) sum += exec(t, p);
+  return sum / static_cast<double>(procs.size());
+}
+
+double CostModel::mean_avg_comm() const {
+  const std::size_t e = graph_->edge_count();
+  if (e == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < e; ++i) sum += avg_comm(i);
+  return sum / static_cast<double>(e);
+}
+
+double CostModel::granularity() const {
+  double comp = 0.0;
+  for (std::size_t t = 0; t < graph_->task_count(); ++t) comp += max_exec_[t];
+  double commv = 0.0;
+  const double worst_delay = platform_->max_delay();
+  for (const Edge& e : graph_->edges()) commv += e.volume * worst_delay;
+  if (commv <= 0.0) return std::numeric_limits<double>::infinity();
+  return comp / commv;
+}
+
+void CostModel::scale_exec(double factor) {
+  FTSCHED_REQUIRE(factor > 0.0, "scale factor must be positive");
+  for (double& e : exec_) e *= factor;
+  recompute_aggregates();
+}
+
+}  // namespace ftsched

@@ -1,0 +1,76 @@
+#include "ftsched/platform/failure.hpp"
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+FailureScenario::FailureScenario(std::vector<Crash> crashes) {
+  for (const Crash& c : crashes) add(c.proc, c.time);
+}
+
+void FailureScenario::add(ProcId proc, double time) {
+  FTSCHED_REQUIRE(proc.valid(), "invalid processor id");
+  FTSCHED_REQUIRE(time >= 0.0, "crash time must be non-negative");
+  FTSCHED_REQUIRE(!is_failed(proc), "processor already crashes in scenario");
+  crashes_.push_back(Crash{proc, time});
+}
+
+double FailureScenario::crash_time(ProcId proc) const noexcept {
+  for (const Crash& c : crashes_) {
+    if (c.proc == proc) return c.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+FailureScenario random_crashes(Rng& rng, std::size_t proc_count,
+                               std::size_t count, double crash_time) {
+  FTSCHED_REQUIRE(count <= proc_count,
+                  "cannot crash more processors than exist");
+  FailureScenario scenario;
+  for (std::size_t idx : rng.sample_without_replacement(proc_count, count)) {
+    scenario.add(ProcId{idx}, crash_time);
+  }
+  return scenario;
+}
+
+FailureScenario random_timed_crashes(Rng& rng, std::size_t proc_count,
+                                     std::size_t count, double horizon) {
+  FTSCHED_REQUIRE(count <= proc_count,
+                  "cannot crash more processors than exist");
+  FTSCHED_REQUIRE(horizon >= 0.0, "horizon must be non-negative");
+  FailureScenario scenario;
+  for (std::size_t idx : rng.sample_without_replacement(proc_count, count)) {
+    scenario.add(ProcId{idx}, rng.uniform(0.0, horizon));
+  }
+  return scenario;
+}
+
+namespace {
+void enumerate_subsets(std::size_t proc_count, std::size_t count,
+                       std::size_t start, std::vector<std::size_t>& current,
+                       std::vector<FailureScenario>& out) {
+  if (current.size() == count) {
+    FailureScenario scenario;
+    for (std::size_t p : current) scenario.add(ProcId{p}, 0.0);
+    out.push_back(std::move(scenario));
+    return;
+  }
+  for (std::size_t p = start; p < proc_count; ++p) {
+    current.push_back(p);
+    enumerate_subsets(proc_count, count, p + 1, current, out);
+    current.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<FailureScenario> all_crash_subsets(std::size_t proc_count,
+                                               std::size_t count) {
+  FTSCHED_REQUIRE(count <= proc_count,
+                  "cannot crash more processors than exist");
+  std::vector<FailureScenario> result;
+  std::vector<std::size_t> current;
+  enumerate_subsets(proc_count, count, 0, current, result);
+  return result;
+}
+
+}  // namespace ftsched

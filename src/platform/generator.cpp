@@ -1,0 +1,54 @@
+#include "ftsched/platform/generator.hpp"
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+Platform make_random_platform(Rng& rng, const PlatformParams& params) {
+  FTSCHED_REQUIRE(params.proc_count > 0, "need at least one processor");
+  FTSCHED_REQUIRE(params.delay_min >= 0.0 &&
+                      params.delay_max >= params.delay_min,
+                  "invalid delay range");
+  const std::size_t m = params.proc_count;
+  std::vector<std::vector<double>> d(m, std::vector<double>(m, 0.0));
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t h = 0; h < m; ++h) {
+      if (k == h) continue;
+      d[k][h] = rng.uniform(params.delay_min, params.delay_max);
+    }
+  }
+  return Platform(std::move(d));
+}
+
+std::vector<std::vector<double>> make_exec_costs(Rng& rng,
+                                                 const TaskGraph& graph,
+                                                 std::size_t proc_count,
+                                                 const ExecCostParams& params) {
+  FTSCHED_REQUIRE(params.base_min > 0.0 && params.base_max >= params.base_min,
+                  "invalid base cost range");
+  FTSCHED_REQUIRE(params.spread >= 0.0, "spread must be non-negative");
+  const std::size_t v = graph.task_count();
+  std::vector<std::vector<double>> exec(v, std::vector<double>(proc_count));
+
+  std::vector<double> speed(proc_count, 1.0);
+  if (params.heterogeneity == Heterogeneity::kConsistent) {
+    for (double& s : speed) s = rng.uniform(1.0, 1.0 + params.spread);
+  }
+
+  for (std::size_t t = 0; t < v; ++t) {
+    const double base = rng.uniform(params.base_min, params.base_max);
+    for (std::size_t p = 0; p < proc_count; ++p) {
+      switch (params.heterogeneity) {
+        case Heterogeneity::kConsistent:
+          exec[t][p] = base / speed[p];
+          break;
+        case Heterogeneity::kInconsistent:
+          exec[t][p] = base * rng.uniform(1.0, 1.0 + params.spread);
+          break;
+      }
+    }
+  }
+  return exec;
+}
+
+}  // namespace ftsched

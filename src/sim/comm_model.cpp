@@ -1,0 +1,70 @@
+#include "ftsched/sim/comm_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+class ContentionFreeModel final : public CommModel {
+ public:
+  double deliver(ProcId, double ready, double duration) override {
+    return ready + duration;
+  }
+  [[nodiscard]] CommModelKind kind() const noexcept override {
+    return CommModelKind::kContentionFree;
+  }
+};
+
+/// k-port model: each processor owns k independent send ports; a message
+/// occupies one port for its whole duration.  k = 1 is the one-port model.
+class PortedModel final : public CommModel {
+ public:
+  PortedModel(std::size_t proc_count, std::size_t ports, CommModelKind kind)
+      : kind_(kind), ports_(proc_count) {
+    FTSCHED_REQUIRE(ports > 0, "port count must be positive");
+    for (auto& heap : ports_) {
+      heap.assign(ports, 0.0);
+      std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+    }
+  }
+
+  double deliver(ProcId src, double ready, double duration) override {
+    if (duration <= 0.0) return ready;  // intra-processor: no port needed
+    auto& heap = ports_[src.index()];
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const double port_free = heap.back();
+    const double start = std::max(ready, port_free);
+    heap.back() = start + duration;
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    return start + duration;
+  }
+
+  [[nodiscard]] CommModelKind kind() const noexcept override { return kind_; }
+
+ private:
+  CommModelKind kind_;
+  std::vector<std::vector<double>> ports_;  // min-heaps of port-free times
+};
+
+}  // namespace
+
+std::unique_ptr<CommModel> make_comm_model(std::size_t proc_count,
+                                           const CommModelOptions& options) {
+  switch (options.kind) {
+    case CommModelKind::kContentionFree:
+      return std::make_unique<ContentionFreeModel>();
+    case CommModelKind::kOnePort:
+      return std::make_unique<PortedModel>(proc_count, 1,
+                                           CommModelKind::kOnePort);
+    case CommModelKind::kBoundedMultiPort:
+      return std::make_unique<PortedModel>(proc_count, options.ports,
+                                           CommModelKind::kBoundedMultiPort);
+  }
+  throw InvalidArgument("unknown communication model");
+}
+
+}  // namespace ftsched

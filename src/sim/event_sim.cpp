@@ -1,0 +1,340 @@
+#include "ftsched/sim/event_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+double SimulationResult::task_completion(TaskId t) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ReplicaOutcome& o : outcomes[t.index()]) {
+    if (o.status == ReplicaStatus::kCompleted) best = std::min(best, o.finish);
+  }
+  return best;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class EventType : int { kFinish = 0, kMessage = 1, kCrash = 2 };
+
+struct Event {
+  double time;
+  EventType type;
+  std::uint64_t seq;   // FIFO tie-break for full determinism
+  std::size_t a = 0;   // finish: replica; message: dst replica; crash: proc
+  std::size_t b = 0;   // message: in-edge slot of dst
+};
+
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    if (x.type != y.type) return static_cast<int>(x.type) > static_cast<int>(y.type);
+    return x.seq > y.seq;
+  }
+};
+
+enum class State { kPending, kRunning, kCompleted, kDead, kCancelled };
+
+struct OutChannel {
+  std::size_t dst;       // flat destination replica
+  std::size_t slot;      // in-edge slot within the destination
+  double comm_duration;  // volume * delay (0 for intra-processor)
+  bool interproc;
+};
+
+class Simulator {
+ public:
+  Simulator(const ReplicatedSchedule& schedule, const FailureScenario& failures,
+            const SimulationOptions& options)
+      : schedule_(schedule),
+        failures_(failures),
+        g_(schedule.graph()),
+        platform_(schedule.platform()),
+        comm_(make_comm_model(platform_.proc_count(), options.comm)) {}
+
+  SimulationResult run() {
+    build();
+    seed();
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      switch (ev.type) {
+        case EventType::kFinish:
+          on_finish(ev.a, ev.time);
+          break;
+        case EventType::kMessage:
+          on_message(ev.a, ev.b, ev.time);
+          break;
+        case EventType::kCrash:
+          on_crash(ev.a, ev.time);
+          break;
+      }
+    }
+    return collect();
+  }
+
+ private:
+  // --- static structure -----------------------------------------------------
+
+  void build() {
+    const std::size_t v = g_.task_count();
+    offset_.assign(v + 1, 0);
+    for (std::size_t t = 0; t < v; ++t) {
+      offset_[t + 1] = offset_[t] + schedule_.replicas(TaskId{t}).size();
+    }
+    const std::size_t total = offset_[v];
+    task_of_.resize(total);
+    proc_of_.resize(total);
+    duration_.resize(total);
+    sched_start_.resize(total);
+    state_.assign(total, State::kPending);
+    actual_start_.assign(total, 0.0);
+    actual_finish_.assign(total, 0.0);
+    out_.assign(total, {});
+
+    // In-edge slot bookkeeping: slot_of_edge_[e] is the position of edge e
+    // within its destination's in-edge list.
+    slot_of_edge_.assign(g_.edge_count(), 0);
+    for (TaskId t : g_.tasks()) {
+      const auto in = g_.in_edges(t);
+      for (std::size_t pos = 0; pos < in.size(); ++pos) {
+        slot_of_edge_[in[pos]] = pos;
+      }
+      const auto& reps = schedule_.replicas(t);
+      for (std::size_t k = 0; k < reps.size(); ++k) {
+        const std::size_t flat = offset_[t.index()] + k;
+        task_of_[flat] = t;
+        proc_of_[flat] = reps[k].proc;
+        duration_[flat] = reps[k].finish - reps[k].start;
+        sched_start_[flat] = reps[k].start;
+      }
+      unsatisfied_.insert(unsatisfied_.end(), reps.size(), in.size());
+      for (std::size_t k = 0; k < reps.size(); ++k) {
+        satisfied_.emplace_back(in.size(), 0);
+        live_sources_.emplace_back(in.size(), 0);
+      }
+    }
+    // Channels -> outgoing lists and live-source counts.
+    for (std::size_t e = 0; e < g_.edge_count(); ++e) {
+      const Edge& edge = g_.edge(e);
+      for (const Channel& c : schedule_.channels(e)) {
+        const std::size_t src = offset_[edge.src.index()] + c.src_replica;
+        const std::size_t dst = offset_[edge.dst.index()] + c.dst_replica;
+        const std::size_t slot = slot_of_edge_[e];
+        const double d = platform_.delay(proc_of_[src], proc_of_[dst]);
+        out_[src].push_back(
+            OutChannel{dst, slot, edge.volume * d, proc_of_[src] != proc_of_[dst]});
+        ++live_sources_[dst][slot];
+      }
+    }
+    // Per-processor execution order: scheduled start, then finish, then id.
+    queue_.assign(platform_.proc_count(), {});
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      queue_[proc_of_[flat].index()].push_back(flat);
+    }
+    for (auto& q : queue_) {
+      std::sort(q.begin(), q.end(), [this](std::size_t a, std::size_t b) {
+        if (sched_start_[a] != sched_start_[b])
+          return sched_start_[a] < sched_start_[b];
+        return a < b;
+      });
+    }
+    head_.assign(platform_.proc_count(), 0);
+    busy_.assign(platform_.proc_count(), 0);
+    crashed_.assign(platform_.proc_count(), 0);
+    crash_time_.assign(platform_.proc_count(), kInf);
+    for (const Crash& c : failures_.crashes()) {
+      crash_time_[c.proc.index()] = c.time;
+    }
+  }
+
+  void seed() {
+    for (const Crash& c : failures_.crashes()) {
+      push(Event{c.time, EventType::kCrash, seq_++, c.proc.index(), 0});
+    }
+    for (std::size_t p = 0; p < queue_.size(); ++p) {
+      try_start(p, 0.0);
+    }
+  }
+
+  void push(Event ev) { events_.push(ev); }
+
+  // --- event handlers ---------------------------------------------------------
+
+  void try_start(std::size_t p, double now) {
+    if (crashed_[p] || busy_[p]) return;
+    auto& q = queue_[p];
+    while (head_[p] < q.size()) {
+      const std::size_t flat = q[head_[p]];
+      const State s = state_[flat];
+      if (s == State::kCancelled || s == State::kDead) {
+        ++head_[p];  // skip provably-never-ready / lost replicas
+        continue;
+      }
+      if (s != State::kPending || unsatisfied_[flat] > 0) return;  // wait
+      state_[flat] = State::kRunning;
+      busy_[p] = 1;
+      actual_start_[flat] = now;
+      const double finish = now + duration_[flat];
+      push(Event{finish, EventType::kFinish, seq_++, flat, 0});
+      return;
+    }
+  }
+
+  void on_finish(std::size_t flat, double now) {
+    if (state_[flat] != State::kRunning) return;  // killed by a crash
+    state_[flat] = State::kCompleted;
+    actual_finish_[flat] = now;
+    const std::size_t p = proc_of_[flat].index();
+    busy_[p] = 0;
+    ++head_[p];
+    // Emit all outgoing messages (active replication: send unconditionally).
+    for (const OutChannel& ch : out_[flat]) {
+      if (ch.interproc) {
+        const double arrival = comm_->deliver(proc_of_[flat], now, ch.comm_duration);
+        ++messages_delivered_;
+        push(Event{arrival, EventType::kMessage, seq_++, ch.dst, ch.slot});
+      } else {
+        push(Event{now, EventType::kMessage, seq_++, ch.dst, ch.slot});
+      }
+    }
+    try_start(p, now);
+  }
+
+  void on_message(std::size_t dst, std::size_t slot, double now) {
+    if (satisfied_[dst][slot]) return;  // first input wins; ignore the rest
+    satisfied_[dst][slot] = 1;
+    FTSCHED_ASSERT(unsatisfied_[dst] > 0, "satisfied count underflow");
+    --unsatisfied_[dst];
+    if (state_[dst] == State::kPending && unsatisfied_[dst] == 0) {
+      try_start(proc_of_[dst].index(), now);
+    }
+  }
+
+  void on_crash(std::size_t p, double now) {
+    if (crashed_[p]) return;
+    crashed_[p] = 1;
+    // Kill everything on p that has not completed by `now`.  A replica
+    // finishing exactly at the crash instant counts as completed (its
+    // finish event sorts before the crash event at equal time).
+    for (std::size_t i = head_[p]; i < queue_[p].size(); ++i) {
+      const std::size_t flat = queue_[p][i];
+      if (state_[flat] == State::kPending || state_[flat] == State::kRunning) {
+        mark_lost(flat, State::kDead, now);
+      }
+    }
+    busy_[p] = 0;
+  }
+
+  /// Marks a replica dead/cancelled and propagates doomed-input
+  /// cancellations downstream.
+  void mark_lost(std::size_t flat, State lost_state, double now) {
+    FTSCHED_ASSERT(state_[flat] == State::kPending ||
+                       state_[flat] == State::kRunning,
+                   "losing a replica twice");
+    state_[flat] = lost_state;
+    for (const OutChannel& ch : out_[flat]) {
+      FTSCHED_ASSERT(live_sources_[ch.dst][ch.slot] > 0,
+                     "live source count underflow");
+      if (--live_sources_[ch.dst][ch.slot] == 0 && !satisfied_[ch.dst][ch.slot] &&
+          state_[ch.dst] == State::kPending) {
+        const std::size_t dp = proc_of_[ch.dst].index();
+        mark_lost(ch.dst, State::kCancelled, now);
+        // Skipping the cancelled head may unblock the processor.
+        if (!crashed_[dp]) try_start(dp, now);
+      }
+    }
+  }
+
+  // --- results -----------------------------------------------------------------
+
+  SimulationResult collect() const {
+    SimulationResult r;
+    r.outcomes.resize(g_.task_count());
+    for (TaskId t : g_.tasks()) {
+      const std::size_t count = offset_[t.index() + 1] - offset_[t.index()];
+      r.outcomes[t.index()].resize(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t flat = offset_[t.index()] + k;
+        ReplicaOutcome& o = r.outcomes[t.index()][k];
+        switch (state_[flat]) {
+          case State::kCompleted:
+            o.status = ReplicaStatus::kCompleted;
+            o.start = actual_start_[flat];
+            o.finish = actual_finish_[flat];
+            ++r.completed_replicas;
+            break;
+          case State::kDead:
+            o.status = ReplicaStatus::kDead;
+            o.start = actual_start_[flat];
+            ++r.dead_replicas;
+            break;
+          case State::kCancelled:
+            o.status = ReplicaStatus::kCancelled;
+            ++r.cancelled_replicas;
+            break;
+          case State::kPending:
+          case State::kRunning:
+            o.status = ReplicaStatus::kNotStarted;
+            break;
+        }
+      }
+    }
+    r.messages_delivered = messages_delivered_;
+    r.success = true;
+    double latency = 0.0;
+    for (TaskId t : g_.exit_tasks()) {
+      const double done = r.task_completion(t);
+      if (done == kInf) {
+        r.success = false;
+        r.latency = kInf;
+        return r;
+      }
+      latency = std::max(latency, done);
+    }
+    r.latency = latency;
+    return r;
+  }
+
+  const ReplicatedSchedule& schedule_;
+  const FailureScenario& failures_;
+  const TaskGraph& g_;
+  const Platform& platform_;
+  std::unique_ptr<CommModel> comm_;
+
+  std::vector<std::size_t> offset_;
+  std::vector<TaskId> task_of_;
+  std::vector<ProcId> proc_of_;
+  std::vector<double> duration_;
+  std::vector<double> sched_start_;
+  std::vector<State> state_;
+  std::vector<double> actual_start_;
+  std::vector<double> actual_finish_;
+  std::vector<std::vector<OutChannel>> out_;
+  std::vector<std::size_t> slot_of_edge_;
+  std::vector<std::size_t> unsatisfied_;
+  std::vector<std::vector<char>> satisfied_;
+  std::vector<std::vector<std::size_t>> live_sources_;
+  std::vector<std::vector<std::size_t>> queue_;
+  std::vector<std::size_t> head_;
+  std::vector<char> busy_;
+  std::vector<char> crashed_;
+  std::vector<double> crash_time_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t messages_delivered_ = 0;
+};
+
+}  // namespace
+
+SimulationResult simulate(const ReplicatedSchedule& schedule,
+                          const FailureScenario& failures,
+                          const SimulationOptions& options) {
+  return Simulator(schedule, failures, options).run();
+}
+
+}  // namespace ftsched

@@ -1,0 +1,96 @@
+#include "ftsched/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+std::string render_chart(const std::vector<double>& xs,
+                         const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  FTSCHED_REQUIRE(!xs.empty(), "chart needs at least one x position");
+  FTSCHED_REQUIRE(options.width >= 10 && options.height >= 4,
+                  "chart area too small");
+  for (const ChartSeries& s : series) {
+    FTSCHED_REQUIRE(s.y.size() == xs.size(),
+                    "series '" + s.name + "' length mismatch");
+  }
+
+  double ymin = options.y_from_zero ? 0.0
+                                    : std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const ChartSeries& s : series) {
+    for (double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  if (!std::isfinite(ymax)) ymax = 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const double xmin = xs.front();
+  const double xmax = std::max(xs.back(), xmin + 1e-12);
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto col_of = [&](double x) {
+    const double f = (x - xmin) / (xmax - xmin);
+    return std::min(options.width - 1,
+                    static_cast<std::size_t>(f * (options.width - 1) + 0.5));
+  };
+  auto row_of = [&](double y) {
+    const double f = (y - ymin) / (ymax - ymin);
+    const auto from_bottom =
+        static_cast<std::size_t>(f * (options.height - 1) + 0.5);
+    return options.height - 1 - std::min(from_bottom, options.height - 1);
+  };
+
+  for (const ChartSeries& s : series) {
+    // Connect consecutive points with linearly interpolated markers so the
+    // lines read as lines even on a coarse grid.
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const std::size_t c0 = col_of(xs[i]);
+      const std::size_t c1 = col_of(xs[i + 1]);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const double t =
+            c1 > c0 ? static_cast<double>(c - c0) / (c1 - c0) : 0.0;
+        const double y = s.y[i] + t * (s.y[i + 1] - s.y[i]);
+        grid[row_of(y)][c] = s.marker;
+      }
+    }
+    if (xs.size() == 1) grid[row_of(s.y[0])][col_of(xs[0])] = s.marker;
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (std::size_t r = 0; r < options.height; ++r) {
+    // y tick labels on the first, middle and last rows.
+    double label = std::numeric_limits<double>::quiet_NaN();
+    if (r == 0) label = ymax;
+    if (r == options.height / 2) label = ymin + (ymax - ymin) * 0.5;
+    if (r == options.height - 1) label = ymin;
+    if (std::isnan(label)) {
+      os << std::string(9, ' ');
+    } else {
+      os << std::setw(8) << label << ' ';
+    }
+    os << '|' << grid[r] << '\n';
+  }
+  os << std::string(9, ' ') << '+' << std::string(options.width, '-') << '\n';
+  os << std::string(10, ' ') << xmin
+     << std::string(options.width > 14 ? options.width - 14 : 1, ' ') << xmax
+     << '\n';
+  os << "legend:";
+  for (const ChartSeries& s : series) {
+    os << "  " << s.marker << '=' << s.name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ftsched

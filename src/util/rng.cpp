@@ -1,0 +1,97 @@
+#include "ftsched/util/rng.hpp"
+
+#include <cmath>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection-free bounded draw with bias negligible for the
+  // ranges used here; use rejection to stay exact.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; uniform() < 1 so the log argument is > 0.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+Rng Rng::split() noexcept {
+  // Derive a child seed from two output words; the parent state advances,
+  // so successive splits give distinct streams.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  FTSCHED_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Floyd's algorithm: O(k) expected, no O(n) scratch for small k.
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(j)));
+    bool seen = false;
+    for (std::size_t p : picked) {
+      if (p == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  return picked;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,81 @@
+#include "ftsched/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ftsched {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  // Column widths over header + all rows.
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(width[i])) << cells[i];
+      if (i + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+      total += width[i] + (i + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace ftsched

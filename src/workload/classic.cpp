@@ -1,0 +1,269 @@
+#include "ftsched/workload/classic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+TaskGraph make_chain(std::size_t length, const ClassicParams& params) {
+  FTSCHED_REQUIRE(length > 0, "chain needs at least one task");
+  TaskGraph g("chain");
+  TaskId prev = g.add_task();
+  for (std::size_t i = 1; i < length; ++i) {
+    const TaskId cur = g.add_task();
+    g.add_edge(prev, cur, params.volume);
+    prev = cur;
+  }
+  return g;
+}
+
+TaskGraph make_fork_join(std::size_t width, const ClassicParams& params) {
+  FTSCHED_REQUIRE(width > 0, "fork-join needs at least one branch");
+  TaskGraph g("fork_join");
+  const TaskId src = g.add_task("fork");
+  const TaskId dst = g.add_task("join");
+  for (std::size_t i = 0; i < width; ++i) {
+    const TaskId mid = g.add_task("branch" + std::to_string(i));
+    g.add_edge(src, mid, params.volume);
+    g.add_edge(mid, dst, params.volume);
+  }
+  return g;
+}
+
+TaskGraph make_in_tree(std::size_t leaves, const ClassicParams& params) {
+  FTSCHED_REQUIRE(is_power_of_two(leaves), "leaves must be a power of two");
+  TaskGraph g("in_tree");
+  // Build level by level from the leaves toward the root.
+  std::vector<TaskId> level;
+  level.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) level.push_back(g.add_task());
+  while (level.size() > 1) {
+    std::vector<TaskId> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const TaskId parent = g.add_task();
+      g.add_edge(level[i], parent, params.volume);
+      g.add_edge(level[i + 1], parent, params.volume);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph make_out_tree(std::size_t leaves, const ClassicParams& params) {
+  FTSCHED_REQUIRE(is_power_of_two(leaves), "leaves must be a power of two");
+  TaskGraph g("out_tree");
+  std::vector<TaskId> level{g.add_task("root")};
+  while (level.size() < leaves) {
+    std::vector<TaskId> next;
+    next.reserve(level.size() * 2);
+    for (TaskId parent : level) {
+      const TaskId a = g.add_task();
+      const TaskId b = g.add_task();
+      g.add_edge(parent, a, params.volume);
+      g.add_edge(parent, b, params.volume);
+      next.push_back(a);
+      next.push_back(b);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph make_fft(std::size_t points, const ClassicParams& params) {
+  FTSCHED_REQUIRE(is_power_of_two(points), "points must be a power of two");
+  TaskGraph g("fft");
+  std::size_t stages = 0;
+  for (std::size_t p = points; p > 1; p >>= 1) ++stages;
+  std::vector<TaskId> prev(points);
+  for (std::size_t i = 0; i < points; ++i)
+    prev[i] = g.add_task("in" + std::to_string(i));
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t stride = std::size_t{1} << s;
+    std::vector<TaskId> cur(points);
+    for (std::size_t i = 0; i < points; ++i) {
+      cur[i] = g.add_task("s" + std::to_string(s + 1) + "_" +
+                          std::to_string(i));
+    }
+    for (std::size_t i = 0; i < points; ++i) {
+      g.add_edge(prev[i], cur[i], params.volume);
+      g.add_edge(prev[i ^ stride], cur[i], params.volume);
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph make_gaussian_elimination(std::size_t n,
+                                    const ClassicParams& params) {
+  FTSCHED_REQUIRE(n >= 2, "gaussian elimination needs n >= 2");
+  TaskGraph g("gaussian_elimination");
+  // pivot[k] = T_kk; update(k, j) for j in (k, n): classic wavefront.
+  std::vector<std::vector<TaskId>> update(n);
+  std::vector<TaskId> pivot(n - 1);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    pivot[k] = g.add_task("piv" + std::to_string(k));
+    update[k].assign(n, TaskId{});
+    for (std::size_t j = k + 1; j < n; ++j) {
+      update[k][j] = g.add_task("upd" + std::to_string(k) + "_" +
+                                std::to_string(j));
+      g.add_edge(pivot[k], update[k][j], params.volume);
+      if (k > 0) g.add_edge(update[k - 1][j], update[k][j], params.volume);
+    }
+    if (k > 0) g.add_edge(update[k - 1][k], pivot[k], params.volume);
+  }
+  return g;
+}
+
+TaskGraph make_wavefront(std::size_t rows, std::size_t cols,
+                         const ClassicParams& params) {
+  FTSCHED_REQUIRE(rows > 0 && cols > 0, "wavefront needs a non-empty grid");
+  TaskGraph g("wavefront");
+  std::vector<std::vector<TaskId>> cell(rows, std::vector<TaskId>(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      cell[r][c] =
+          g.add_task("c" + std::to_string(r) + "_" + std::to_string(c));
+      if (r > 0) g.add_edge(cell[r - 1][c], cell[r][c], params.volume);
+      if (c > 0) g.add_edge(cell[r][c - 1], cell[r][c], params.volume);
+    }
+  }
+  return g;
+}
+
+namespace {
+// Recursively builds a series-parallel component with roughly `budget`
+// tasks; returns its (source, sink). budget >= 1.
+struct SpBuilder {
+  TaskGraph& g;
+  Rng& rng;
+  double volume;
+
+  std::pair<TaskId, TaskId> build(std::size_t budget) {
+    if (budget <= 1) {
+      const TaskId t = g.add_task();
+      return {t, t};
+    }
+    if (budget == 2 || rng.bernoulli(0.5)) {
+      // Series: split the budget between two sub-components.
+      const auto left = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(budget) - 1));
+      const auto [s1, t1] = build(left);
+      const auto [s2, t2] = build(budget - left);
+      g.add_edge(t1, s2, volume);
+      return {s1, t2};
+    }
+    // Parallel: dedicated source and sink around 2 branches.
+    const TaskId src = g.add_task();
+    const TaskId dst = g.add_task();
+    const std::size_t inner = budget - 2;
+    const auto left = inner <= 1
+                          ? inner
+                          : static_cast<std::size_t>(rng.uniform_int(
+                                1, static_cast<std::int64_t>(inner) - 1));
+    for (const std::size_t branch_budget : {left, inner - left}) {
+      if (branch_budget == 0) {
+        if (!g.has_edge(src, dst)) g.add_edge(src, dst, volume);
+        continue;
+      }
+      const auto [s, t] = build(branch_budget);
+      g.add_edge(src, s, volume);
+      g.add_edge(t, dst, volume);
+    }
+    return {src, dst};
+  }
+};
+}  // namespace
+
+TaskGraph make_series_parallel(Rng& rng, std::size_t task_count,
+                               const ClassicParams& params) {
+  FTSCHED_REQUIRE(task_count > 0, "series-parallel needs at least one task");
+  TaskGraph g("series_parallel");
+  SpBuilder builder{g, rng, params.volume};
+  (void)builder.build(task_count);
+  return g;
+}
+
+TaskGraph make_cholesky(std::size_t tiles, const ClassicParams& params) {
+  FTSCHED_REQUIRE(tiles >= 2, "cholesky needs at least a 2x2 tile matrix");
+  TaskGraph g("cholesky");
+  const std::size_t b = tiles;
+  auto name = [](const char* kind, std::size_t i, std::size_t j) {
+    return std::string(kind) + std::to_string(i) + "_" + std::to_string(j);
+  };
+  // writer[i][j]: the task that last wrote tile (i, j) (lower triangle).
+  std::vector<std::vector<TaskId>> writer(b, std::vector<TaskId>(b));
+  auto link = [&](TaskId from, TaskId to) {
+    if (from.valid() && !g.has_edge(from, to)) g.add_edge(from, to, params.volume);
+  };
+  for (std::size_t k = 0; k < b; ++k) {
+    const TaskId potrf = g.add_task(name("potrf", k, k));
+    link(writer[k][k], potrf);
+    writer[k][k] = potrf;
+    for (std::size_t i = k + 1; i < b; ++i) {
+      const TaskId trsm = g.add_task(name("trsm", i, k));
+      link(potrf, trsm);
+      link(writer[i][k], trsm);
+      writer[i][k] = trsm;
+    }
+    for (std::size_t i = k + 1; i < b; ++i) {
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const bool diag = (i == j);
+        const TaskId update =
+            g.add_task(name(diag ? "syrk" : "gemm", i, j));
+        link(writer[i][k], update);           // panel column entry i
+        if (!diag) link(writer[j][k], update);  // panel column entry j
+        link(writer[i][j], update);           // previous value of the tile
+        writer[i][j] = update;
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph make_lu(std::size_t tiles, const ClassicParams& params) {
+  FTSCHED_REQUIRE(tiles >= 2, "lu needs at least a 2x2 tile matrix");
+  TaskGraph g("lu");
+  const std::size_t b = tiles;
+  auto name = [](const char* kind, std::size_t i, std::size_t j) {
+    return std::string(kind) + std::to_string(i) + "_" + std::to_string(j);
+  };
+  std::vector<std::vector<TaskId>> writer(b, std::vector<TaskId>(b));
+  auto link = [&](TaskId from, TaskId to) {
+    if (from.valid() && !g.has_edge(from, to)) g.add_edge(from, to, params.volume);
+  };
+  for (std::size_t k = 0; k < b; ++k) {
+    const TaskId getrf = g.add_task(name("getrf", k, k));
+    link(writer[k][k], getrf);
+    writer[k][k] = getrf;
+    for (std::size_t i = k + 1; i < b; ++i) {
+      const TaskId trsm_col = g.add_task(name("trsmL", i, k));
+      link(getrf, trsm_col);
+      link(writer[i][k], trsm_col);
+      writer[i][k] = trsm_col;
+      const TaskId trsm_row = g.add_task(name("trsmU", k, i));
+      link(getrf, trsm_row);
+      link(writer[k][i], trsm_row);
+      writer[k][i] = trsm_row;
+    }
+    for (std::size_t i = k + 1; i < b; ++i) {
+      for (std::size_t j = k + 1; j < b; ++j) {
+        const TaskId gemm = g.add_task(name("gemm", i, j));
+        link(writer[i][k], gemm);
+        link(writer[k][j], gemm);
+        link(writer[i][j], gemm);
+        writer[i][j] = gemm;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ftsched

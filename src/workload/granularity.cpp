@@ -1,0 +1,17 @@
+#include "ftsched/workload/granularity.hpp"
+
+#include <cmath>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+void set_granularity(CostModel& costs, double target) {
+  FTSCHED_REQUIRE(target > 0.0, "granularity target must be positive");
+  const double current = costs.granularity();
+  FTSCHED_REQUIRE(std::isfinite(current),
+                  "graph has no communication; granularity is infinite");
+  costs.scale_exec(target / current);
+}
+
+}  // namespace ftsched

@@ -1,0 +1,55 @@
+#include "ftsched/workload/paper_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/granularity.hpp"
+
+namespace ftsched {
+
+Workload::Workload(TaskGraph graph, Platform platform,
+                   std::vector<std::vector<double>> exec)
+    : graph_(std::make_unique<TaskGraph>(std::move(graph))),
+      platform_(std::make_unique<Platform>(std::move(platform))),
+      costs_(std::make_unique<CostModel>(*graph_, *platform_,
+                                         std::move(exec))) {}
+
+std::unique_ptr<Workload> make_workload_for_graph(
+    Rng& rng, TaskGraph graph, const PaperWorkloadParams& params) {
+  PlatformParams platform_params;
+  platform_params.proc_count = params.proc_count;
+  platform_params.delay_min = params.delay_min;
+  platform_params.delay_max = params.delay_max;
+  Platform platform = make_random_platform(rng, platform_params);
+
+  auto exec = make_exec_costs(rng, graph, params.proc_count, params.exec);
+  auto workload = std::make_unique<Workload>(std::move(graph),
+                                             std::move(platform),
+                                             std::move(exec));
+  if (workload->graph().edge_count() > 0 &&
+      std::isfinite(workload->costs().granularity())) {
+    set_granularity(workload->costs(), params.granularity);
+  }
+  return workload;
+}
+
+std::unique_ptr<Workload> make_paper_workload(
+    Rng& rng, const PaperWorkloadParams& params) {
+  FTSCHED_REQUIRE(params.task_min > 0 && params.task_max >= params.task_min,
+                  "invalid task count range");
+  LayeredDagParams dag_params;
+  dag_params.task_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.task_min),
+                      static_cast<std::int64_t>(params.task_max)));
+  dag_params.avg_layer_width =
+      params.avg_layer_width != 0
+          ? params.avg_layer_width
+          : std::max<std::size_t>(8, dag_params.task_count / 15);
+  dag_params.volume_min = params.volume_min;
+  dag_params.volume_max = params.volume_max;
+  TaskGraph graph = make_layered_dag(rng, dag_params);
+  return make_workload_for_graph(rng, std::move(graph), params);
+}
+
+}  // namespace ftsched

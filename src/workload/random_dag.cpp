@@ -1,0 +1,103 @@
+#include "ftsched/workload/random_dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+TaskGraph make_layered_dag(Rng& rng, const LayeredDagParams& params) {
+  FTSCHED_REQUIRE(params.task_count > 0, "task_count must be positive");
+  FTSCHED_REQUIRE(params.avg_layer_width > 0, "avg_layer_width must be positive");
+  FTSCHED_REQUIRE(params.edge_probability >= 0.0 &&
+                      params.edge_probability <= 1.0,
+                  "edge_probability must be in [0,1]");
+  FTSCHED_REQUIRE(params.max_layer_jump >= 1, "max_layer_jump must be >= 1");
+  FTSCHED_REQUIRE(params.volume_min >= 0.0 &&
+                      params.volume_max >= params.volume_min,
+                  "invalid volume range");
+
+  TaskGraph g("layered_random");
+  // Carve the tasks into layers of random size.
+  std::vector<std::vector<TaskId>> layer_tasks;
+  std::size_t remaining = params.task_count;
+  while (remaining > 0) {
+    const auto lo = std::int64_t{1};
+    const auto hi =
+        static_cast<std::int64_t>(2 * params.avg_layer_width - 1);
+    auto size = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+    size = std::min(size, remaining);
+    std::vector<TaskId> layer;
+    layer.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) layer.push_back(g.add_task());
+    layer_tasks.push_back(std::move(layer));
+    remaining -= size;
+  }
+
+  auto volume = [&rng, &params] {
+    return rng.uniform(params.volume_min, params.volume_max);
+  };
+
+  // Draw edges from nearby earlier layers.
+  for (std::size_t l = 1; l < layer_tasks.size(); ++l) {
+    const std::size_t first_src_layer =
+        l >= params.max_layer_jump ? l - params.max_layer_jump : 0;
+    for (TaskId t : layer_tasks[l]) {
+      for (std::size_t sl = first_src_layer; sl < l; ++sl) {
+        for (TaskId s : layer_tasks[sl]) {
+          if (rng.bernoulli(params.edge_probability)) {
+            g.add_edge(s, t, volume());
+          }
+        }
+      }
+      if (params.connect && g.in_degree(t) == 0) {
+        // Force one predecessor from the immediately preceding layer.
+        const auto& prev = layer_tasks[l - 1];
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(prev.size()) - 1));
+        g.add_edge(prev[pick], t, volume());
+      }
+    }
+  }
+  if (params.connect) {
+    // Every non-final-layer task needs a successor.
+    for (std::size_t l = 0; l + 1 < layer_tasks.size(); ++l) {
+      for (TaskId t : layer_tasks[l]) {
+        if (g.out_degree(t) > 0) continue;
+        const auto& next = layer_tasks[l + 1];
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(next.size()) - 1));
+        if (!g.has_edge(t, next[pick])) g.add_edge(t, next[pick], volume());
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph make_gnp_dag(Rng& rng, const GnpDagParams& params) {
+  FTSCHED_REQUIRE(params.task_count > 0, "task_count must be positive");
+  FTSCHED_REQUIRE(params.edge_probability >= 0.0 &&
+                      params.edge_probability <= 1.0,
+                  "edge_probability must be in [0,1]");
+  TaskGraph g("gnp_random");
+  std::vector<TaskId> tasks;
+  tasks.reserve(params.task_count);
+  for (std::size_t i = 0; i < params.task_count; ++i)
+    tasks.push_back(g.add_task());
+  // Random topological permutation so edge direction is unbiased w.r.t. id.
+  std::vector<std::size_t> perm(params.task_count);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t j = i + 1; j < perm.size(); ++j) {
+      if (rng.bernoulli(params.edge_probability)) {
+        g.add_edge(tasks[perm[i]], tasks[perm[j]],
+                   rng.uniform(params.volume_min, params.volume_max));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,151 @@
+// Unit + property tests for the AVL-tree priority structure (paper §4.1's α).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ftsched/core/avl.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Avl, EmptyTree) {
+  AvlTree<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_THROW((void)t.max(), InvalidArgument);
+  EXPECT_THROW((void)t.min(), InvalidArgument);
+}
+
+TEST(Avl, InsertAndQuery) {
+  AvlTree<int> t;
+  for (int x : {5, 1, 9, 3, 7}) t.insert(x);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.max(), 9);
+  EXPECT_EQ(t.min(), 1);
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(4));
+  t.validate();
+}
+
+TEST(Avl, SortedTraversal) {
+  AvlTree<int> t;
+  for (int x : {4, 2, 8, 6, 0}) t.insert(x);
+  EXPECT_EQ(t.to_sorted_vector(), (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(Avl, Duplicates) {
+  AvlTree<int> t;
+  t.insert(5);
+  t.insert(5);
+  t.insert(5);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.erase_one(5));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(5));
+  t.validate();
+}
+
+TEST(Avl, EraseMissingReturnsFalse) {
+  AvlTree<int> t;
+  t.insert(1);
+  EXPECT_FALSE(t.erase_one(2));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Avl, ExtractMaxDrainsInDescendingOrder) {
+  AvlTree<int> t;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i)
+    t.insert(static_cast<int>(rng.uniform_int(0, 1000)));
+  int prev = 1001;
+  while (!t.empty()) {
+    const int x = t.extract_max();
+    EXPECT_LE(x, prev);
+    prev = x;
+  }
+}
+
+TEST(Avl, SequentialInsertStaysBalanced) {
+  // Ascending insertion is the classic unbalanced-BST killer.
+  AvlTree<int> t;
+  for (int i = 0; i < 4096; ++i) {
+    t.insert(i);
+  }
+  t.validate();  // checks balance factors and stale heights everywhere
+  EXPECT_EQ(t.size(), 4096u);
+  EXPECT_EQ(t.max(), 4095);
+}
+
+TEST(Avl, DescendingInsertStaysBalanced) {
+  AvlTree<int> t;
+  for (int i = 4096; i-- > 0;) t.insert(i);
+  t.validate();
+  EXPECT_EQ(t.min(), 0);
+}
+
+TEST(Avl, Clear) {
+  AvlTree<int> t;
+  for (int i = 0; i < 100; ++i) t.insert(i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  t.insert(42);
+  EXPECT_EQ(t.max(), 42);
+}
+
+TEST(Avl, CustomComparator) {
+  AvlTree<int, std::greater<int>> t;  // reversed order
+  for (int x : {1, 5, 3}) t.insert(x);
+  EXPECT_EQ(t.max(), 1);  // "max" under greater<> is the smallest value
+  EXPECT_EQ(t.min(), 5);
+  t.validate();
+}
+
+TEST(Avl, MoveConstruction) {
+  AvlTree<int> t;
+  for (int i = 0; i < 10; ++i) t.insert(i);
+  AvlTree<int> u = std::move(t);
+  EXPECT_EQ(u.size(), 10u);
+  u.validate();
+}
+
+// Property sweep: random interleavings of insert/erase/extract keep the
+// tree a valid AVL multiset that mirrors a reference sorted vector.
+class AvlProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AvlProperty, MatchesReferenceMultiset) {
+  Rng rng(GetParam());
+  AvlTree<int> t;
+  std::vector<int> reference;  // kept sorted
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.55 || reference.empty()) {
+      const int x = static_cast<int>(rng.uniform_int(0, 50));
+      t.insert(x);
+      reference.insert(
+          std::lower_bound(reference.begin(), reference.end(), x), x);
+    } else if (action < 0.8) {
+      const int x = static_cast<int>(rng.uniform_int(0, 50));
+      const bool erased = t.erase_one(x);
+      const auto it =
+          std::lower_bound(reference.begin(), reference.end(), x);
+      const bool expected = it != reference.end() && *it == x;
+      EXPECT_EQ(erased, expected);
+      if (expected) reference.erase(it);
+    } else {
+      const int x = t.extract_max();
+      EXPECT_EQ(x, reference.back());
+      reference.pop_back();
+    }
+    ASSERT_EQ(t.size(), reference.size());
+  }
+  t.validate();
+  EXPECT_EQ(t.to_sorted_vector(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,185 @@
+// Tests for the §4.3 bi-criteria drivers: deadlines, both-fixed feasibility
+// detection, and the latency-fixed → max-ε searches.
+#include <gtest/gtest.h>
+
+#include "ftsched/core/bicriteria.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/classic.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+namespace {
+
+std::unique_ptr<Workload> small_workload(std::uint64_t seed,
+                                         std::size_t procs = 6,
+                                         std::size_t tasks = 30) {
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  return make_paper_workload(rng, params);
+}
+
+// ---------------------------------------------------------------- deadlines
+
+TEST(Deadlines, ExitTasksGetTheLatency) {
+  const auto w = small_workload(1);
+  const double latency = 1000.0;
+  const auto d = task_deadlines(w->costs(), latency, 1);
+  for (TaskId t : w->graph().exit_tasks()) {
+    EXPECT_DOUBLE_EQ(d[t.index()], latency);
+  }
+}
+
+TEST(Deadlines, EarlierThanSuccessors) {
+  const auto w = small_workload(2);
+  const auto d = task_deadlines(w->costs(), 500.0, 2);
+  for (const Edge& e : w->graph().edges()) {
+    // d(ti) <= d(tj) − E*(tj) − W*(ti,tj) < d(tj).
+    EXPECT_LT(d[e.src.index()], d[e.dst.index()]);
+  }
+}
+
+TEST(Deadlines, ShiftEquivariantInLatency) {
+  // The recursion is linear in L: d_{L+c}(t) = d_L(t) + c.
+  const auto w = small_workload(3);
+  const auto d1 = task_deadlines(w->costs(), 100.0, 1);
+  const auto d2 = task_deadlines(w->costs(), 150.0, 1);
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_NEAR(d2[i] - d1[i], 50.0, 1e-9);
+  }
+}
+
+TEST(Deadlines, RejectsBadEpsilon) {
+  const auto w = small_workload(4, /*procs=*/3);
+  EXPECT_THROW((void)task_deadlines(w->costs(), 10.0, 5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- both fixed
+
+TEST(BothFixed, GenerousLatencyIsFeasible) {
+  const auto w = small_workload(5);
+  FtsaOptions options;
+  options.epsilon = 1;
+  const auto unconstrained = ftsa_schedule(w->costs(), options);
+  // A latency far above what FTSA achieves must be feasible.
+  const auto s = ftsa_schedule_with_deadline(
+      w->costs(), 10.0 * unconstrained.upper_bound(), options);
+  ASSERT_TRUE(s.has_value());
+  s->validate();
+  // The deadline test does not change any scheduling decision, only aborts
+  // infeasible runs, so the schedule equals the unconstrained one.
+  EXPECT_DOUBLE_EQ(s->lower_bound(), unconstrained.lower_bound());
+  EXPECT_DOUBLE_EQ(s->upper_bound(), unconstrained.upper_bound());
+}
+
+TEST(BothFixed, ImpossibleLatencyIsRejectedEarly) {
+  const auto w = small_workload(6);
+  FtsaOptions options;
+  options.epsilon = 2;
+  const auto unconstrained = ftsa_schedule(w->costs(), options);
+  // A latency far below the achievable one must be reported infeasible.
+  const auto s = ftsa_schedule_with_deadline(
+      w->costs(), 0.01 * unconstrained.lower_bound(), options);
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST(BothFixed, ChainWithTightBudget) {
+  // Chain of 4 unit tasks, no comm heterogeneity: latency 4 is achievable
+  // on identical processors, latency 3.5 is not.
+  TaskGraph g = make_chain(4, ClassicParams{1.0});
+  const Platform p(3, 1.0);
+  std::vector<std::vector<double>> exec(4, std::vector<double>(3, 1.0));
+  const CostModel costs(g, p, exec);
+  FtsaOptions options;
+  options.epsilon = 1;
+  EXPECT_TRUE(ftsa_schedule_with_deadline(costs, 10.0, options).has_value());
+  EXPECT_FALSE(ftsa_schedule_with_deadline(costs, 3.5, options).has_value());
+}
+
+// ---------------------------------------------------------------- max epsilon
+
+TEST(MaxFailures, UnreachableLatencyReturnsNullopt) {
+  const auto w = small_workload(7);
+  const auto result = max_supported_failures(w->costs(), 1e-6);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(MaxFailures, HugeLatencySupportsMaximumEpsilon) {
+  const auto w = small_workload(8, /*procs=*/5);
+  const auto result = max_supported_failures(w->costs(), 1e9);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->epsilon, 4u);  // m − 1
+}
+
+TEST(MaxFailures, ResultIsFeasible) {
+  const auto w = small_workload(9, /*procs=*/6);
+  FtsaOptions base;
+  const auto s1 = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+  const double target = s1.upper_bound();  // ε = 1 definitely fits
+  const auto result =
+      max_supported_failures(w->costs(), target, LatencyBound::kUpper, base);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->epsilon, 1u);
+  EXPECT_LE(result->upper_bound, target * (1 + 1e-12));
+}
+
+TEST(MaxFailures, BinaryAndLinearAgreeOnFeasibility) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto w = small_workload(seed, /*procs=*/5);
+    const auto s1 = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+    const double target = 1.2 * s1.upper_bound();
+    const auto binary = max_supported_failures(
+        w->costs(), target, LatencyBound::kUpper, {}, /*binary_search=*/true);
+    const auto linear = max_supported_failures(
+        w->costs(), target, LatencyBound::kUpper, {}, /*binary_search=*/false);
+    ASSERT_TRUE(binary.has_value());
+    ASSERT_TRUE(linear.has_value());
+    // Both answers must themselves be feasible at the target.
+    EXPECT_LE(binary->upper_bound, target * (1 + 1e-12));
+    EXPECT_LE(linear->upper_bound, target * (1 + 1e-12));
+  }
+}
+
+TEST(MaxFailures, BinarySearchUsesFewerSchedulesOnLargePlatforms) {
+  Rng rng(11);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = 25;
+  params.proc_count = 16;
+  const auto w = make_paper_workload(rng, params);
+  const auto binary = max_supported_failures(w->costs(), 1e9,
+                                             LatencyBound::kUpper, {}, true);
+  const auto linear = max_supported_failures(w->costs(), 1e9,
+                                             LatencyBound::kUpper, {}, false);
+  ASSERT_TRUE(binary.has_value());
+  ASSERT_TRUE(linear.has_value());
+  EXPECT_EQ(binary->epsilon, 15u);
+  EXPECT_EQ(linear->epsilon, 15u);
+  EXPECT_LT(binary->schedules_computed, linear->schedules_computed);
+}
+
+TEST(MaxFailures, LowerBoundModeIsMorePermissive) {
+  // M* <= M, so for the same latency target the kLower criterion never
+  // supports fewer failures than kUpper.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto w = small_workload(seed, /*procs=*/5);
+    const auto s1 = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+    const double target = s1.upper_bound();
+    const auto lo =
+        max_supported_failures(w->costs(), target, LatencyBound::kLower);
+    const auto hi =
+        max_supported_failures(w->costs(), target, LatencyBound::kUpper);
+    ASSERT_TRUE(lo.has_value());
+    ASSERT_TRUE(hi.has_value());
+    EXPECT_GE(lo->epsilon, hi->epsilon);
+  }
+}
+
+TEST(MaxFailures, RejectsNonPositiveLatency) {
+  const auto w = small_workload(1);
+  EXPECT_THROW((void)max_supported_failures(w->costs(), 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftsched

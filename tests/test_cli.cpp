@@ -1,0 +1,192 @@
+// End-to-end tests of the ftsched_cli subcommands (driven in-process via
+// run_cli so output and exit codes are directly observable).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli_commands.hpp"
+
+namespace ftsched::cli {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ftsched_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    graph_file_ = (dir_ / "graph.txt").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string graph_file_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  const CliResult help = run({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("generate"), std::string::npos);
+
+  const CliResult nothing = run({});
+  EXPECT_EQ(nothing.code, 1);
+
+  const CliResult bogus = run({"frobnicate"});
+  EXPECT_EQ(bogus.code, 1);
+  EXPECT_NE(bogus.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateInfoRoundTrip) {
+  const CliResult gen = run({"generate", "--family", "layered", "--tasks",
+                             "40", "--seed", "3", "--out", graph_file_});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  ASSERT_TRUE(std::filesystem::exists(graph_file_));
+
+  const CliResult info = run({"info", "--graph", graph_file_});
+  ASSERT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("tasks:           40"), std::string::npos);
+  EXPECT_NE(info.out.find("layer width"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateAllFamilies) {
+  for (const char* family :
+       {"layered", "gnp", "chain", "forkjoin", "intree", "outtree", "fft",
+        "gauss", "wavefront", "sp", "cholesky", "lu"}) {
+    // Tree/FFT families need power-of-two sizes; 8 works everywhere.
+    const CliResult r = run({"generate", "--family", family, "--tasks", "8"});
+    EXPECT_EQ(r.code, 0) << family << ": " << r.err;
+    EXPECT_NE(r.out.find("taskgraph"), std::string::npos) << family;
+  }
+}
+
+TEST_F(CliTest, GenerateDotOutput) {
+  const CliResult r =
+      run({"generate", "--family", "chain", "--tasks", "4", "--dot"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleAllAlgorithms) {
+  ASSERT_EQ(run({"generate", "--family", "layered", "--tasks", "30",
+                 "--out", graph_file_})
+                .code,
+            0);
+  for (const char* algo :
+       {"ftsa", "mc-ftsa", "mc-ftsa-paper", "ftbar", "heft", "cpop"}) {
+    const bool replicated = std::string(algo) != "heft" &&
+                            std::string(algo) != "cpop";
+    std::vector<std::string> args{"schedule", "--graph", graph_file_,
+                                  "--algo", algo, "--procs", "6"};
+    if (!replicated) {
+      args.push_back("--epsilon");
+      args.push_back("0");
+    }
+    const CliResult r = run(args);
+    EXPECT_EQ(r.code, 0) << algo << ": " << r.err;
+    EXPECT_NE(r.out.find("lower bound"), std::string::npos) << algo;
+  }
+}
+
+TEST_F(CliTest, ScheduleWithGanttJsonAndFile) {
+  ASSERT_EQ(run({"generate", "--family", "fft", "--tasks", "8", "--out",
+                 graph_file_})
+                .code,
+            0);
+  const std::string sched_file = (dir_ / "sched.txt").string();
+  const CliResult r =
+      run({"schedule", "--graph", graph_file_, "--algo", "ftsa", "--epsilon",
+           "1", "--procs", "4", "--gantt", "--json", "--out", sched_file});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("P0"), std::string::npos);          // gantt row
+  EXPECT_NE(r.out.find("\"algorithm\""), std::string::npos);  // json
+  std::ifstream sched(sched_file);
+  std::string first_line;
+  std::getline(sched, first_line);
+  EXPECT_EQ(first_line.rfind("schedule FTSA", 0), 0u);
+}
+
+TEST_F(CliTest, SimulateSurvivesCrashSpec) {
+  ASSERT_EQ(run({"generate", "--family", "layered", "--tasks", "25",
+                 "--out", graph_file_})
+                .code,
+            0);
+  const CliResult r =
+      run({"simulate", "--graph", graph_file_, "--algo", "ftsa", "--epsilon",
+           "2", "--procs", "6", "--crashes", "0@0,3@50.5", "--gantt"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("success:              yes"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateReportsFailureExitCode) {
+  ASSERT_EQ(run({"generate", "--family", "chain", "--tasks", "5", "--out",
+                 graph_file_})
+                .code,
+            0);
+  // epsilon=0 and crash every processor: the run must fail with code 2.
+  const CliResult r =
+      run({"simulate", "--graph", graph_file_, "--algo", "heft", "--procs",
+           "2", "--crashes", "0@0,1@0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("success:              NO"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateCommModels) {
+  ASSERT_EQ(run({"generate", "--family", "layered", "--tasks", "20",
+                 "--out", graph_file_})
+                .code,
+            0);
+  for (const char* comm : {"free", "oneport", "multiport"}) {
+    const CliResult r = run({"simulate", "--graph", graph_file_, "--algo",
+                             "ftsa", "--procs", "5", "--comm", comm});
+    EXPECT_EQ(r.code, 0) << comm << ": " << r.err;
+  }
+}
+
+TEST_F(CliTest, ValidateCertifiesFtsaAndFlagsPaperMc) {
+  ASSERT_EQ(run({"generate", "--family", "layered", "--tasks", "20",
+                 "--out", graph_file_})
+                .code,
+            0);
+  const CliResult good = run({"validate", "--graph", graph_file_, "--algo",
+                              "ftsa", "--epsilon", "2", "--procs", "5"});
+  EXPECT_EQ(good.code, 0) << good.err;
+  EXPECT_NE(good.out.find("certified robust"), std::string::npos);
+  EXPECT_NE(good.out.find("valid"), std::string::npos);
+
+  // Paper-mode MC-FTSA usually fails validation on these workloads; accept
+  // either outcome, but a fatal kill-set analysis must imply an exhaustive
+  // failure (exit code 2).
+  const CliResult paper =
+      run({"validate", "--graph", graph_file_, "--algo", "mc-ftsa-paper",
+           "--epsilon", "2", "--procs", "5"});
+  const bool analysis_fatal =
+      paper.out.find("NOT fault tolerant") != std::string::npos;
+  if (analysis_fatal) EXPECT_EQ(paper.code, 2) << paper.out;
+}
+
+TEST_F(CliTest, ErrorsAreReportedNotThrown) {
+  const CliResult r = run({"info", "--graph", "/nonexistent/file"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched::cli

@@ -1,0 +1,131 @@
+// Tests for contention-aware scheduling (send-port-aware arrival
+// estimates; §7 future work implemented at the scheduler level).
+#include <gtest/gtest.h>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/sim/validator.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+namespace {
+
+std::unique_ptr<Workload> small_workload(std::uint64_t seed,
+                                         std::size_t procs = 6,
+                                         std::size_t tasks = 30,
+                                         double granularity = 0.5) {
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  params.granularity = granularity;
+  return make_paper_workload(rng, params);
+}
+
+TEST(CommAware, DisabledByDefault) {
+  FtsaOptions options;
+  EXPECT_FALSE(options.comm.enabled());
+  EXPECT_EQ(options.comm.ports, 0u);
+}
+
+TEST(CommAware, ZeroPortsMatchesBaseline) {
+  const auto w = small_workload(1);
+  FtsaOptions naive;
+  naive.epsilon = 2;
+  FtsaOptions zero = naive;
+  zero.comm.ports = 0;
+  const auto a = ftsa_schedule(w->costs(), naive);
+  const auto b = ftsa_schedule(w->costs(), zero);
+  EXPECT_DOUBLE_EQ(a.lower_bound(), b.lower_bound());
+  EXPECT_DOUBLE_EQ(a.upper_bound(), b.upper_bound());
+}
+
+class CommAwareSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommAwareSweep, AwareSchedulesAreStructurallyValid) {
+  const auto w = small_workload(GetParam());
+  for (std::size_t ports : {1u, 2u}) {
+    FtsaOptions fo;
+    fo.epsilon = 2;
+    fo.seed = GetParam();
+    fo.comm.ports = ports;
+    const auto ftsa = ftsa_schedule(w->costs(), fo);
+    ftsa.validate();
+    McFtsaOptions mo;
+    mo.epsilon = 2;
+    mo.seed = GetParam();
+    mo.comm.ports = ports;
+    const auto mc = mc_ftsa_schedule(w->costs(), mo);
+    mc.validate();
+    // Failure-free execution (contention-free model) may start tasks
+    // earlier than the port-aware plan, never later.
+    const SimulationResult r = simulate(ftsa);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.latency, ftsa.lower_bound() * (1 + 1e-9));
+  }
+}
+
+TEST_P(CommAwareSweep, AwareSchedulesStayFaultTolerant) {
+  const auto w = small_workload(GetParam(), /*procs=*/5, /*tasks=*/20);
+  FtsaOptions fo;
+  fo.epsilon = 2;
+  fo.seed = GetParam();
+  fo.comm.ports = 1;
+  const auto s = ftsa_schedule(w->costs(), fo);
+  const ValidationReport report = validate_fault_tolerance(s);
+  EXPECT_TRUE(report.valid) << report.failure_description;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommAwareSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(CommAware, AwarenessChangesThePlanAndPlansConservatively) {
+  // Port-aware arrival estimates must actually influence the plan, and the
+  // planned (port-aware) bound must not be *below* the naive plan's on
+  // average: queueing only delays estimated arrivals.
+  //
+  // Note bench_ablation_commaware: on paper-scale workloads the aware
+  // schedules do NOT execute faster under the one-port simulator — a
+  // negative result discussed in EXPERIMENTS.md (the replication scheme's
+  // message volume, not placement, dominates one-port behaviour).
+  double naive_bound = 0.0;
+  double aware_bound = 0.0;
+  std::size_t plans_differ = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto w = small_workload(seed, /*procs=*/8, /*tasks=*/40);
+    FtsaOptions naive;
+    naive.epsilon = 2;
+    naive.seed = seed;
+    FtsaOptions aware = naive;
+    aware.comm.ports = 1;
+    const auto a = ftsa_schedule(w->costs(), naive);
+    const auto b = ftsa_schedule(w->costs(), aware);
+    naive_bound += a.lower_bound();
+    aware_bound += b.lower_bound();
+    if (std::abs(a.lower_bound() - b.lower_bound()) > 1e-9) ++plans_differ;
+  }
+  EXPECT_GE(plans_differ, 6u);
+  EXPECT_GE(aware_bound, naive_bound);
+}
+
+TEST(CommAware, PortAwareBoundsDominateContentionFree) {
+  // Port queueing can only delay estimated arrivals, so the aware
+  // schedule's planned latency is at least the naive one's under the same
+  // tie-break seed... not guaranteed per instance (different placements),
+  // but the aware plan must at least be internally consistent:
+  const auto w = small_workload(9);
+  FtsaOptions aware;
+  aware.epsilon = 1;
+  aware.comm.ports = 1;
+  const auto s = ftsa_schedule(w->costs(), aware);
+  EXPECT_LE(s.lower_bound(), s.upper_bound() * (1 + 1e-12));
+  for (TaskId t : w->graph().tasks()) {
+    for (const Replica& r : s.replicas(t)) {
+      EXPECT_LE(r.start, r.pess_start + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,178 @@
+// Tests for the CPOP baseline and the tiled linear-algebra workloads
+// (Cholesky / LU).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftsched/core/cpop.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/heft.hpp"
+#include "ftsched/dag/analysis.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/classic.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+namespace {
+
+std::unique_ptr<Workload> small_workload(std::uint64_t seed,
+                                         std::size_t procs = 6,
+                                         std::size_t tasks = 40) {
+  Rng rng(seed);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  return make_paper_workload(rng, params);
+}
+
+// ---------------------------------------------------------------- cpop
+
+TEST(Cpop, ValidSingleReplicaSchedule) {
+  const auto w = small_workload(1);
+  const auto s = cpop_schedule(w->costs());
+  s.validate();
+  EXPECT_EQ(s.epsilon(), 0u);
+  for (TaskId t : w->graph().tasks()) {
+    EXPECT_EQ(s.replicas(t).size(), 1u);
+  }
+}
+
+TEST(Cpop, FailureFreeSimulationSucceeds) {
+  const auto w = small_workload(2);
+  const auto s = cpop_schedule(w->costs());
+  const SimulationResult r = simulate(s);
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(r.latency, s.lower_bound() * (1 + 1e-9));
+}
+
+TEST(Cpop, CriticalChainSharesOneProcessor) {
+  // On a pure chain the whole graph is the critical path, so CPOP pins
+  // everything onto the single best processor.
+  TaskGraph g = make_chain(6, ClassicParams{50.0});
+  const Platform p(4, 1.0);
+  std::vector<std::vector<double>> exec(6, {7.0, 5.0, 9.0, 6.0});
+  const CostModel costs(g, p, exec);
+  const auto s = cpop_schedule(costs);
+  for (TaskId t : g.tasks()) {
+    EXPECT_EQ(s.replicas(t)[0].proc, ProcId{1u});  // fastest column
+  }
+  EXPECT_DOUBLE_EQ(s.lower_bound(), 30.0);
+}
+
+TEST(Cpop, CompetitiveWithHeftOnAverage) {
+  double cpop_sum = 0.0;
+  double heft_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto w = small_workload(seed);
+    cpop_sum += cpop_schedule(w->costs()).lower_bound();
+    heft_sum += heft_schedule(w->costs()).lower_bound();
+  }
+  // CPOP and HEFT trade wins; neither should be wildly worse.
+  EXPECT_LT(cpop_sum, heft_sum * 1.3);
+  EXPECT_LT(heft_sum, cpop_sum * 1.3);
+}
+
+TEST(Cpop, WorksOnWideGraphs) {
+  Rng rng(3);
+  PaperWorkloadParams params;
+  params.proc_count = 5;
+  const auto w = make_workload_for_graph(rng, make_fork_join(12), params);
+  const auto s = cpop_schedule(w->costs());
+  s.validate();
+  EXPECT_TRUE(simulate(s).success);
+}
+
+// ---------------------------------------------------------------- cholesky
+
+TEST(Cholesky, TaskAndStructureCounts) {
+  // b=3: k=0: potrf + 2 trsm + 3 updates; k=1: potrf + 1 trsm + 1 update;
+  // k=2: potrf. Total = 6 + 3 + 1 + (potrfs... ) => count directly:
+  const TaskGraph g = make_cholesky(3);
+  // potrf: 3, trsm: 2+1 = 3, updates: (3) + (1) = 4 -> 10 tasks.
+  EXPECT_EQ(g.task_count(), 10u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);  // potrf0 starts everything
+  EXPECT_EQ(g.exit_tasks().size(), 1u);   // final potrf
+}
+
+TEST(Cholesky, DependenciesFollowFactorization) {
+  const TaskGraph g = make_cholesky(4);
+  EXPECT_TRUE(g.is_acyclic());
+  // Every trsm of panel k depends on potrf k (label-based lookup).
+  std::vector<TaskId> potrf;
+  for (TaskId t : g.tasks()) {
+    if (g.label(t).rfind("potrf", 0) == 0) potrf.push_back(t);
+  }
+  ASSERT_EQ(potrf.size(), 4u);
+  for (TaskId t : g.tasks()) {
+    if (g.label(t).rfind("trsm", 0) == 0) {
+      const char k = g.label(t).back();  // trsm<i>_<k>: last char = k
+      bool depends_on_potrf = false;
+      for (std::size_t e : g.in_edges(t)) {
+        const std::string& src = g.label(g.edge(e).src);
+        if (src.rfind("potrf", 0) == 0 && src[5] == k) {
+          depends_on_potrf = true;
+        }
+      }
+      EXPECT_TRUE(depends_on_potrf) << g.label(t);
+    }
+  }
+}
+
+TEST(Cholesky, GrowsCubically) {
+  // Task count of tiled Cholesky is b(b+1)(b+2)/6 + O(b²)-ish; just check
+  // strict superlinear growth and schedulability.
+  const std::size_t small = make_cholesky(4).task_count();
+  const std::size_t large = make_cholesky(8).task_count();
+  EXPECT_GT(large, 4 * small / 2);
+  Rng rng(4);
+  PaperWorkloadParams params;
+  params.proc_count = 6;
+  const auto w = make_workload_for_graph(rng, make_cholesky(5), params);
+  const auto s = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+  s.validate();
+  EXPECT_TRUE(simulate(s).success);
+}
+
+// ---------------------------------------------------------------- lu
+
+TEST(Lu, TaskCountsAndStructure) {
+  // b=3: k=0: getrf + 2+2 trsm + 4 gemm; k=1: getrf + 1+1 trsm + 1 gemm;
+  // k=2: getrf. Total = 9 + 4 + 1 = 14.
+  const TaskGraph g = make_lu(3);
+  EXPECT_EQ(g.task_count(), 14u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Lu, CriticalPathDepthGrowsLinearly) {
+  const std::size_t d4 = critical_path_hops(make_lu(4));
+  const std::size_t d8 = critical_path_hops(make_lu(8));
+  EXPECT_GT(d8, d4);
+  EXPECT_GE(d8, 2 * d4 - 4);  // roughly linear in b
+}
+
+TEST(Lu, SchedulableAndFaultTolerant) {
+  Rng rng(5);
+  PaperWorkloadParams params;
+  params.proc_count = 5;
+  const auto w = make_workload_for_graph(rng, make_lu(4), params);
+  const auto s = ftsa_schedule(w->costs(), FtsaOptions{2, 0});
+  s.validate();
+  Rng crash_rng(6);
+  for (int i = 0; i < 5; ++i) {
+    const auto scenario = random_crashes(crash_rng, 5, 2);
+    EXPECT_TRUE(simulate(s, scenario).success);
+  }
+}
+
+TEST(LinAlg, RejectTrivialSizes) {
+  EXPECT_THROW((void)make_cholesky(1), InvalidArgument);
+  EXPECT_THROW((void)make_lu(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftsched

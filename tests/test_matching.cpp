@@ -1,0 +1,153 @@
+// Unit + property tests for Hopcroft–Karp maximum bipartite matching.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "ftsched/core/matching.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched {
+namespace {
+
+// Exhaustive reference: maximum matching size by trying all left-node
+// orderings with a recursive augmenting search (fine for <= 7 nodes).
+std::size_t brute_force_matching(const BipartiteGraph& g) {
+  std::vector<int> match_right(g.right_count(), -1);
+  std::function<bool(std::size_t, std::vector<char>&)> try_augment =
+      [&](std::size_t l, std::vector<char>& used) -> bool {
+    for (std::size_t r : g.neighbors(l)) {
+      if (used[r]) continue;
+      used[r] = 1;
+      if (match_right[r] < 0 ||
+          try_augment(static_cast<std::size_t>(match_right[r]), used)) {
+        match_right[r] = static_cast<int>(l);
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t size = 0;
+  for (std::size_t l = 0; l < g.left_count(); ++l) {
+    std::vector<char> used(g.right_count(), 0);
+    if (try_augment(l, used)) ++size;
+  }
+  return size;
+}
+
+bool matching_is_consistent(const BipartiteGraph& g, const Matching& m) {
+  std::size_t count = 0;
+  for (std::size_t l = 0; l < g.left_count(); ++l) {
+    const std::size_t r = m.pair_of_left[l];
+    if (r == Matching::kUnmatched) continue;
+    ++count;
+    if (m.pair_of_right[r] != l) return false;
+    // The matched edge must exist.
+    const auto& nbrs = g.neighbors(l);
+    if (std::find(nbrs.begin(), nbrs.end(), r) == nbrs.end()) return false;
+  }
+  return count == m.size;
+}
+
+TEST(Matching, EmptyGraph) {
+  const BipartiteGraph g(0, 0);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_TRUE(m.saturates_left());
+}
+
+TEST(Matching, NoEdges) {
+  const BipartiteGraph g(3, 3);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_FALSE(m.saturates_left());
+}
+
+TEST(Matching, PerfectOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) g.add_edge(i, i);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4u);
+  EXPECT_TRUE(m.saturates_left());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(m.pair_of_left[i], i);
+}
+
+TEST(Matching, RequiresAugmentingPath) {
+  // Classic case where the greedy matching must be augmented:
+  // l0-{r0,r1}, l1-{r0}. Greedy l0->r0 blocks l1 unless augmented.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_EQ(m.pair_of_left[0], 1u);
+  EXPECT_EQ(m.pair_of_left[1], 0u);
+}
+
+TEST(Matching, CompleteBipartite) {
+  BipartiteGraph g(3, 5);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t r = 0; r < 5; ++r) g.add_edge(l, r);
+  }
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_TRUE(m.saturates_left());
+  EXPECT_TRUE(matching_is_consistent(g, m));
+}
+
+TEST(Matching, KoenigStyleGap) {
+  // Star: many lefts, one popular right => matching size 1.
+  BipartiteGraph g(4, 1);
+  for (std::size_t l = 0; l < 4; ++l) g.add_edge(l, 0);
+  EXPECT_EQ(hopcroft_karp(g).size, 1u);
+}
+
+TEST(Matching, OutOfRangeEdgeThrows) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 2), InvalidArgument);
+}
+
+class MatchingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperty, AgreesWithBruteForceOnRandomGraphs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto lefts = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    const auto rights = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    BipartiteGraph g(lefts, rights);
+    for (std::size_t l = 0; l < lefts; ++l) {
+      for (std::size_t r = 0; r < rights; ++r) {
+        if (rng.bernoulli(0.35)) g.add_edge(l, r);
+      }
+    }
+    const Matching m = hopcroft_karp(g);
+    EXPECT_TRUE(matching_is_consistent(g, m));
+    EXPECT_EQ(m.size, brute_force_matching(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Matching, LargeBipartiteCompletesQuickly) {
+  Rng rng(1);
+  const std::size_t n = 500;
+  BipartiteGraph g(n, n);
+  for (std::size_t l = 0; l < n; ++l) {
+    g.add_edge(l, l);  // guarantee a perfect matching exists
+    for (int k = 0; k < 5; ++k) {
+      g.add_edge(l, static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    }
+  }
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, n);
+}
+
+}  // namespace
+}  // namespace ftsched

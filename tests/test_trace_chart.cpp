@@ -1,0 +1,152 @@
+// Tests for the ASCII chart renderer, trace/JSON details, and the
+// communication models as standalone units.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/sim/comm_model.hpp"
+#include "ftsched/sim/trace.hpp"
+#include "ftsched/util/ascii_chart.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+namespace {
+
+// ---------------------------------------------------------------- chart
+
+TEST(Chart, RendersSeriesAndLegend) {
+  const std::vector<double> xs{0.2, 0.4, 0.6, 0.8, 1.0};
+  ChartSeries up{"rising", {1, 2, 3, 4, 5}, '*'};
+  ChartSeries down{"falling", {5, 4, 3, 2, 1}, 'o'};
+  const std::string chart = render_chart(xs, {up, down});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+  EXPECT_NE(chart.find("rising"), std::string::npos);
+  EXPECT_NE(chart.find("falling"), std::string::npos);
+}
+
+TEST(Chart, RisingSeriesSlopesUp) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  ChartSeries s{"s", {0, 1, 2, 3}, '*'};
+  ChartOptions options;
+  options.width = 40;
+  options.height = 10;
+  const std::string chart = render_chart(xs, {s}, options);
+  // Split into rows; the first '*' (top row containing one) must be in a
+  // later column than the '*' of the bottom rows.
+  std::vector<std::string> rows;
+  std::istringstream is(chart);
+  std::string line;
+  while (std::getline(is, line)) rows.push_back(line);
+  std::size_t top_col = 0;
+  std::size_t bottom_col = 0;
+  for (const std::string& row : rows) {
+    const auto col = row.find('*');
+    if (col == std::string::npos) continue;
+    if (top_col == 0) top_col = col;  // first row with a marker = highest y
+    bottom_col = col;                 // last row with a marker = lowest y
+  }
+  EXPECT_GT(top_col, bottom_col);
+}
+
+TEST(Chart, ValidatesInput) {
+  EXPECT_THROW((void)render_chart({}, {}), InvalidArgument);
+  ChartSeries bad{"bad", {1.0, 2.0}, '*'};
+  EXPECT_THROW((void)render_chart({1.0}, {bad}), InvalidArgument);
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW((void)render_chart({1.0}, {}, tiny), InvalidArgument);
+}
+
+TEST(Chart, SinglePoint) {
+  ChartSeries s{"point", {2.5}, '#'};
+  const std::string chart = render_chart({1.0}, {s});
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- comm models
+
+TEST(CommModel, ContentionFreeIsStateless) {
+  const auto model = make_comm_model(4, {});
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 10.0, 5.0), 15.0);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 10.0, 5.0), 15.0);  // again
+  EXPECT_EQ(model->kind(), CommModelKind::kContentionFree);
+}
+
+TEST(CommModel, OnePortSerializesSends) {
+  CommModelOptions options;
+  options.kind = CommModelKind::kOnePort;
+  const auto model = make_comm_model(4, options);
+  // Three messages ready at t=0, each taking 5: arrivals 5, 10, 15.
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 10.0);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 15.0);
+  // A different sender is unaffected.
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{1u}, 0.0, 5.0), 5.0);
+}
+
+TEST(CommModel, OnePortIntraProcessorBypasses) {
+  CommModelOptions options;
+  options.kind = CommModelKind::kOnePort;
+  const auto model = make_comm_model(2, options);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 3.0, 0.0), 3.0);
+  // The zero-duration send must not have occupied the port.
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 4.0), 4.0);
+}
+
+TEST(CommModel, MultiPortAllowsParallelSends) {
+  CommModelOptions options;
+  options.kind = CommModelKind::kBoundedMultiPort;
+  options.ports = 2;
+  const auto model = make_comm_model(4, options);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 5.0);   // 2nd port
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 5.0), 10.0);  // queued
+}
+
+TEST(CommModel, LaterReadyTimeUsesIdlePort) {
+  CommModelOptions options;
+  options.kind = CommModelKind::kOnePort;
+  const auto model = make_comm_model(2, options);
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 0.0, 2.0), 2.0);
+  // Ready at 10, port free since 2: starts at 10.
+  EXPECT_DOUBLE_EQ(model->deliver(ProcId{0u}, 10.0, 2.0), 12.0);
+}
+
+// ---------------------------------------------------------------- gantt
+
+TEST(Gantt, WidthIsRespected) {
+  Rng rng(1);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = 10;
+  params.proc_count = 3;
+  const auto w = make_paper_workload(rng, params);
+  const auto s = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+  GanttOptions options;
+  options.width = 40;
+  const std::string gantt = schedule_gantt(s, options);
+  std::istringstream is(gantt);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_LE(line.size(), 40u + 6u);  // row label + axis slack
+  }
+}
+
+TEST(Gantt, EveryProcessorGetsARow) {
+  Rng rng(2);
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = 8;
+  params.proc_count = 5;
+  const auto w = make_paper_workload(rng, params);
+  const auto s = ftsa_schedule(w->costs(), FtsaOptions{0, 0});
+  const std::string gantt = schedule_gantt(s);
+  for (int p = 0; p < 5; ++p) {
+    EXPECT_NE(gantt.find("P" + std::to_string(p)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,359 @@
+// Unit tests for the util substrate: rng, stats, table, cli, ids, timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/ids.hpp"
+#include "ftsched/util/rng.hpp"
+#include "ftsched/util/stats.hpp"
+#include "ftsched/util/table.hpp"
+#include "ftsched/util/timer.hpp"
+
+namespace ftsched {
+namespace {
+
+// ---------------------------------------------------------------- ids
+
+TEST(Ids, DefaultIsInvalid) {
+  TaskId t;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  TaskId t{7u};
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.value(), 7u);
+  EXPECT_EQ(t.index(), 7u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(TaskId{1u}, TaskId{2u});
+  EXPECT_EQ(TaskId{3u}, TaskId{3u});
+  EXPECT_NE(TaskId{3u}, TaskId{4u});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId{1u});
+  set.insert(TaskId{1u});
+  set.insert(TaskId{2u});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<TaskId, ProcId>);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.5, 9.0);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversClosedRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child_a(), child_b());
+  // Parent advanced past the split, still deterministic.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 5);
+    ASSERT_EQ(sample.size(), 5u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(9);
+  const auto sample = rng.sample_without_replacement(6, 6);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), w.begin()));
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(17);
+  OnlineStats whole;
+  OnlineStats part1;
+  OnlineStats part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Summarize, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(PercentileSorted, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 10.0);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumericRow) {
+  TextTable t({"label", "x", "y"});
+  t.add_numeric_row("row", {1.23456, 2.0}, 2);
+  EXPECT_NE(t.csv().find("1.23"), std::string::npos);
+  EXPECT_NE(t.csv().find("2.00"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- cli
+
+TEST(Cli, DefaultsAndOverrides) {
+  CliParser cli("test");
+  cli.add_option("count", "5", "a count");
+  cli.add_flag("verbose", "talk more");
+  const char* argv[] = {"prog", "--count", "9", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli("test");
+  cli.add_option("rate", "1.0", "a rate");
+  const char* argv[] = {"prog", "--rate=2.5"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.5);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW((void)cli.parse(3, argv), InvalidArgument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("test");
+  cli.add_option("x", "0", "x");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_THROW((void)cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BadIntegerThrows) {
+  CliParser cli("test");
+  cli.add_option("n", "abc", "n");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get_int("n"), InvalidArgument);
+}
+
+TEST(Cli, EnvInt) {
+  ::setenv("FTSCHED_TEST_ENV", "17", 1);
+  EXPECT_EQ(env_int("FTSCHED_TEST_ENV", 3), 17);
+  ::setenv("FTSCHED_TEST_ENV", "junk", 1);
+  EXPECT_EQ(env_int("FTSCHED_TEST_ENV", 3), 3);
+  ::unsetenv("FTSCHED_TEST_ENV");
+  EXPECT_EQ(env_int("FTSCHED_TEST_ENV", 3), 3);
+}
+
+// ---------------------------------------------------------------- misc
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) sink = sink + std::sqrt(double(i));
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Error, RequireMacroThrowsWithMessage) {
+  try {
+    FTSCHED_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

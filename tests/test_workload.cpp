@@ -1,0 +1,236 @@
+// Unit + property tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftsched/dag/analysis.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/classic.hpp"
+#include "ftsched/workload/granularity.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+#include "ftsched/workload/random_dag.hpp"
+
+namespace ftsched {
+namespace {
+
+// ---------------------------------------------------------------- layered
+
+class LayeredDag : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayeredDag, StructuralInvariants) {
+  Rng rng(GetParam());
+  LayeredDagParams params;
+  params.task_count = 120;
+  params.volume_min = 50.0;
+  params.volume_max = 150.0;
+  const TaskGraph g = make_layered_dag(rng, params);
+  EXPECT_EQ(g.task_count(), 120u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_GT(g.edge_count(), 0u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.volume, 50.0);
+    EXPECT_LT(e.volume, 150.0);
+  }
+  // connect=true: every task is on a path from an entry to an exit layer.
+  const auto depth = depths(g);
+  for (TaskId t : g.tasks()) {
+    if (depth[t.index()] > 0) EXPECT_GT(g.in_degree(t), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayeredDag,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LayeredDagTest, EdgesRespectLayerJump) {
+  Rng rng(7);
+  LayeredDagParams params;
+  params.task_count = 60;
+  params.max_layer_jump = 1;
+  const TaskGraph g = make_layered_dag(rng, params);
+  // With jump 1 every edge goes between consecutive generator layers, so
+  // graph-depth difference along any edge is exactly 1.
+  const auto depth = depths(g);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(depth[e.dst.index()], depth[e.src.index()] + 1);
+  }
+}
+
+TEST(LayeredDagTest, RejectsBadParams) {
+  Rng rng(1);
+  LayeredDagParams params;
+  params.task_count = 0;
+  EXPECT_THROW((void)make_layered_dag(rng, params), InvalidArgument);
+  params.task_count = 10;
+  params.edge_probability = 1.5;
+  EXPECT_THROW((void)make_layered_dag(rng, params), InvalidArgument);
+}
+
+TEST(GnpDag, AcyclicAndDense) {
+  Rng rng(11);
+  GnpDagParams params;
+  params.task_count = 50;
+  params.edge_probability = 0.2;
+  const TaskGraph g = make_gnp_dag(rng, params);
+  EXPECT_EQ(g.task_count(), 50u);
+  EXPECT_TRUE(g.is_acyclic());
+  // E[edges] = p * C(50,2) = 245; allow generous slack.
+  EXPECT_GT(g.edge_count(), 150u);
+  EXPECT_LT(g.edge_count(), 350u);
+}
+
+// ---------------------------------------------------------------- classics
+
+TEST(Classic, Chain) {
+  const TaskGraph g = make_chain(5);
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(critical_path_hops(g), 5u);
+  EXPECT_EQ(layer_width(g), 1u);
+}
+
+TEST(Classic, ForkJoin) {
+  const TaskGraph g = make_fork_join(6);
+  EXPECT_EQ(g.task_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(layer_width(g), 6u);
+}
+
+TEST(Classic, InTree) {
+  const TaskGraph g = make_in_tree(8);
+  EXPECT_EQ(g.task_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_EQ(g.entry_tasks().size(), 8u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Classic, OutTree) {
+  const TaskGraph g = make_out_tree(8);
+  EXPECT_EQ(g.task_count(), 15u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 8u);
+}
+
+TEST(Classic, TreeRejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)make_in_tree(6), InvalidArgument);
+  EXPECT_THROW((void)make_out_tree(0), InvalidArgument);
+  EXPECT_THROW((void)make_fft(12), InvalidArgument);
+}
+
+TEST(Classic, Fft) {
+  const TaskGraph g = make_fft(8);
+  // log2(8)=3 stages + input rank = 4 ranks of 8 tasks.
+  EXPECT_EQ(g.task_count(), 32u);
+  EXPECT_EQ(g.edge_count(), 48u);  // 2 in-edges per non-input task
+  EXPECT_EQ(g.entry_tasks().size(), 8u);
+  EXPECT_EQ(g.exit_tasks().size(), 8u);
+  EXPECT_TRUE(g.is_acyclic());
+  for (TaskId t : g.tasks()) {
+    if (g.in_degree(t) > 0) EXPECT_EQ(g.in_degree(t), 2u);
+  }
+}
+
+TEST(Classic, GaussianElimination) {
+  const TaskGraph g = make_gaussian_elimination(5);
+  // tasks: sum_{k=0}^{3} (1 + (5-k-1)) = 4+1 + 3+1 + 2+1 + 1+1 = 14.
+  EXPECT_EQ(g.task_count(), 14u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);  // first pivot
+  EXPECT_THROW((void)make_gaussian_elimination(1), InvalidArgument);
+}
+
+TEST(Classic, Wavefront) {
+  const TaskGraph g = make_wavefront(3, 4);
+  EXPECT_EQ(g.task_count(), 12u);
+  // edges: (rows-1)*cols vertical + rows*(cols-1) horizontal = 8 + 9 = 17.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(critical_path_hops(g), 6u);  // 3+4-1
+}
+
+class SeriesParallel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeriesParallel, Invariants) {
+  Rng rng(GetParam());
+  const TaskGraph g = make_series_parallel(rng, 60);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_GE(g.task_count(), 30u);  // parallel split may add join nodes
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeriesParallel,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------------------- granularity
+
+TEST(Granularity, HitsTargetExactly) {
+  Rng rng(3);
+  const TaskGraph g = make_fork_join(5);
+  const Platform p = make_random_platform(rng, PlatformParams{4, 0.5, 1.0});
+  CostModel costs(g, p, make_exec_costs(rng, g, 4, ExecCostParams{}));
+  for (double target : {0.2, 0.5, 1.0, 2.0}) {
+    set_granularity(costs, target);
+    EXPECT_NEAR(costs.granularity(), target, 1e-12);
+  }
+}
+
+TEST(Granularity, RejectsGraphWithoutComm) {
+  TaskGraph g;
+  (void)g.add_task();
+  const Platform p(2, 1.0);
+  CostModel costs(g, p, {{1.0, 1.0}});
+  EXPECT_THROW(set_granularity(costs, 1.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- paper workload
+
+class PaperWorkload : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaperWorkload, MatchesPublishedParameters) {
+  Rng rng(GetParam());
+  PaperWorkloadParams params;
+  params.granularity = 0.8;
+  const auto w = make_paper_workload(rng, params);
+  EXPECT_GE(w->graph().task_count(), 100u);
+  EXPECT_LE(w->graph().task_count(), 150u);
+  EXPECT_EQ(w->platform().proc_count(), 20u);
+  EXPECT_NEAR(w->costs().granularity(), 0.8, 1e-9);
+  EXPECT_TRUE(w->graph().is_acyclic());
+  for (const Edge& e : w->graph().edges()) {
+    EXPECT_GE(e.volume, 50.0);
+    EXPECT_LT(e.volume, 150.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperWorkload,
+                         ::testing::Values(10u, 20u, 30u));
+
+TEST(PaperWorkloadTest, Deterministic) {
+  PaperWorkloadParams params;
+  Rng a(99);
+  Rng b(99);
+  const auto wa = make_paper_workload(a, params);
+  const auto wb = make_paper_workload(b, params);
+  EXPECT_EQ(wa->graph().task_count(), wb->graph().task_count());
+  EXPECT_EQ(wa->graph().edge_count(), wb->graph().edge_count());
+  EXPECT_DOUBLE_EQ(wa->costs().exec(TaskId{0u}, ProcId{0u}),
+                   wb->costs().exec(TaskId{0u}, ProcId{0u}));
+}
+
+TEST(PaperWorkloadTest, WrapsExistingGraph) {
+  Rng rng(5);
+  PaperWorkloadParams params;
+  params.proc_count = 6;
+  params.granularity = 1.5;
+  const auto w = make_workload_for_graph(rng, make_fft(8), params);
+  EXPECT_EQ(w->graph().task_count(), 32u);
+  EXPECT_EQ(w->platform().proc_count(), 6u);
+  EXPECT_NEAR(w->costs().granularity(), 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,332 @@
+#include "cli_commands.hpp"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "ftsched/core/bicriteria.hpp"
+#include "ftsched/core/cpop.hpp"
+#include "ftsched/core/ftbar.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/heft.hpp"
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/robustness.hpp"
+#include "ftsched/core/schedule_io.hpp"
+#include "ftsched/dag/analysis.hpp"
+#include "ftsched/dag/dot.hpp"
+#include "ftsched/dag/serialize.hpp"
+#include "ftsched/metrics/metrics.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/sim/trace.hpp"
+#include "ftsched/sim/validator.hpp"
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/table.hpp"
+#include "ftsched/workload/classic.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched::cli {
+
+namespace {
+
+TaskGraph generate_family(const std::string& family, std::size_t tasks,
+                          Rng& rng) {
+  if (family == "layered") {
+    LayeredDagParams params;
+    params.task_count = tasks;
+    return make_layered_dag(rng, params);
+  }
+  if (family == "gnp") {
+    GnpDagParams params;
+    params.task_count = tasks;
+    return make_gnp_dag(rng, params);
+  }
+  if (family == "chain") return make_chain(tasks);
+  if (family == "forkjoin") return make_fork_join(tasks);
+  if (family == "intree") return make_in_tree(tasks);
+  if (family == "outtree") return make_out_tree(tasks);
+  if (family == "fft") return make_fft(tasks);
+  if (family == "gauss") return make_gaussian_elimination(tasks);
+  if (family == "wavefront") return make_wavefront(tasks, tasks);
+  if (family == "sp") return make_series_parallel(rng, tasks);
+  if (family == "cholesky") return make_cholesky(tasks);
+  if (family == "lu") return make_lu(tasks);
+  throw InvalidArgument("unknown graph family: " + family);
+}
+
+TaskGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  FTSCHED_REQUIRE(in.good(), "cannot open graph file: " + path);
+  return read_graph(in);
+}
+
+/// Builds a workload (platform + costs) for a graph file using CLI options.
+std::unique_ptr<Workload> load_workload(const CliParser& cli) {
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  PaperWorkloadParams params;
+  params.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
+  params.granularity = cli.get_double("granularity");
+  return make_workload_for_graph(rng, load_graph(cli.get("graph")), params);
+}
+
+ReplicatedSchedule run_algorithm(const std::string& algo,
+                                 const CostModel& costs, std::size_t epsilon,
+                                 std::uint64_t seed) {
+  if (algo == "ftsa") {
+    FtsaOptions options;
+    options.epsilon = epsilon;
+    options.seed = seed;
+    return ftsa_schedule(costs, options);
+  }
+  if (algo == "mc-ftsa" || algo == "mc-ftsa-paper") {
+    McFtsaOptions options;
+    options.epsilon = epsilon;
+    options.seed = seed;
+    options.enforce_fault_tolerance = algo == "mc-ftsa";
+    return mc_ftsa_schedule(costs, options);
+  }
+  if (algo == "ftbar") {
+    FtbarOptions options;
+    options.npf = epsilon;
+    options.seed = seed;
+    return ftbar_schedule(costs, options);
+  }
+  if (algo == "heft") return heft_schedule(costs);
+  if (algo == "cpop") return cpop_schedule(costs);
+  throw InvalidArgument("unknown algorithm: " + algo +
+                        " (ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop)");
+}
+
+/// Parses "0@0,3@12.5" into a failure scenario (proc@time pairs).
+FailureScenario parse_crashes(const std::string& spec) {
+  FailureScenario scenario;
+  if (spec.empty()) return scenario;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto at = item.find('@');
+    const std::string proc_part =
+        at == std::string::npos ? item : item.substr(0, at);
+    const std::string time_part =
+        at == std::string::npos ? "0" : item.substr(at + 1);
+    try {
+      scenario.add(ProcId{static_cast<std::uint32_t>(std::stoul(proc_part))},
+                   std::stod(time_part));
+    } catch (const std::logic_error&) {
+      throw InvalidArgument("malformed crash spec item: " + item);
+    }
+  }
+  return scenario;
+}
+
+void write_or_print(const std::string& path, const std::string& content,
+                    std::ostream& out) {
+  if (path.empty()) {
+    out << content;
+  } else {
+    std::ofstream file(path);
+    FTSCHED_REQUIRE(file.good(), "cannot open output file: " + path);
+    file << content;
+  }
+}
+
+// ----------------------------------------------------------------- commands
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli("ftsched_cli generate: emit a task graph in text format");
+  cli.add_option("family", "layered",
+                 "layered|gnp|chain|forkjoin|intree|outtree|fft|gauss|"
+                 "wavefront|sp|cholesky|lu");
+  cli.add_option("tasks", "100", "task count / family size parameter");
+  cli.add_option("seed", "1", "random seed (random families)");
+  cli.add_option("out", "", "output file (stdout when empty)");
+  cli.add_flag("dot", "emit Graphviz DOT instead of the text format");
+  std::vector<const char*> argv{"generate"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const TaskGraph g = generate_family(
+      cli.get("family"), static_cast<std::size_t>(cli.get_int("tasks")), rng);
+  write_or_print(cli.get("out"),
+                 cli.get_flag("dot") ? to_dot(g) : graph_to_string(g), out);
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli("ftsched_cli info: structural statistics of a graph file");
+  cli.add_option("graph", "", "graph file (text format)");
+  std::vector<const char*> argv{"info"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const TaskGraph g = load_graph(cli.get("graph"));
+  out << "name:            " << g.name() << '\n';
+  out << "tasks:           " << g.task_count() << '\n';
+  out << "edges:           " << g.edge_count() << '\n';
+  out << "entry tasks:     " << g.entry_tasks().size() << '\n';
+  out << "exit tasks:      " << g.exit_tasks().size() << '\n';
+  out << "depth (hops):    " << critical_path_hops(g) << '\n';
+  out << "layer width:     " << layer_width(g) << '\n';
+  if (g.task_count() <= 2000) {
+    out << "exact width:     " << exact_width(g) << '\n';
+  }
+  out << "total volume:    " << g.total_volume() << '\n';
+  return 0;
+}
+
+int cmd_schedule(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli("ftsched_cli schedule: schedule a graph file");
+  cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("epsilon", "1", "failures to tolerate");
+  cli.add_option("procs", "8", "processors in the generated platform");
+  cli.add_option("granularity", "1.0", "target granularity g(G,P)");
+  cli.add_option("seed", "1", "platform/cost/tie-break seed");
+  cli.add_option("out", "", "write the schedule (text format) to this file");
+  cli.add_flag("gantt", "print an ASCII Gantt chart");
+  cli.add_flag("json", "print the schedule as JSON");
+  std::vector<const char*> argv{"schedule"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const auto workload = load_workload(cli);
+  const auto epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
+  const ReplicatedSchedule s =
+      run_algorithm(cli.get("algo"), workload->costs(), epsilon,
+                    static_cast<std::uint64_t>(cli.get_int("seed")));
+  s.validate();
+  out << "algorithm:            " << s.algorithm() << '\n';
+  out << "epsilon:              " << s.epsilon() << '\n';
+  out << "lower bound M*:       " << s.lower_bound() << '\n';
+  out << "upper bound M:        " << s.upper_bound() << '\n';
+  out << "interproc messages:   " << s.interproc_message_count() << '\n';
+  out << "repaired tasks:       " << s.repaired_tasks().size() << '\n';
+  const UtilizationStats u = utilization(s);
+  out << "mean utilization:     " << format_double(u.mean, 3) << '\n';
+  if (cli.get_flag("gantt")) out << '\n' << schedule_gantt(s);
+  if (cli.get_flag("json")) out << '\n' << schedule_to_json(s);
+  if (!cli.get("out").empty()) {
+    write_or_print(cli.get("out"), schedule_to_string(s), out);
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli("ftsched_cli simulate: execute a schedule under crashes");
+  cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("epsilon", "1", "failures to tolerate");
+  cli.add_option("procs", "8", "processors in the generated platform");
+  cli.add_option("granularity", "1.0", "target granularity g(G,P)");
+  cli.add_option("seed", "1", "platform/cost/tie-break seed");
+  cli.add_option("crashes", "", "crash spec, e.g. \"0@0,3@12.5\"");
+  cli.add_option("comm", "free", "free|oneport|multiport communication model");
+  cli.add_option("ports", "2", "ports for the multiport model");
+  cli.add_flag("gantt", "print the execution Gantt chart");
+  cli.add_flag("json", "print schedule + execution as JSON");
+  std::vector<const char*> argv{"simulate"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const auto workload = load_workload(cli);
+  const auto epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
+  const ReplicatedSchedule s =
+      run_algorithm(cli.get("algo"), workload->costs(), epsilon,
+                    static_cast<std::uint64_t>(cli.get_int("seed")));
+  const FailureScenario scenario = parse_crashes(cli.get("crashes"));
+  SimulationOptions options;
+  const std::string comm = cli.get("comm");
+  if (comm == "oneport") {
+    options.comm.kind = CommModelKind::kOnePort;
+  } else if (comm == "multiport") {
+    options.comm.kind = CommModelKind::kBoundedMultiPort;
+    options.comm.ports = static_cast<std::size_t>(cli.get_int("ports"));
+  } else {
+    FTSCHED_REQUIRE(comm == "free", "unknown comm model: " + comm);
+  }
+  const SimulationResult r = simulate(s, scenario, options);
+  out << "success:              " << (r.success ? "yes" : "NO") << '\n';
+  if (r.success) {
+    out << "achieved latency:     " << r.latency << '\n';
+    out << "guaranteed bound M:   " << s.upper_bound() << '\n';
+  }
+  out << "completed replicas:   " << r.completed_replicas << '\n';
+  out << "dead replicas:        " << r.dead_replicas << '\n';
+  out << "cancelled replicas:   " << r.cancelled_replicas << '\n';
+  out << "messages delivered:   " << r.messages_delivered << '\n';
+  if (cli.get_flag("gantt")) out << '\n' << execution_gantt(s, r);
+  if (cli.get_flag("json")) out << '\n' << schedule_to_json(s, &r);
+  return r.success ? 0 : 2;
+}
+
+int cmd_validate(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli validate: exhaustive fault-tolerance validation "
+      "(Theorem 4.1) plus kill-set analysis");
+  cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("epsilon", "1", "failures to tolerate");
+  cli.add_option("procs", "6", "processors (validation is C(m, eps) runs)");
+  cli.add_option("granularity", "1.0", "target granularity g(G,P)");
+  cli.add_option("seed", "1", "platform/cost/tie-break seed");
+  std::vector<const char*> argv{"validate"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const auto workload = load_workload(cli);
+  const auto epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
+  const ReplicatedSchedule s =
+      run_algorithm(cli.get("algo"), workload->costs(), epsilon,
+                    static_cast<std::uint64_t>(cli.get_int("seed")));
+  const RobustnessReport analysis = analyze_robustness(s);
+  out << "kill-set analysis:    " << analysis.summary() << '\n';
+  const ValidationReport report = validate_fault_tolerance(s);
+  out << "exhaustive check:     "
+      << (report.valid ? "valid" : report.failure_description) << '\n';
+  out << "scenarios checked:    " << report.scenarios_checked << '\n';
+  out << "worst latency:        " << report.worst_latency
+      << "  (M = " << s.upper_bound() << ")\n";
+  return report.valid ? 0 : 2;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "ftsched_cli — fault-tolerant DAG scheduling toolbox\n"
+      "\n"
+      "usage: ftsched_cli <command> [options]   (--help per command)\n"
+      "\n"
+      "commands:\n"
+      "  generate   emit a task graph (layered, gnp, fft, cholesky, ...)\n"
+      "  info       structural statistics of a graph file\n"
+      "  schedule   schedule a graph with ftsa|mc-ftsa|ftbar|heft|cpop\n"
+      "  simulate   execute a schedule under a crash scenario\n"
+      "  validate   exhaustive Theorem-4.1 validation + kill-set analysis\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << usage();
+    return args.empty() ? 1 : 0;
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "generate") return cmd_generate(rest, out);
+    if (command == "info") return cmd_info(rest, out);
+    if (command == "schedule") return cmd_schedule(rest, out);
+    if (command == "simulate") return cmd_simulate(rest, out);
+    if (command == "validate") return cmd_validate(rest, out);
+    err << "unknown command: " << command << "\n\n" << usage();
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace ftsched::cli

@@ -1,0 +1,12 @@
+// ftsched_cli — command-line toolbox over the ftsched library.
+// See cli_commands.hpp for the subcommand list.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ftsched::cli::run_cli(args, std::cout, std::cerr);
+}
