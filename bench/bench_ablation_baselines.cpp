@@ -6,10 +6,7 @@
 // the replication machinery.
 #include <iostream>
 
-#include "ftsched/core/cpop.hpp"
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/heft.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/stats.hpp"
@@ -34,25 +31,17 @@ int main() {
       PaperWorkloadParams params;
       params.granularity = granularity;
       const auto w = make_paper_workload(rng, params);
-      const std::uint64_t s = rng();
+      const std::string s = std::to_string(rng());
       auto norm = [&w](double latency) {
         return normalized_latency(latency, w->costs());
       };
-      FtsaOptions fo;
-      fo.epsilon = 0;
-      fo.seed = s;
-      stats[0].add(norm(ftsa_schedule(w->costs(), fo).lower_bound()));
-      FtbarOptions bo;
-      bo.npf = 0;
-      bo.seed = s;
-      stats[1].add(norm(ftbar_schedule(w->costs(), bo).lower_bound()));
-      HeftOptions insertion;
-      insertion.insertion = true;
-      stats[2].add(norm(heft_schedule(w->costs(), insertion).lower_bound()));
-      HeftOptions append;
-      append.insertion = false;
-      stats[3].add(norm(heft_schedule(w->costs(), append).lower_bound()));
-      stats[4].add(norm(cpop_schedule(w->costs()).lower_bound()));
+      const char* specs[5] = {"ftsa:eps=0", "ftbar:npf=0", "heft",
+                              "heft:insertion=0", "cpop"};
+      for (int a = 0; a < 5; ++a) {
+        const auto schedule =
+            make_scheduler(specs[a], {{"seed", s}})->run(w->costs());
+        stats[a].add(norm(schedule.lower_bound()));
+      }
     }
     table.add_numeric_row(format_double(granularity, 1),
                           {stats[0].mean(), stats[1].mean(), stats[2].mean(),

@@ -12,8 +12,7 @@
 // is exactly what the paper's conclusion anticipates.
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/util/cli.hpp"
@@ -44,22 +43,12 @@ int main() {
       PaperWorkloadParams params;
       params.granularity = 0.5;  // comm-heavy: contention matters most
       const auto w = make_paper_workload(rng, params);
-      const std::uint64_t s = rng();
+      const std::string s = std::to_string(rng());
       auto make_schedule = [&](bool aware) {
-        CommAwareness comm;
-        comm.ports = aware ? 1 : 0;
-        if (mc) {
-          McFtsaOptions options;
-          options.epsilon = epsilon;
-          options.seed = s;
-          options.comm = comm;
-          return mc_ftsa_schedule(w->costs(), options);
-        }
-        FtsaOptions options;
-        options.epsilon = epsilon;
-        options.seed = s;
-        options.comm = comm;
-        return ftsa_schedule(w->costs(), options);
+        const std::string spec = std::string(mc ? "mc-ftsa" : "ftsa") +
+                                 ":eps=" + std::to_string(epsilon) +
+                                 ",seed=" + s + (aware ? ",ports=1" : "");
+        return make_scheduler(spec)->run(w->costs());
       };
       SimulationOptions oneport;
       oneport.comm.kind = CommModelKind::kOnePort;

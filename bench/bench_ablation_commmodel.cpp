@@ -7,9 +7,7 @@
 // prediction the paper's conclusion makes.
 #include <iostream>
 
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/util/cli.hpp"
@@ -38,19 +36,12 @@ int main() {
     PaperWorkloadParams params;
     params.granularity = 1.0;
     const auto w = make_paper_workload(rng, params);
-    const std::uint64_t s = rng();
-    FtsaOptions fo;
-    fo.epsilon = epsilon;
-    fo.seed = s;
-    McFtsaOptions mo;
-    mo.epsilon = epsilon;
-    mo.seed = s;
-    FtbarOptions bo;
-    bo.npf = epsilon;
-    bo.seed = s;
+    const std::vector<std::pair<std::string, std::string>> defaults{
+        {"eps", std::to_string(epsilon)}, {"seed", std::to_string(rng())}};
     const ReplicatedSchedule schedules[3] = {
-        ftsa_schedule(w->costs(), fo), mc_ftsa_schedule(w->costs(), mo),
-        ftbar_schedule(w->costs(), bo)};
+        make_scheduler("ftsa", defaults)->run(w->costs()),
+        make_scheduler("mc-ftsa", defaults)->run(w->costs()),
+        make_scheduler("ftbar", defaults)->run(w->costs())};
     const CommModelKind kinds[3] = {CommModelKind::kContentionFree,
                                     CommModelKind::kBoundedMultiPort,
                                     CommModelKind::kOnePort};

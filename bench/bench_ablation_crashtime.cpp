@@ -5,8 +5,7 @@
 // have already completed.
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -34,15 +33,10 @@ int main() {
       PaperWorkloadParams params;
       params.granularity = 1.0;
       const auto w = make_paper_workload(rng, params);
-      const std::uint64_t s = rng();
-      FtsaOptions fo;
-      fo.epsilon = epsilon;
-      fo.seed = s;
-      McFtsaOptions mo;
-      mo.epsilon = epsilon;
-      mo.seed = s;
-      const auto ftsa = ftsa_schedule(w->costs(), fo);
-      const auto mc = mc_ftsa_schedule(w->costs(), mo);
+      const std::vector<std::pair<std::string, std::string>> defaults{
+          {"eps", std::to_string(epsilon)}, {"seed", std::to_string(rng())}};
+      const auto ftsa = make_scheduler("ftsa", defaults)->run(w->costs());
+      const auto mc = make_scheduler("mc-ftsa", defaults)->run(w->costs());
       const auto victims =
           rng.sample_without_replacement(w->platform().proc_count(), epsilon);
       auto run = [&](const ReplicatedSchedule& schedule) {

@@ -6,7 +6,7 @@
 // end-to-end repair rate, and selection wall time.
 #include <iostream>
 
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/stats.hpp"
@@ -26,8 +26,7 @@ int main() {
   TextTable table({"epsilon", "selector", "lower", "upper", "interproc-msgs",
                    "repair-rate", "sched-time-ms"});
   for (std::size_t epsilon : {1u, 2u, 5u}) {
-    for (const McSelector selector :
-         {McSelector::kGreedy, McSelector::kBinarySearchMatching}) {
+    for (const char* selector : {"greedy", "matching"}) {
       OnlineStats lower;
       OnlineStats upper;
       OnlineStats msgs;
@@ -39,12 +38,11 @@ int main() {
         PaperWorkloadParams params;
         params.granularity = 1.0;
         const auto w = make_paper_workload(rng, params);
-        McFtsaOptions options;
-        options.epsilon = epsilon;
-        options.selector = selector;
-        options.seed = rng();
+        const auto scheduler = make_scheduler(
+            std::string("mc-ftsa:eps=") + std::to_string(epsilon) +
+            ",selector=" + selector + ",seed=" + std::to_string(rng()));
         Stopwatch sw;
-        const auto s = mc_ftsa_schedule(w->costs(), options);
+        const auto s = scheduler->run(w->costs());
         millis.add(sw.seconds() * 1e3);
         lower.add(normalized_latency(s.lower_bound(), w->costs()));
         upper.add(normalized_latency(s.upper_bound(), w->costs()));
@@ -53,8 +51,7 @@ int main() {
                    static_cast<double>(w->graph().task_count()));
       }
       table.add_numeric_row(
-          std::to_string(epsilon) + " " +
-              (selector == McSelector::kGreedy ? "greedy" : "matching"),
+          std::to_string(epsilon) + " " + selector,
           {lower.mean(), upper.mean(), msgs.mean(), repair.mean(),
            millis.mean()});
     }

@@ -3,7 +3,7 @@
 // FTSA's quality comes from the §4.1 priority definition.
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/stats.hpp"
@@ -30,16 +30,13 @@ int main() {
         PaperWorkloadParams params;
         params.granularity = granularity;
         const auto w = make_paper_workload(rng, params);
-        const std::uint64_t tie_seed = rng();
-        const FtsaPriority modes[3] = {FtsaPriority::kCriticalness,
-                                       FtsaPriority::kBottomLevel,
-                                       FtsaPriority::kRandom};
+        const std::string tie_seed = std::to_string(rng());
+        const char* modes[3] = {"crit", "bl", "random"};
         for (int mode = 0; mode < 3; ++mode) {
-          FtsaOptions options;
-          options.epsilon = epsilon;
-          options.seed = tie_seed;
-          options.priority = modes[mode];
-          const auto s = ftsa_schedule(w->costs(), options);
+          const auto s =
+              make_scheduler("ftsa:eps=" + std::to_string(epsilon) + ",seed=" +
+                             tie_seed + ",prio=" + modes[mode])
+                  ->run(w->costs());
           by_mode[mode].add(normalized_latency(s.lower_bound(), w->costs()));
         }
       }

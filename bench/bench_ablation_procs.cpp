@@ -4,7 +4,7 @@
 // free.  This bench sweeps the processor count explicitly.
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -38,15 +38,12 @@ int main() {
       params.proc_count = procs;
       params.granularity = 1.0;
       const auto w = make_paper_workload(rng, params);
-      const std::uint64_t s = rng();
-      FtsaOptions f0;
-      f0.epsilon = 0;
-      f0.seed = s;
-      FtsaOptions f2;
-      f2.epsilon = epsilon;
-      f2.seed = s;
-      const auto base = ftsa_schedule(w->costs(), f0);
-      const auto replicated = ftsa_schedule(w->costs(), f2);
+      const std::string s = std::to_string(rng());
+      const auto base =
+          make_scheduler("ftsa:eps=0,seed=" + s)->run(w->costs());
+      const auto replicated =
+          make_scheduler("ftsa:eps=" + std::to_string(epsilon) + ",seed=" + s)
+              ->run(w->costs());
       FailureScenario scenario;
       for (std::size_t v :
            rng.sample_without_replacement(procs, epsilon)) {

@@ -7,7 +7,7 @@
 // repair costs in messages and latency bounds.
 #include <iostream>
 
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -42,11 +42,11 @@ int main() {
         PaperWorkloadParams params;
         params.granularity = 1.0;
         const auto w = make_paper_workload(rng, params);
-        McFtsaOptions options;
-        options.epsilon = epsilon;
-        options.seed = rng();
-        options.enforce_fault_tolerance = enforce;
-        const auto s = mc_ftsa_schedule(w->costs(), options);
+        const auto s =
+            make_scheduler("mc-ftsa:eps=" + std::to_string(epsilon) +
+                           ",seed=" + std::to_string(rng()) +
+                           ",enforce=" + (enforce ? "1" : "0"))
+                ->run(w->costs());
         lower.add(normalized_latency(s.lower_bound(), w->costs()));
         upper.add(normalized_latency(s.upper_bound(), w->costs()));
         msgs.add(static_cast<double>(s.interproc_message_count()));

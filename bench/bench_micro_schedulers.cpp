@@ -3,10 +3,7 @@
 // task count, FTBAR grows cubically.
 #include <benchmark/benchmark.h>
 
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/heft.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/workload/paper_workload.hpp"
 
 namespace {
@@ -22,47 +19,33 @@ std::unique_ptr<Workload> bench_workload(std::size_t tasks,
   return make_paper_workload(rng, params);
 }
 
-void BM_Ftsa(benchmark::State& state) {
+/// One iteration body shared by every scheduler microbench: resolve the
+/// registry spec once, time only the scheduling runs.
+void run_scheduler_bench(benchmark::State& state, const char* spec) {
   const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
-  FtsaOptions options;
-  options.epsilon = 2;
+  const SchedulerPtr scheduler = make_scheduler(spec);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ftsa_schedule(w->costs(), options).lower_bound());
+    benchmark::DoNotOptimize(scheduler->run(w->costs()).lower_bound());
   }
   state.SetComplexityN(state.range(0));
+}
+
+void BM_Ftsa(benchmark::State& state) {
+  run_scheduler_bench(state, "ftsa:eps=2");
 }
 BENCHMARK(BM_Ftsa)->Arg(125)->Arg(500)->Arg(2000)->Complexity();
 
 void BM_McFtsaGreedy(benchmark::State& state) {
-  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
-  McFtsaOptions options;
-  options.epsilon = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        mc_ftsa_schedule(w->costs(), options).lower_bound());
-  }
-  state.SetComplexityN(state.range(0));
+  run_scheduler_bench(state, "mc-ftsa:eps=2");
 }
 BENCHMARK(BM_McFtsaGreedy)->Arg(125)->Arg(500)->Arg(2000)->Complexity();
 
 void BM_Ftbar(benchmark::State& state) {
-  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
-  FtbarOptions options;
-  options.npf = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ftbar_schedule(w->costs(), options).lower_bound());
-  }
-  state.SetComplexityN(state.range(0));
+  run_scheduler_bench(state, "ftbar:npf=2");
 }
 BENCHMARK(BM_Ftbar)->Arg(125)->Arg(250)->Arg(500)->Complexity();
 
-void BM_Heft(benchmark::State& state) {
-  const auto w = bench_workload(static_cast<std::size_t>(state.range(0)), 20);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(heft_schedule(w->costs()).lower_bound());
-  }
-}
+void BM_Heft(benchmark::State& state) { run_scheduler_bench(state, "heft"); }
 BENCHMARK(BM_Heft)->Arg(125)->Arg(1000);
 
 }  // namespace

@@ -4,8 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "ftsched/core/avl.hpp"
-#include "ftsched/core/ftsa.hpp"
 #include "ftsched/core/matching.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/core/priorities.hpp"
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/util/rng.hpp"
@@ -74,9 +74,9 @@ BENCHMARK(BM_BottomLevels)->Arg(125)->Arg(1000);
 
 void BM_Simulate(benchmark::State& state) {
   const auto w = bench_workload(125);
-  FtsaOptions options;
-  options.epsilon = static_cast<std::size_t>(state.range(0));
-  const auto s = ftsa_schedule(w->costs(), options);
+  const auto s =
+      make_scheduler("ftsa:eps=" + std::to_string(state.range(0)))
+          ->run(w->costs());
   for (auto _ : state) {
     benchmark::DoNotOptimize(simulate(s).latency);
   }

@@ -1,0 +1,68 @@
+// Benchmark guard for the parallel sweep engine: the same granularity
+// sweep is run serially and on growing thread counts, wall times and
+// speedups are reported, and every parallel result is checked to be
+// bit-identical to the serial one (the determinism contract of
+// run_sweep's per-instance RNG streams).  Exit code 2 if any result
+// diverges, so CI can run this as a guard.
+//
+// Environment overrides: FTSCHED_GRAPHS (default 8 graphs per point,
+// small so the guard stays fast), FTSCHED_SEED, FTSCHED_MAXTHREADS.
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "ftsched/experiments/runner.hpp"
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/table.hpp"
+#include "ftsched/util/timer.hpp"
+
+using namespace ftsched;
+
+int main() {
+  FigureConfig config = figure_config(1);
+  config.graphs_per_point =
+      static_cast<std::size_t>(env_int("FTSCHED_GRAPHS", 8));
+
+  const auto hw = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const auto max_threads = static_cast<std::size_t>(
+      env_int("FTSCHED_MAXTHREADS", static_cast<std::int64_t>(hw)));
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t < max_threads; t *= 2) thread_counts.push_back(t);
+  if (max_threads > 1) thread_counts.push_back(max_threads);
+
+  std::cout << "=== run_sweep scaling (figure-1 sweep, "
+            << config.graphs_per_point << " graphs/point, "
+            << config.granularities.size() << " granularities, hardware "
+            << hw << " threads) ===\n";
+
+  TextTable table({"threads", "wall-s", "speedup", "identical-to-serial"});
+  SweepResult reference;
+  double serial_seconds = 0.0;
+  bool all_identical = true;
+  for (const std::size_t threads : thread_counts) {
+    config.threads = threads;
+    Stopwatch sw;
+    const SweepResult result = run_sweep(config);
+    const double seconds = sw.seconds();
+    bool identical = true;
+    if (threads == 1) {
+      reference = result;
+      serial_seconds = seconds;
+    } else {
+      identical = sweep_results_identical(reference, result);
+      all_identical = all_identical && identical;
+    }
+    table.add_row({std::to_string(threads), format_double(seconds, 3),
+                   format_double(serial_seconds / seconds, 2),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "csv:\n" << table.csv();
+  if (!all_identical) {
+    std::cout << "ERROR: parallel sweep diverged from the serial result\n";
+    return 2;
+  }
+  return 0;
+}

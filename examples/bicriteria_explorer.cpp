@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "ftsched/core/bicriteria.hpp"
-#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/workload/paper_workload.hpp"
@@ -34,17 +34,15 @@ int main(int argc, char** argv) {
   std::cout << "latency vs failures (direct FTSA runs):\n";
   TextTable direct({"epsilon", "M* (no failure)", "M (guaranteed)"});
   for (std::size_t eps = 0; eps + 1 <= params.proc_count && eps <= 5; ++eps) {
-    FtsaOptions o;
-    o.epsilon = eps;
-    const auto s = ftsa_schedule(w->costs(), o);
+    const auto s =
+        make_scheduler("ftsa:eps=" + std::to_string(eps))->run(w->costs());
     direct.add_numeric_row(std::to_string(eps),
                            {s.lower_bound(), s.upper_bound()}, 1);
   }
   direct.print(std::cout);
 
   // Sweep latency budgets: maximum ε supported at each (binary search).
-  FtsaOptions base;
-  const auto s0 = ftsa_schedule(w->costs(), base);
+  const auto s0 = make_scheduler("ftsa")->run(w->costs());
   const double unit = s0.upper_bound();
   std::cout << "\nmax supported failures per latency budget "
                "(binary search on epsilon):\n";

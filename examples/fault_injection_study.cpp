@@ -10,7 +10,7 @@
 //                           [--samples 2000] [--seed 5]
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/reliability.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -49,9 +49,8 @@ int main(int argc, char** argv) {
   TextTable table({"epsilon", "thm-4.1 bound", "exact", "monte-carlo",
                    "mean latency | ok", "M* / M"});
   for (std::size_t eps : {0u, 1u, 2u, 3u}) {
-    FtsaOptions o;
-    o.epsilon = eps;
-    const auto s = ftsa_schedule(w->costs(), o);
+    const auto s =
+        make_scheduler("ftsa:eps=" + std::to_string(eps))->run(w->costs());
     const double bound = theorem_reliability_bound(procs, eps, fail_prob);
     const double exact = exact_reliability(s, fail_prob);
     Rng mc_rng = rng.split();
@@ -70,9 +69,7 @@ int main(int argc, char** argv) {
       " happen to leave a working replica chain.)\n";
 
   // Latency distribution across surviving Monte-Carlo runs for eps = 2.
-  FtsaOptions o2;
-  o2.epsilon = 2;
-  const auto s2 = ftsa_schedule(w->costs(), o2);
+  const auto s2 = make_scheduler("ftsa:eps=2")->run(w->costs());
   std::vector<double> latencies;
   Rng mc_rng = rng.split();
   for (std::size_t i = 0; i < samples; ++i) {

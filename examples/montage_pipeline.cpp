@@ -11,8 +11,7 @@
 //   ./montage_pipeline [--images 8] [--procs 8] [--epsilon 2] [--seed 1]
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -79,12 +78,9 @@ int main(int argc, char** argv) {
             << g.edge_count() << " edges on " << params.proc_count
             << " processors, tolerating " << epsilon << " crashes\n\n";
 
-  FtsaOptions fo;
-  fo.epsilon = epsilon;
-  const auto ftsa = ftsa_schedule(workload->costs(), fo);
-  McFtsaOptions mo;
-  mo.epsilon = epsilon;
-  const auto mc = mc_ftsa_schedule(workload->costs(), mo);
+  const std::string eps_opt = ":eps=" + std::to_string(epsilon);
+  const auto ftsa = make_scheduler("ftsa" + eps_opt)->run(workload->costs());
+  const auto mc = make_scheduler("mc-ftsa" + eps_opt)->run(workload->costs());
 
   for (const ReplicatedSchedule* s : {&ftsa, &mc}) {
     std::cout << s->algorithm() << ": M*=" << s->lower_bound()

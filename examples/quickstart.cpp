@@ -5,8 +5,7 @@
 //   ./quickstart [--epsilon 1]
 #include <iostream>
 
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
@@ -49,11 +48,13 @@ int main(int argc, char** argv) {
                          {18, 15, 22, 17},     // merge
                          {8, 11, 9, 12}});     // write
 
-  // 4. Schedule with FTSA: every task is replicated onto epsilon+1
-  //    processors, so up to epsilon fail-stop crashes are masked.
-  FtsaOptions options;
-  options.epsilon = epsilon;
-  const ReplicatedSchedule schedule = ftsa_schedule(costs, options);
+  // 4. Schedule with FTSA (looked up by name in the SchedulerRegistry):
+  //    every task is replicated onto epsilon+1 processors, so up to
+  //    epsilon fail-stop crashes are masked.
+  const SchedulerPtr scheduler =
+      make_scheduler("ftsa:eps=" + std::to_string(epsilon));
+  std::cout << scheduler->describe() << "\n\n";
+  const ReplicatedSchedule schedule = scheduler->run(costs);
   schedule.validate();
 
   std::cout << schedule_listing(schedule) << '\n';

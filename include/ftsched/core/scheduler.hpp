@@ -1,0 +1,219 @@
+// Polymorphic scheduler layer.
+//
+// A uniform `Scheduler` interface over the concrete algorithms (FTSA,
+// MC-FTSA, FTBAR, HEFT, CPOP) plus a name → factory `SchedulerRegistry`
+// with option-string parsing, so experiment drivers, benches, examples and
+// the CLI select algorithms by spec strings like "ftsa:eps=2,prio=bl"
+// instead of hard-coding per-algorithm calls.  New algorithms and ablation
+// variants register in one place and become reachable from every consumer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftsched/core/cpop.hpp"
+#include "ftsched/core/ftbar.hpp"
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/heft.hpp"
+#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/schedule.hpp"
+#include "ftsched/platform/cost_model.hpp"
+
+namespace ftsched {
+
+/// Abstract scheduling algorithm: maps a workload (cost model) to a
+/// replicated schedule.  Implementations are immutable and reusable; one
+/// instance may schedule many workloads (possibly concurrently, as `run`
+/// is const and algorithms keep no mutable state).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Canonical spec string, e.g. "ftsa:eps=2,prio=bl" (only non-default
+  /// options are listed).  Round-trips through the registry:
+  /// `create(s.name())->name() == s.name()`.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line human-readable description of the configured algorithm.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Computes a schedule for the given workload.
+  [[nodiscard]] virtual ReplicatedSchedule run(const CostModel& costs) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Parsed scheduler option string: the "eps=2,prio=bl" tail of a spec.
+///
+/// Purely syntactic — key validity is checked by the registry against the
+/// algorithm's declared options, value validity by the adapter factories.
+class SchedulerOptions {
+ public:
+  SchedulerOptions() = default;
+
+  /// Parses "key=value,key=value" (empty string → no options).  Throws
+  /// InvalidArgument on items without '=', empty keys, or duplicate keys.
+  [[nodiscard]] static SchedulerOptions parse(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Sets `key` unless already present (CLI flag defaults).
+  void set_default(const std::string& key, const std::string& value);
+  void set(const std::string& key, const std::string& value);
+
+  /// Raw value; throws InvalidArgument when absent.
+  [[nodiscard]] const std::string& get(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  /// Accepts 0|1|false|true.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Canonical "k=v,k=v" rendition (keys sorted).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// ------------------------------------------------------------------ adapters
+
+/// FTSA (paper §4.1) behind the Scheduler interface.
+class FtsaScheduler final : public Scheduler {
+ public:
+  explicit FtsaScheduler(FtsaOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+  [[nodiscard]] const FtsaOptions& options() const noexcept { return options_; }
+
+ private:
+  FtsaOptions options_;
+};
+
+/// MC-FTSA (paper §4.2) behind the Scheduler interface.
+class McFtsaScheduler final : public Scheduler {
+ public:
+  explicit McFtsaScheduler(McFtsaOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+  [[nodiscard]] const McFtsaOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  McFtsaOptions options_;
+};
+
+/// FTBAR (paper §5 competitor) behind the Scheduler interface.
+class FtbarScheduler final : public Scheduler {
+ public:
+  explicit FtbarScheduler(FtbarOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+  [[nodiscard]] const FtbarOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  FtbarOptions options_;
+};
+
+/// HEFT fault-free baseline behind the Scheduler interface.
+class HeftScheduler final : public Scheduler {
+ public:
+  explicit HeftScheduler(HeftOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+  [[nodiscard]] const HeftOptions& options() const noexcept { return options_; }
+
+ private:
+  HeftOptions options_;
+};
+
+/// CPOP fault-free baseline behind the Scheduler interface.
+class CpopScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+};
+
+// ------------------------------------------------------------------ registry
+
+/// Name → factory registry of scheduling algorithms.
+///
+/// Spec syntax: `name[:key=value[,key=value...]]`.  Unknown names and
+/// unknown option keys fail loudly with the known alternatives listed.
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<SchedulerPtr(const SchedulerOptions&)>;
+
+  /// A declared option of a registered algorithm (drives validation and
+  /// the CLI `list-algos` output).
+  struct OptionSpec {
+    std::string key;
+    std::string default_value;
+    std::string help;
+  };
+
+  struct Entry {
+    std::string name;
+    std::string summary;
+    std::vector<OptionSpec> options;
+    Factory factory;
+
+    [[nodiscard]] bool supports(const std::string& key) const;
+  };
+
+  /// The process-wide registry, pre-populated with the five built-in
+  /// algorithms plus the "mc-ftsa-paper" alias (enforcement disabled).
+  [[nodiscard]] static SchedulerRegistry& global();
+
+  /// Registers an algorithm; throws InvalidArgument on duplicate names.
+  void add(Entry entry);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws InvalidArgument (listing known names) when absent.
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Creates a scheduler from a full spec string ("ftsa:eps=2,prio=bl").
+  [[nodiscard]] SchedulerPtr create(const std::string& spec) const;
+  /// Creates a scheduler from a name and pre-parsed options.
+  [[nodiscard]] SchedulerPtr create(const std::string& name,
+                                    const SchedulerOptions& options) const;
+
+  /// Splits a spec string into its name and option tail.
+  static void split_spec(const std::string& spec, std::string& name,
+                         std::string& option_text);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Creates a scheduler from `spec` through the global registry, filling
+/// `defaults` (key → value) for keys the algorithm supports and the spec
+/// leaves unset — the bridge between flag-style callers (the CLI's
+/// --epsilon/--seed, the experiment runner's per-instance values) and
+/// spec strings.
+[[nodiscard]] SchedulerPtr make_scheduler(
+    const std::string& spec,
+    const std::vector<std::pair<std::string, std::string>>& defaults = {});
+
+}  // namespace ftsched

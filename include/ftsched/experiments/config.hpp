@@ -21,6 +21,9 @@ struct FigureConfig {
   /// Additional FTSA crash counts plotted besides 0 and ε
   /// (Figure 2 adds 1; Figures 3 and 4 add 2 resp. 1).
   std::vector<std::size_t> extra_crash_counts;
+  /// Worker threads for run_sweep: 0 = hardware_concurrency, 1 = serial.
+  /// Results are bit-identical for every value (per-instance RNG streams).
+  std::size_t threads = 0;
   PaperWorkloadParams workload;
 };
 

@@ -4,6 +4,13 @@
 // figures plot — schedule bounds, fault-free latencies, simulated crash
 // latencies and overheads — as a name → value map; the sweep averages the
 // maps over `graphs_per_point` random instances per granularity.
+//
+// Algorithms are resolved through the SchedulerRegistry: each evaluated
+// algorithm is a registry spec ("ftsa", "mc-ftsa:selector=matching", ...)
+// plus the series it emits, so registering a new scheduler makes it
+// sweepable without touching the runner.  The sweep runs on a
+// ParallelExecutor with one RNG stream per (granularity, instance) pair,
+// giving bit-identical results for every thread count.
 #pragma once
 
 #include <map>
@@ -11,6 +18,7 @@
 #include <vector>
 
 #include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/experiments/config.hpp"
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/util/rng.hpp"
@@ -21,6 +29,25 @@ namespace ftsched {
 /// Series name → value (normalized latency or overhead %), one instance.
 using SeriesSample = std::map<std::string, double>;
 
+/// One algorithm evaluated by evaluate_instance, with the series it emits.
+///
+/// `spec` is a SchedulerRegistry spec; the runner injects the instance's
+/// epsilon (as `eps`) and tie-break seed (as `seed`) unless the spec pins
+/// them explicitly and the algorithm supports the key.
+struct InstanceAlgo {
+  /// Series name prefix, e.g. "FTSA" → FTSA-LowerBound, FTSA-<k>Crash, ...
+  std::string key;
+  /// Registry spec, e.g. "ftsa" or "mc-ftsa:selector=matching".
+  std::string spec;
+  /// Crash counts simulated (deduplicated and sorted before use).
+  std::vector<std::size_t> crash_counts;
+  /// Emit the OH-<key>-LowerBound overhead twin.
+  bool overhead_of_lower_bound = false;
+  /// Non-empty: emit this series with the fraction of tasks repaired by
+  /// MC-FTSA's end-to-end enforcement.
+  std::string repair_series;
+};
+
 struct InstanceOptions {
   std::size_t epsilon = 1;
   /// FTSA crash counts to simulate besides 0 and epsilon.
@@ -28,19 +55,26 @@ struct InstanceOptions {
   McSelector mc_selector = McSelector::kGreedy;
   SimulationOptions sim;
   std::uint64_t seed = 0;  ///< scheduler tie-break seed
+  /// Algorithms to evaluate; empty = the paper's trio (FTSA, MC-FTSA,
+  /// FTBAR) with the series layout described below.
+  std::vector<InstanceAlgo> algos;
 };
+
+/// The default algorithm list evaluate_instance uses when `options.algos`
+/// is empty (exposed so callers can extend rather than replace it).
+[[nodiscard]] std::vector<InstanceAlgo> default_instance_algos(
+    const InstanceOptions& options);
 
 /// Evaluates one instance.  Crash victims are drawn from `rng` once and
 /// shared across algorithms (and truncated for smaller crash counts), so
 /// every curve faces the same failures.
 ///
-/// Emitted series (see DESIGN.md §4):
-///   FTSA-LowerBound, FTSA-UpperBound, MC-FTSA-LowerBound,
-///   MC-FTSA-UpperBound, FTBAR-LowerBound, FTBAR-UpperBound,
-///   FaultFree-FTSA, FaultFree-FTBAR,
-///   FTSA-<k>Crash (k in {0, extras, ε}), MC-FTSA-<ε>Crash,
-///   FTBAR-<ε>Crash, and OH-<series> overhead twins of the crash/bound
-///   series (relative to FaultFree-FTSA, in percent).
+/// Emitted series (see DESIGN.md §4): per algorithm <A>,
+///   <A>-LowerBound, <A>-UpperBound, <A>-<k>Crash (k in crash_counts),
+///   Msg-<A>, and OH- overhead twins (relative to FaultFree-FTSA, in
+///   percent) of the crash series and (per flag) the lower bound; plus the
+///   FaultFree-FTSA and FaultFree-FTBAR reference series.  The default
+///   trio reproduces the paper's exact series set.
 [[nodiscard]] SeriesSample evaluate_instance(const Workload& workload,
                                              Rng& rng,
                                              const InstanceOptions& options);
@@ -53,7 +87,17 @@ struct SweepResult {
   std::map<std::string, std::vector<OnlineStats>> series;
 };
 
-/// Runs the full granularity sweep described by `config`.
+/// True iff the two results are bit-identical (same series, same per-point
+/// statistics down to the last double) — the determinism contract of the
+/// parallel sweep.
+[[nodiscard]] bool sweep_results_identical(const SweepResult& a,
+                                           const SweepResult& b);
+
+/// Runs the full granularity sweep described by `config` on
+/// `config.threads` workers (0 = hardware_concurrency).  Instances are
+/// evaluated in parallel, each on its own pre-derived RNG stream, and
+/// aggregated serially in (granularity, instance) order, so the result is
+/// bit-identical for every thread count.
 [[nodiscard]] SweepResult run_sweep(const FigureConfig& config);
 
 }  // namespace ftsched

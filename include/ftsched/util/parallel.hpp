@@ -1,0 +1,72 @@
+// Deterministic-friendly parallel index execution.
+//
+// A small persistent std::thread pool driving `for_each(count, fn)` loops:
+// indices are handed out through an atomic counter, so any partitioning of
+// work across threads is possible — callers that need determinism must
+// make fn(i) independent of execution order (write to slot i, seed from a
+// per-index RNG stream) and aggregate serially afterwards.  With one
+// thread (or zero workers) the loop runs inline on the caller, byte-for-
+// byte identical to a plain for loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftsched {
+
+class ParallelExecutor {
+ public:
+  /// `threads` = total worker count including the calling thread;
+  /// 0 = std::thread::hardware_concurrency().  threads=1 keeps everything
+  /// on the caller (no pool threads are spawned).
+  explicit ParallelExecutor(std::size_t threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Total threads participating in for_each (pool workers + caller).
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(0..count-1), distributing indices over the pool; the calling
+  /// thread participates.  Blocks until every index completed.  The first
+  /// exception thrown by fn is rethrown on the caller (remaining indices
+  /// are abandoned once an exception is recorded).
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Resolves the `threads` convention (0 → hardware_concurrency, minimum 1)
+  /// without constructing an executor.
+  [[nodiscard]] static std::size_t resolve_thread_count(
+      std::size_t threads) noexcept;
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< incremented per for_each job
+  bool stop_ = false;
+
+  // Current job (valid while running_workers_ > 0 or a job is posted).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t running_workers_ = 0;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ftsched

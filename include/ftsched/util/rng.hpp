@@ -53,6 +53,17 @@ class Rng {
   /// output: used to give each experiment repetition its own substream.
   [[nodiscard]] Rng split() noexcept;
 
+  /// A generator keyed off this one's *current* state and `key`, without
+  /// advancing this generator: derive(k) is stable no matter how the parent
+  /// is used afterwards, and distinct keys give independent streams.
+  ///
+  /// Note: run_sweep does NOT use this — it pre-derives its per-instance
+  /// streams with split() in the historical serial order so results stay
+  /// bit-identical to the original sequential sweep.  derive() is the
+  /// primitive for order-free keyed derivation (e.g. the ROADMAP's sharded
+  /// multi-machine sweeps, where no serial split chain exists).
+  [[nodiscard]] Rng derive(std::uint64_t key) const noexcept;
+
   /// k distinct values sampled uniformly from {0, 1, ..., n-1}.
   [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
       std::size_t n, std::size_t k);

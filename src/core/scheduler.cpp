@@ -1,0 +1,472 @@
+#include "ftsched/core/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    FTSCHED_REQUIRE(pos == value.size(), "trailing characters");
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("scheduler option '" + key +
+                          "': expected a non-negative integer, got '" + value +
+                          "'");
+  }
+}
+
+const char* priority_token(FtsaPriority p) {
+  switch (p) {
+    case FtsaPriority::kCriticalness:
+      return "crit";
+    case FtsaPriority::kBottomLevel:
+      return "bl";
+    case FtsaPriority::kRandom:
+      return "random";
+  }
+  return "crit";
+}
+
+FtsaPriority parse_priority(const std::string& value) {
+  if (value == "crit") return FtsaPriority::kCriticalness;
+  if (value == "bl") return FtsaPriority::kBottomLevel;
+  if (value == "random") return FtsaPriority::kRandom;
+  throw InvalidArgument("scheduler option 'prio': expected crit|bl|random, got '" +
+                        value + "'");
+}
+
+const char* selector_token(McSelector s) {
+  return s == McSelector::kGreedy ? "greedy" : "matching";
+}
+
+McSelector parse_selector(const std::string& value) {
+  if (value == "greedy") return McSelector::kGreedy;
+  if (value == "matching") return McSelector::kBinarySearchMatching;
+  throw InvalidArgument(
+      "scheduler option 'selector': expected greedy|matching, got '" + value +
+      "'");
+}
+
+/// Appends "key=value" to the option tail being built.
+void emit(std::vector<std::string>& parts, const std::string& key,
+          const std::string& value) {
+  parts.push_back(key + "=" + value);
+}
+
+std::string spec_string(const std::string& name,
+                        const std::vector<std::string>& parts) {
+  if (parts.empty()) return name;
+  return name + ":" + join(parts, ",");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- SchedulerOptions
+
+SchedulerOptions SchedulerOptions::parse(const std::string& text) {
+  SchedulerOptions options;
+  if (text.empty()) return options;
+  if (text.back() == ',') {
+    // getline would silently drop the empty trailing segment.
+    throw InvalidArgument("malformed scheduler options '" + text +
+                          "' (trailing comma)");
+  }
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgument("malformed scheduler option '" + item +
+                            "' (expected key=value)");
+    }
+    const std::string key = item.substr(0, eq);
+    if (options.values_.find(key) != options.values_.end()) {
+      throw InvalidArgument("duplicate scheduler option '" + key + "'");
+    }
+    options.values_[key] = item.substr(eq + 1);
+  }
+  return options;
+}
+
+bool SchedulerOptions::has(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+void SchedulerOptions::set_default(const std::string& key,
+                                   const std::string& value) {
+  values_.emplace(key, value);
+}
+
+void SchedulerOptions::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+const std::string& SchedulerOptions::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  FTSCHED_REQUIRE(it != values_.end(), "missing scheduler option '" + key + "'");
+  return it->second;
+}
+
+std::string SchedulerOptions::get(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::size_t SchedulerOptions::get_size(const std::string& key,
+                                       std::size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return static_cast<std::size_t>(parse_u64(key, it->second));
+}
+
+std::uint64_t SchedulerOptions::get_u64(const std::string& key,
+                                        std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_u64(key, it->second);
+}
+
+bool SchedulerOptions::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  throw InvalidArgument("scheduler option '" + key +
+                        "': expected 0|1|false|true, got '" + v + "'");
+}
+
+std::vector<std::string> SchedulerOptions::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::string SchedulerOptions::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& [key, value] : values_) parts.push_back(key + "=" + value);
+  return join(parts, ",");
+}
+
+// ------------------------------------------------------------------ adapters
+
+std::string FtsaScheduler::name() const {
+  std::vector<std::string> parts;
+  if (options_.epsilon != 1) emit(parts, "eps", std::to_string(options_.epsilon));
+  if (options_.comm.ports != 0) {
+    emit(parts, "ports", std::to_string(options_.comm.ports));
+  }
+  if (options_.priority != FtsaPriority::kCriticalness) {
+    emit(parts, "prio", priority_token(options_.priority));
+  }
+  if (options_.seed != 0) emit(parts, "seed", std::to_string(options_.seed));
+  return spec_string("ftsa", parts);
+}
+
+std::string FtsaScheduler::describe() const {
+  std::ostringstream os;
+  os << "FTSA (paper Alg. 4.1): criticalness list scheduling, epsilon="
+     << options_.epsilon << ", priority=" << priority_token(options_.priority);
+  if (options_.comm.enabled()) {
+    os << ", contention-aware (" << options_.comm.ports << " send ports)";
+  }
+  return os.str();
+}
+
+ReplicatedSchedule FtsaScheduler::run(const CostModel& costs) const {
+  return ftsa_schedule(costs, options_);
+}
+
+std::string McFtsaScheduler::name() const {
+  std::vector<std::string> parts;
+  if (!options_.enforce_fault_tolerance) emit(parts, "enforce", "0");
+  if (options_.epsilon != 1) emit(parts, "eps", std::to_string(options_.epsilon));
+  if (options_.comm.ports != 0) {
+    emit(parts, "ports", std::to_string(options_.comm.ports));
+  }
+  if (options_.seed != 0) emit(parts, "seed", std::to_string(options_.seed));
+  if (options_.selector != McSelector::kGreedy) {
+    emit(parts, "selector", selector_token(options_.selector));
+  }
+  return spec_string("mc-ftsa", parts);
+}
+
+std::string McFtsaScheduler::describe() const {
+  std::ostringstream os;
+  os << "MC-FTSA (paper §4.2): FTSA with minimum communications, epsilon="
+     << options_.epsilon << ", selector=" << selector_token(options_.selector)
+     << (options_.enforce_fault_tolerance ? ", end-to-end repair on"
+                                          : ", paper-faithful (no repair)");
+  return os.str();
+}
+
+ReplicatedSchedule McFtsaScheduler::run(const CostModel& costs) const {
+  return mc_ftsa_schedule(costs, options_);
+}
+
+std::string FtbarScheduler::name() const {
+  std::vector<std::string> parts;
+  if (!options_.use_minimize_start_time) emit(parts, "mst", "0");
+  if (options_.npf != 1) emit(parts, "npf", std::to_string(options_.npf));
+  if (options_.seed != 0) emit(parts, "seed", std::to_string(options_.seed));
+  return spec_string("ftbar", parts);
+}
+
+std::string FtbarScheduler::describe() const {
+  std::ostringstream os;
+  os << "FTBAR (Girault et al., DSN'03): schedule-pressure active replication, "
+        "npf="
+     << options_.npf << ", minimize-start-time duplication "
+     << (options_.use_minimize_start_time ? "on" : "off");
+  return os.str();
+}
+
+ReplicatedSchedule FtbarScheduler::run(const CostModel& costs) const {
+  return ftbar_schedule(costs, options_);
+}
+
+std::string HeftScheduler::name() const {
+  std::vector<std::string> parts;
+  if (!options_.insertion) emit(parts, "insertion", "0");
+  return spec_string("heft", parts);
+}
+
+std::string HeftScheduler::describe() const {
+  return std::string("HEFT (Topcuoglu et al.): fault-free baseline, ") +
+         (options_.insertion ? "insertion-based" : "append-only") +
+         " earliest finish time";
+}
+
+ReplicatedSchedule HeftScheduler::run(const CostModel& costs) const {
+  return heft_schedule(costs, options_);
+}
+
+std::string CpopScheduler::name() const { return "cpop"; }
+
+std::string CpopScheduler::describe() const {
+  return "CPOP (Topcuoglu et al.): fault-free baseline, critical path pinned "
+         "to one processor";
+}
+
+ReplicatedSchedule CpopScheduler::run(const CostModel& costs) const {
+  return cpop_schedule(costs);
+}
+
+// ------------------------------------------------------------------ registry
+
+bool SchedulerRegistry::Entry::supports(const std::string& key) const {
+  return std::any_of(options.begin(), options.end(),
+                     [&](const OptionSpec& o) { return o.key == key; });
+}
+
+void SchedulerRegistry::add(Entry entry) {
+  FTSCHED_REQUIRE(!entry.name.empty(), "scheduler name must not be empty");
+  FTSCHED_REQUIRE(entry.name.find(':') == std::string::npos,
+                  "scheduler name must not contain ':'");
+  FTSCHED_REQUIRE(entries_.find(entry.name) == entries_.end(),
+                  "scheduler '" + entry.name + "' already registered");
+  const std::string name = entry.name;
+  entries_.emplace(name, std::move(entry));
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+const SchedulerRegistry::Entry& SchedulerRegistry::entry(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw InvalidArgument("unknown scheduler '" + name + "' (known: " +
+                          join(names(), "|") + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+void SchedulerRegistry::split_spec(const std::string& spec, std::string& name,
+                                   std::string& option_text) {
+  const auto colon = spec.find(':');
+  name = spec.substr(0, colon);
+  option_text = colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+}
+
+SchedulerPtr SchedulerRegistry::create(const std::string& spec) const {
+  std::string name;
+  std::string option_text;
+  split_spec(spec, name, option_text);
+  return create(name, SchedulerOptions::parse(option_text));
+}
+
+SchedulerPtr SchedulerRegistry::create(const std::string& name,
+                                       const SchedulerOptions& options) const {
+  const Entry& e = entry(name);
+  for (const std::string& key : options.keys()) {
+    if (!e.supports(key)) {
+      std::vector<std::string> supported;
+      supported.reserve(e.options.size());
+      for (const OptionSpec& o : e.options) supported.push_back(o.key);
+      throw InvalidArgument(
+          "scheduler '" + name + "' does not accept option '" + key + "'" +
+          (supported.empty() ? std::string(" (no options)")
+                             : " (supported: " + join(supported, "|") + ")"));
+    }
+  }
+  return e.factory(options);
+}
+
+namespace {
+
+CommAwareness parse_comm(const SchedulerOptions& o) {
+  CommAwareness comm;
+  comm.ports = o.get_size("ports", 0);
+  return comm;
+}
+
+FtsaOptions parse_ftsa_options(const SchedulerOptions& o) {
+  FtsaOptions options;
+  options.epsilon = o.get_size("eps", 1);
+  options.seed = o.get_u64("seed", 0);
+  options.priority = parse_priority(o.get("prio", "crit"));
+  options.comm = parse_comm(o);
+  return options;
+}
+
+McFtsaOptions parse_mc_ftsa_options(const SchedulerOptions& o,
+                                    bool enforce_default) {
+  McFtsaOptions options;
+  options.epsilon = o.get_size("eps", 1);
+  options.seed = o.get_u64("seed", 0);
+  options.selector = parse_selector(o.get("selector", "greedy"));
+  options.enforce_fault_tolerance = o.get_bool("enforce", enforce_default);
+  options.comm = parse_comm(o);
+  return options;
+}
+
+const std::vector<SchedulerRegistry::OptionSpec> kFtsaOptionSpecs{
+    {"eps", "1", "failures tolerated (epsilon+1 replicas per task)"},
+    {"seed", "0", "tie-breaking seed"},
+    {"prio", "crit", "free-task priority: crit|bl|random"},
+    {"ports", "0", "send ports per processor (0 = contention-free)"},
+};
+
+const std::vector<SchedulerRegistry::OptionSpec> kMcFtsaOptionSpecs{
+    {"eps", "1", "failures tolerated (epsilon+1 replicas per task)"},
+    {"seed", "0", "tie-breaking seed"},
+    {"selector", "greedy", "channel selector: greedy|matching"},
+    {"enforce", "1", "end-to-end fault-tolerance repair: 0|1"},
+    {"ports", "0", "send ports per processor (0 = contention-free)"},
+};
+
+std::vector<SchedulerRegistry::OptionSpec> mc_ftsa_paper_option_specs() {
+  std::vector<SchedulerRegistry::OptionSpec> specs = kMcFtsaOptionSpecs;
+  for (auto& spec : specs) {
+    if (spec.key == "enforce") spec.default_value = "0";
+  }
+  return specs;
+}
+
+SchedulerRegistry make_global_registry() {
+  SchedulerRegistry registry;
+  registry.add({"ftsa",
+                "FTSA: the paper's fault-tolerant list scheduler (Alg. 4.1)",
+                kFtsaOptionSpecs,
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  return std::make_unique<FtsaScheduler>(parse_ftsa_options(o));
+                }});
+  registry.add({"mc-ftsa",
+                "MC-FTSA: FTSA with minimum communications (paper §4.2)",
+                kMcFtsaOptionSpecs,
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  return std::make_unique<McFtsaScheduler>(
+                      parse_mc_ftsa_options(o, /*enforce_default=*/true));
+                }});
+  registry.add({"mc-ftsa-paper",
+                "MC-FTSA with end-to-end repair off (paper-faithful variant)",
+                mc_ftsa_paper_option_specs(),
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  return std::make_unique<McFtsaScheduler>(
+                      parse_mc_ftsa_options(o, /*enforce_default=*/false));
+                }});
+  registry.add({"ftbar",
+                "FTBAR: schedule-pressure active replication (DSN'03)",
+                {
+                    {"npf", "1", "failures tolerated (npf+1 replicas per task)"},
+                    {"eps", "1", "alias of npf"},
+                    {"seed", "0", "tie-breaking seed"},
+                    {"mst", "1", "minimize-start-time duplication: 0|1"},
+                },
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  FtbarOptions options;
+                  options.npf = o.get_size("npf", o.get_size("eps", 1));
+                  options.seed = o.get_u64("seed", 0);
+                  options.use_minimize_start_time = o.get_bool("mst", true);
+                  return std::make_unique<FtbarScheduler>(options);
+                }});
+  registry.add({"heft",
+                "HEFT: fault-free earliest-finish-time baseline",
+                {
+                    {"insertion", "1", "insertion-based placement: 0|1"},
+                },
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  HeftOptions options;
+                  options.insertion = o.get_bool("insertion", true);
+                  return std::make_unique<HeftScheduler>(options);
+                }});
+  registry.add({"cpop",
+                "CPOP: fault-free critical-path-on-a-processor baseline",
+                {},
+                [](const SchedulerOptions&) -> SchedulerPtr {
+                  return std::make_unique<CpopScheduler>();
+                }});
+  return registry;
+}
+
+}  // namespace
+
+SchedulerRegistry& SchedulerRegistry::global() {
+  static SchedulerRegistry registry = make_global_registry();
+  return registry;
+}
+
+SchedulerPtr make_scheduler(
+    const std::string& spec,
+    const std::vector<std::pair<std::string, std::string>>& defaults) {
+  const SchedulerRegistry& registry = SchedulerRegistry::global();
+  std::string name;
+  std::string option_text;
+  SchedulerRegistry::split_spec(spec, name, option_text);
+  SchedulerOptions options = SchedulerOptions::parse(option_text);
+  const SchedulerRegistry::Entry& entry = registry.entry(name);
+  for (const auto& [key, value] : defaults) {
+    if (entry.supports(key)) options.set_default(key, value);
+  }
+  return registry.create(name, options);
+}
+
+}  // namespace ftsched

@@ -37,6 +37,7 @@ FigureConfig figure_config(int figure) {
       env_int("FTSCHED_GRAPHS", static_cast<std::int64_t>(60)));
   config.seed =
       static_cast<std::uint64_t>(env_int("FTSCHED_SEED", 42));
+  config.threads = static_cast<std::size_t>(env_int("FTSCHED_THREADS", 0));
   config.workload.proc_count = config.proc_count;
   return config;
 }

@@ -1,12 +1,11 @@
 #include "ftsched/experiments/figures.hpp"
 
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
 
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/util/ascii_chart.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/table.hpp"
@@ -102,6 +101,21 @@ void run_table1(std::ostream& os, const Table1Config& config) {
      << ", epsilon=" << config.epsilon << ", reps=" << config.repetitions
      << ") ===\n";
   TextTable table({"tasks", "FTSA", "MC-FTSA", "FTBAR"});
+  // The timed contenders, resolved once through the registry.  FTBAR is
+  // O(P·N³); it is skipped above the configured task limit.
+  const std::string eps_opt = ":eps=" + std::to_string(config.epsilon);
+  struct Contender {
+    SchedulerPtr scheduler;
+    std::size_t task_limit;
+  };
+  std::vector<Contender> contenders;
+  contenders.push_back({make_scheduler("ftsa" + eps_opt),
+                        std::numeric_limits<std::size_t>::max()});
+  contenders.push_back({make_scheduler("mc-ftsa" + eps_opt),
+                        std::numeric_limits<std::size_t>::max()});
+  contenders.push_back(
+      {make_scheduler("ftbar" + eps_opt), config.ftbar_task_limit});
+
   Rng root(config.seed);
   for (std::size_t v : config.task_counts) {
     Rng rng = root.split();
@@ -112,42 +126,23 @@ void run_table1(std::ostream& os, const Table1Config& config) {
     const auto workload = make_paper_workload(rng, params);
     const CostModel& costs = workload->costs();
 
-    double ftsa_time = 0.0;
-    double mc_time = 0.0;
-    double ftbar_time = 0.0;
+    std::vector<double> times(contenders.size(), 0.0);
     for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-      {
-        FtsaOptions opts;
-        opts.epsilon = config.epsilon;
+      for (std::size_t ci = 0; ci < contenders.size(); ++ci) {
+        if (v > contenders[ci].task_limit) continue;
         Stopwatch sw;
-        const auto s = ftsa_schedule(costs, opts);
-        ftsa_time += sw.seconds();
-        (void)s;
-      }
-      {
-        McFtsaOptions opts;
-        opts.epsilon = config.epsilon;
-        Stopwatch sw;
-        const auto s = mc_ftsa_schedule(costs, opts);
-        mc_time += sw.seconds();
-        (void)s;
-      }
-      if (v <= config.ftbar_task_limit) {
-        FtbarOptions opts;
-        opts.npf = config.epsilon;
-        Stopwatch sw;
-        const auto s = ftbar_schedule(costs, opts);
-        ftbar_time += sw.seconds();
+        const auto s = contenders[ci].scheduler->run(costs);
+        times[ci] += sw.seconds();
         (void)s;
       }
     }
     const double reps = static_cast<double>(config.repetitions);
-    std::vector<std::string> row{
-        std::to_string(v), format_double(ftsa_time / reps, 4),
-        format_double(mc_time / reps, 4),
-        v <= config.ftbar_task_limit
-            ? format_double(ftbar_time / reps, 4)
-            : std::string("(skipped; set FTSCHED_FULL=1)")};
+    std::vector<std::string> row{std::to_string(v)};
+    for (std::size_t ci = 0; ci < contenders.size(); ++ci) {
+      row.push_back(v <= contenders[ci].task_limit
+                        ? format_double(times[ci] / reps, 4)
+                        : std::string("(skipped; set FTSCHED_FULL=1)"));
+    }
     table.add_row(std::move(row));
   }
   table.print(os);

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/util/error.hpp"
+#include "ftsched/util/parallel.hpp"
 
 namespace ftsched {
 
@@ -27,7 +26,46 @@ double crash_latency(const ReplicatedSchedule& schedule,
   return result.latency;
 }
 
+/// Resolves a registry spec, injecting the instance's epsilon and seed as
+/// defaults for algorithms that take them (explicit spec options win).
+SchedulerPtr make_instance_scheduler(const std::string& spec,
+                                     std::size_t epsilon, std::uint64_t seed) {
+  return make_scheduler(spec, {{"eps", std::to_string(epsilon)},
+                               {"seed", std::to_string(seed)}});
+}
+
 }  // namespace
+
+std::vector<InstanceAlgo> default_instance_algos(
+    const InstanceOptions& options) {
+  // FTSA is simulated at 0 crashes, the extras, and epsilon; the others at
+  // epsilon only — the paper's figure layout.
+  InstanceAlgo ftsa;
+  ftsa.key = "FTSA";
+  ftsa.spec = "ftsa";
+  ftsa.crash_counts.push_back(0);
+  ftsa.crash_counts.insert(ftsa.crash_counts.end(),
+                           options.extra_crash_counts.begin(),
+                           options.extra_crash_counts.end());
+  ftsa.crash_counts.push_back(options.epsilon);
+  ftsa.overhead_of_lower_bound = true;
+
+  InstanceAlgo mc;
+  mc.key = "MC-FTSA";
+  mc.spec = options.mc_selector == McSelector::kGreedy
+                ? "mc-ftsa"
+                : "mc-ftsa:selector=matching";
+  mc.crash_counts.push_back(options.epsilon);
+  mc.repair_series = "MC-RepairRate";
+
+  InstanceAlgo ftbar;
+  ftbar.key = "FTBAR";
+  ftbar.spec = "ftbar";
+  ftbar.crash_counts.push_back(options.epsilon);
+  ftbar.overhead_of_lower_bound = true;
+
+  return {ftsa, mc, ftbar};
+}
 
 SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
                                const InstanceOptions& options) {
@@ -39,118 +77,130 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   const std::vector<std::size_t> victims =
       rng.sample_without_replacement(m, options.epsilon);
 
-  FtsaOptions ftsa_opts;
-  ftsa_opts.epsilon = options.epsilon;
-  ftsa_opts.seed = options.seed;
-  const ReplicatedSchedule ftsa = ftsa_schedule(costs, ftsa_opts);
-
-  McFtsaOptions mc_opts;
-  mc_opts.epsilon = options.epsilon;
-  mc_opts.seed = options.seed;
-  mc_opts.selector = options.mc_selector;
-  const ReplicatedSchedule mc = mc_ftsa_schedule(costs, mc_opts);
-
-  FtbarOptions ftbar_opts;
-  ftbar_opts.npf = options.epsilon;
-  ftbar_opts.seed = options.seed;
-  const ReplicatedSchedule ftbar = ftbar_schedule(costs, ftbar_opts);
-
-  FtsaOptions ff_opts;
-  ff_opts.epsilon = 0;
-  ff_opts.seed = options.seed;
-  const ReplicatedSchedule ff_ftsa = ftsa_schedule(costs, ff_opts);
-  FtbarOptions ff_ftbar_opts;
-  ff_ftbar_opts.npf = 0;
-  ff_ftbar_opts.seed = options.seed;
-  const ReplicatedSchedule ff_ftbar = ftbar_schedule(costs, ff_ftbar_opts);
-
+  // Fault-free reference schedules; FTSA* anchors every overhead series.
+  const ReplicatedSchedule ff_ftsa =
+      make_instance_scheduler("ftsa:eps=0", 0, options.seed)->run(costs);
+  const ReplicatedSchedule ff_ftbar =
+      make_instance_scheduler("ftbar:npf=0", 0, options.seed)->run(costs);
   const double ftsa_star = ff_ftsa.lower_bound();  // FTSA* reference
 
   SeriesSample sample;
   auto norm = [&costs](double latency) {
     return normalized_latency(latency, costs);
   };
-  sample["FTSA-LowerBound"] = norm(ftsa.lower_bound());
-  sample["FTSA-UpperBound"] = norm(ftsa.upper_bound());
-  sample["MC-FTSA-LowerBound"] = norm(mc.lower_bound());
-  sample["MC-FTSA-UpperBound"] = norm(mc.upper_bound());
-  sample["FTBAR-LowerBound"] = norm(ftbar.lower_bound());
-  sample["FTBAR-UpperBound"] = norm(ftbar.upper_bound());
   sample["FaultFree-FTSA"] = norm(ftsa_star);
   sample["FaultFree-FTBAR"] = norm(ff_ftbar.lower_bound());
-  sample["OH-FTSA-LowerBound"] =
-      overhead_percent(ftsa.lower_bound(), ftsa_star);
-  sample["OH-FTBAR-LowerBound"] =
-      overhead_percent(ftbar.lower_bound(), ftsa_star);
 
-  // Crash series: FTSA at 0, the extras, and ε; MC/FTBAR at ε.
-  std::vector<std::size_t> counts{0};
-  counts.insert(counts.end(), options.extra_crash_counts.begin(),
-                options.extra_crash_counts.end());
-  counts.push_back(options.epsilon);
-  std::sort(counts.begin(), counts.end());
-  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
-  for (std::size_t k : counts) {
-    const double latency = crash_latency(ftsa, victims, k, options.sim);
-    const std::string name = "FTSA-" + std::to_string(k) + "Crash";
-    sample[name] = norm(latency);
-    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
+  const std::vector<InstanceAlgo> algos =
+      options.algos.empty() ? default_instance_algos(options) : options.algos;
+  for (const InstanceAlgo& algo : algos) {
+    const ReplicatedSchedule schedule =
+        make_instance_scheduler(algo.spec, options.epsilon, options.seed)
+            ->run(costs);
+    sample[algo.key + "-LowerBound"] = norm(schedule.lower_bound());
+    sample[algo.key + "-UpperBound"] = norm(schedule.upper_bound());
+    if (algo.overhead_of_lower_bound) {
+      sample["OH-" + algo.key + "-LowerBound"] =
+          overhead_percent(schedule.lower_bound(), ftsa_star);
+    }
+
+    std::vector<std::size_t> counts = algo.crash_counts;
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    for (std::size_t k : counts) {
+      FTSCHED_REQUIRE(k <= options.epsilon,
+                      "crash count exceeds the tolerated epsilon");
+      const double latency = crash_latency(schedule, victims, k, options.sim);
+      const std::string series =
+          algo.key + "-" + std::to_string(k) + "Crash";
+      sample[series] = norm(latency);
+      sample["OH-" + series] = overhead_percent(latency, ftsa_star);
+    }
+
+    // Communication accounting for the ablation tables.
+    sample["Msg-" + algo.key] =
+        static_cast<double>(schedule.interproc_message_count());
+    if (!algo.repair_series.empty()) {
+      // Fraction of tasks whose channels the end-to-end repair touched
+      // (quantifies the cost of fixing the paper's Prop.-4.3 gap).
+      sample[algo.repair_series] =
+          static_cast<double>(schedule.repaired_tasks().size()) /
+          static_cast<double>(costs.graph().task_count());
+    }
   }
-  {
-    const double latency =
-        crash_latency(mc, victims, options.epsilon, options.sim);
-    const std::string name =
-        "MC-FTSA-" + std::to_string(options.epsilon) + "Crash";
-    sample[name] = norm(latency);
-    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
-  }
-  {
-    const double latency =
-        crash_latency(ftbar, victims, options.epsilon, options.sim);
-    const std::string name =
-        "FTBAR-" + std::to_string(options.epsilon) + "Crash";
-    sample[name] = norm(latency);
-    sample["OH-" + name] = overhead_percent(latency, ftsa_star);
-  }
-  // Communication accounting for the ablation tables.
-  sample["Msg-FTSA"] = static_cast<double>(ftsa.interproc_message_count());
-  sample["Msg-MC-FTSA"] = static_cast<double>(mc.interproc_message_count());
-  sample["Msg-FTBAR"] = static_cast<double>(ftbar.interproc_message_count());
-  // Fraction of tasks whose channels the end-to-end repair touched
-  // (quantifies the cost of fixing the paper's Prop.-4.3 gap).
-  sample["MC-RepairRate"] =
-      static_cast<double>(mc.repaired_tasks().size()) /
-      static_cast<double>(costs.graph().task_count());
   return sample;
+}
+
+bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.granularities != b.granularities) return false;
+  if (a.series.size() != b.series.size()) return false;
+  for (auto ita = a.series.begin(), itb = b.series.begin();
+       ita != a.series.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    const auto& sa = ita->second;
+    const auto& sb = itb->second;
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i].count() != sb[i].count() || sa[i].mean() != sb[i].mean() ||
+          sa[i].variance() != sb[i].variance() || sa[i].min() != sb[i].min() ||
+          sa[i].max() != sb[i].max()) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 SweepResult run_sweep(const FigureConfig& config) {
   SweepResult result;
   result.granularities = config.granularities;
+  const std::size_t points = config.granularities.size();
+  const std::size_t reps = config.graphs_per_point;
+  const std::size_t instances = points * reps;
+  if (instances == 0) return result;
+
+  // One RNG stream per (granularity, instance) pair, derived up front by
+  // seed-splitting in the historical serial order: the sweep's output is
+  // therefore bit-identical to the old sequential loop no matter how many
+  // threads execute it.
+  std::vector<Rng> streams;
+  streams.reserve(instances);
   Rng root(config.seed);
-
-  InstanceOptions options;
-  options.epsilon = config.epsilon;
-  options.extra_crash_counts = config.extra_crash_counts;
-
-  for (std::size_t gi = 0; gi < config.granularities.size(); ++gi) {
+  for (std::size_t gi = 0; gi < points; ++gi) {
     Rng point_rng = root.split();
-    for (std::size_t rep = 0; rep < config.graphs_per_point; ++rep) {
-      Rng instance_rng = point_rng.split();
-      PaperWorkloadParams params = config.workload;
-      params.proc_count = config.proc_count;
-      params.granularity = config.granularities[gi];
-      const auto workload = make_paper_workload(instance_rng, params);
-      options.seed = instance_rng();
-      const SeriesSample sample =
-          evaluate_instance(*workload, instance_rng, options);
-      for (const auto& [name, value] : sample) {
-        auto& stats = result.series[name];
-        if (stats.size() != config.granularities.size()) {
-          stats.resize(config.granularities.size());
-        }
-        stats[gi].add(value);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      streams.push_back(point_rng.split());
+    }
+  }
+
+  InstanceOptions base_options;
+  base_options.epsilon = config.epsilon;
+  base_options.extra_crash_counts = config.extra_crash_counts;
+
+  std::vector<SeriesSample> samples(instances);
+  ParallelExecutor executor(config.threads);
+  executor.for_each(instances, [&](std::size_t idx) {
+    const std::size_t gi = idx / reps;
+    Rng instance_rng = streams[idx];
+    PaperWorkloadParams params = config.workload;
+    params.proc_count = config.proc_count;
+    params.granularity = config.granularities[gi];
+    const auto workload = make_paper_workload(instance_rng, params);
+    InstanceOptions options = base_options;
+    options.seed = instance_rng();
+    samples[idx] = evaluate_instance(*workload, instance_rng, options);
+  });
+
+  // Serial aggregation in (granularity, instance) order: OnlineStats
+  // accumulation order — and with it every rounding — is fixed.
+  for (std::size_t idx = 0; idx < instances; ++idx) {
+    const std::size_t gi = idx / reps;
+    for (const auto& [name, value] : samples[idx]) {
+      auto& stats = result.series[name];
+      if (stats.size() != points) {
+        stats.resize(points);
       }
+      stats[gi].add(value);
     }
   }
   return result;

@@ -1,0 +1,92 @@
+#include "ftsched/util/parallel.hpp"
+
+namespace ftsched {
+
+std::size_t ParallelExecutor::resolve_thread_count(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ParallelExecutor::ParallelExecutor(std::size_t threads) {
+  const std::size_t total = resolve_thread_count(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ParallelExecutor::run_indices(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Abandon the remaining indices: push the counter past the end.
+      next_.store(count_, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ParallelExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    run_indices(*fn);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::for_each(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  first_error_ = nullptr;
+  if (workers_.empty() || count == 1) {
+    // Serial path: identical to a plain loop (threads=1 behavior).
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    running_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_indices(fn);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_workers_ == 0; });
+    fn_ = nullptr;
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace ftsched

@@ -73,6 +73,16 @@ Rng Rng::split() noexcept {
   return Rng(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
 }
 
+Rng Rng::derive(std::uint64_t key) const noexcept {
+  // Mix the full state with the key through SplitMix64 so nearby keys give
+  // unrelated streams; the parent state is read, never advanced.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^
+                     rotl(s_[3], 47) ^ (key + 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t a = splitmix64(sm);
+  const std::uint64_t b = splitmix64(sm);
+  return Rng(a ^ rotl(b, 32) ^ key);
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   FTSCHED_REQUIRE(k <= n, "cannot sample more elements than the population");

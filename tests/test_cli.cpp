@@ -179,7 +179,9 @@ TEST_F(CliTest, ValidateCertifiesFtsaAndFlagsPaperMc) {
            "--epsilon", "2", "--procs", "5"});
   const bool analysis_fatal =
       paper.out.find("NOT fault tolerant") != std::string::npos;
-  if (analysis_fatal) EXPECT_EQ(paper.code, 2) << paper.out;
+  if (analysis_fatal) {
+    EXPECT_EQ(paper.code, 2) << paper.out;
+  }
 }
 
 TEST_F(CliTest, ErrorsAreReportedNotThrown) {

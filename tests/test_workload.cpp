@@ -35,7 +35,9 @@ TEST_P(LayeredDag, StructuralInvariants) {
   // connect=true: every task is on a path from an entry to an exit layer.
   const auto depth = depths(g);
   for (TaskId t : g.tasks()) {
-    if (depth[t.index()] > 0) EXPECT_GT(g.in_degree(t), 0u);
+    if (depth[t.index()] > 0) {
+      EXPECT_GT(g.in_degree(t), 0u);
+    }
   }
 }
 
@@ -128,7 +130,9 @@ TEST(Classic, Fft) {
   EXPECT_EQ(g.exit_tasks().size(), 8u);
   EXPECT_TRUE(g.is_acyclic());
   for (TaskId t : g.tasks()) {
-    if (g.in_degree(t) > 0) EXPECT_EQ(g.in_degree(t), 2u);
+    if (g.in_degree(t) > 0) {
+      EXPECT_EQ(g.in_degree(t), 2u);
+    }
   }
 }
 

@@ -6,12 +6,8 @@
 #include <sstream>
 
 #include "ftsched/core/bicriteria.hpp"
-#include "ftsched/core/cpop.hpp"
-#include "ftsched/core/ftbar.hpp"
-#include "ftsched/core/ftsa.hpp"
-#include "ftsched/core/heft.hpp"
-#include "ftsched/core/mc_ftsa.hpp"
 #include "ftsched/core/robustness.hpp"
+#include "ftsched/core/scheduler.hpp"
 #include "ftsched/core/schedule_io.hpp"
 #include "ftsched/dag/analysis.hpp"
 #include "ftsched/dag/dot.hpp"
@@ -70,33 +66,20 @@ std::unique_ptr<Workload> load_workload(const CliParser& cli) {
   return make_workload_for_graph(rng, load_graph(cli.get("graph")), params);
 }
 
+/// Resolves --algo through the SchedulerRegistry.  `algo` is a full
+/// registry spec ("ftsa", "mc-ftsa:selector=matching,enforce=0", ...); the
+/// --epsilon and --seed flags fill any eps/seed options the spec leaves
+/// unset, for algorithms that take them.
 ReplicatedSchedule run_algorithm(const std::string& algo,
                                  const CostModel& costs, std::size_t epsilon,
                                  std::uint64_t seed) {
-  if (algo == "ftsa") {
-    FtsaOptions options;
-    options.epsilon = epsilon;
-    options.seed = seed;
-    return ftsa_schedule(costs, options);
-  }
-  if (algo == "mc-ftsa" || algo == "mc-ftsa-paper") {
-    McFtsaOptions options;
-    options.epsilon = epsilon;
-    options.seed = seed;
-    options.enforce_fault_tolerance = algo == "mc-ftsa";
-    return mc_ftsa_schedule(costs, options);
-  }
-  if (algo == "ftbar") {
-    FtbarOptions options;
-    options.npf = epsilon;
-    options.seed = seed;
-    return ftbar_schedule(costs, options);
-  }
-  if (algo == "heft") return heft_schedule(costs);
-  if (algo == "cpop") return cpop_schedule(costs);
-  throw InvalidArgument("unknown algorithm: " + algo +
-                        " (ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop)");
+  return make_scheduler(algo, {{"eps", std::to_string(epsilon)},
+                               {"seed", std::to_string(seed)}})
+      ->run(costs);
 }
+
+constexpr const char* kAlgoHelp =
+    "registry spec, e.g. ftsa or mc-ftsa:selector=matching (see list-algos)";
 
 /// Parses "0@0,3@12.5" into a failure scenario (proc@time pairs).
 FailureScenario parse_crashes(const std::string& spec) {
@@ -179,7 +162,7 @@ int cmd_info(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_schedule(const std::vector<std::string>& args, std::ostream& out) {
   CliParser cli("ftsched_cli schedule: schedule a graph file");
   cli.add_option("graph", "", "graph file (text format)");
-  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "8", "processors in the generated platform");
   cli.add_option("granularity", "1.0", "target granularity g(G,P)");
@@ -216,7 +199,7 @@ int cmd_schedule(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   CliParser cli("ftsched_cli simulate: execute a schedule under crashes");
   cli.add_option("graph", "", "graph file (text format)");
-  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "8", "processors in the generated platform");
   cli.add_option("granularity", "1.0", "target granularity g(G,P)");
@@ -261,12 +244,34 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   return r.success ? 0 : 2;
 }
 
+int cmd_list_algos(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli list-algos: scheduling algorithms registered in the "
+      "SchedulerRegistry, with their option keys");
+  std::vector<const char*> argv{"list-algos"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const SchedulerRegistry& registry = SchedulerRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const SchedulerRegistry::Entry& entry = registry.entry(name);
+    out << name << "\n    " << entry.summary << '\n';
+    for (const SchedulerRegistry::OptionSpec& option : entry.options) {
+      out << "    " << option.key << "=" << option.default_value << "  "
+          << option.help << '\n';
+    }
+  }
+  out << "\nspec syntax: name[:key=value[,key=value...]], e.g. "
+         "\"ftsa:eps=2,prio=bl\"\n";
+  return 0;
+}
+
 int cmd_validate(const std::vector<std::string>& args, std::ostream& out) {
   CliParser cli(
       "ftsched_cli validate: exhaustive fault-tolerance validation "
       "(Theorem 4.1) plus kill-set analysis");
   cli.add_option("graph", "", "graph file (text format)");
-  cli.add_option("algo", "ftsa", "ftsa|mc-ftsa|mc-ftsa-paper|ftbar|heft|cpop");
+  cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "6", "processors (validation is C(m, eps) runs)");
   cli.add_option("granularity", "1.0", "target granularity g(G,P)");
@@ -300,11 +305,12 @@ std::string usage() {
       "usage: ftsched_cli <command> [options]   (--help per command)\n"
       "\n"
       "commands:\n"
-      "  generate   emit a task graph (layered, gnp, fft, cholesky, ...)\n"
-      "  info       structural statistics of a graph file\n"
-      "  schedule   schedule a graph with ftsa|mc-ftsa|ftbar|heft|cpop\n"
-      "  simulate   execute a schedule under a crash scenario\n"
-      "  validate   exhaustive Theorem-4.1 validation + kill-set analysis\n";
+      "  generate    emit a task graph (layered, gnp, fft, cholesky, ...)\n"
+      "  info        structural statistics of a graph file\n"
+      "  list-algos  registered scheduling algorithms and their options\n"
+      "  schedule    schedule a graph (--algo takes a registry spec)\n"
+      "  simulate    execute a schedule under a crash scenario\n"
+      "  validate    exhaustive Theorem-4.1 validation + kill-set analysis\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -318,6 +324,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   try {
     if (command == "generate") return cmd_generate(rest, out);
     if (command == "info") return cmd_info(rest, out);
+    if (command == "list-algos") return cmd_list_algos(rest, out);
     if (command == "schedule") return cmd_schedule(rest, out);
     if (command == "simulate") return cmd_simulate(rest, out);
     if (command == "validate") return cmd_validate(rest, out);
