@@ -8,6 +8,7 @@
 //
 //   ./fault_injection_study [--procs 8] [--tasks 40] [--pfail 0.1]
 //                           [--samples 2000] [--seed 5]
+//                           [--workload <WorkloadRegistry spec>]
 #include <iostream>
 
 #include "ftsched/core/scheduler.hpp"
@@ -17,7 +18,7 @@
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/stats.hpp"
 #include "ftsched/util/table.hpp"
-#include "ftsched/workload/paper_workload.hpp"
+#include "ftsched/workload/workload_registry.hpp"
 
 using namespace ftsched;
 
@@ -29,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_option("pfail", "0.1", "per-processor failure probability");
   cli.add_option("samples", "2000", "Monte-Carlo samples");
   cli.add_option("seed", "5", "random seed");
+  cli.add_option("workload", "",
+                 "WorkloadRegistry spec (empty = paper generator with "
+                 "--tasks tasks; see ftsched_cli list-workloads)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto procs = static_cast<std::size_t>(cli.get_int("procs"));
@@ -36,13 +40,15 @@ int main(int argc, char** argv) {
   const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
 
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-  PaperWorkloadParams params;
-  params.task_min = params.task_max =
-      static_cast<std::size_t>(cli.get_int("tasks"));
-  params.proc_count = procs;
-  const auto w = make_paper_workload(rng, params);
+  const std::string tasks = cli.get("tasks");
+  const std::string spec = cli.get("workload").empty()
+                               ? "paper:tmin=" + tasks + ",tmax=" + tasks
+                               : cli.get("workload");
+  const WorkloadFamilyPtr family = make_workload_family(spec);
+  const auto w = family->generate(rng, SweepPoint{1.0, procs});
   const std::vector<double> fail_prob(procs, pfail);
 
+  std::cout << family->describe() << '\n';
   std::cout << "per-processor failure probability p = " << pfail << ", "
             << procs << " processors, " << w->graph().task_count()
             << " tasks\n\n";

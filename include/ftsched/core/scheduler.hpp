@@ -24,6 +24,7 @@
 #include "ftsched/core/mc_ftsa.hpp"
 #include "ftsched/core/schedule.hpp"
 #include "ftsched/platform/cost_model.hpp"
+#include "ftsched/util/spec.hpp"
 
 namespace ftsched {
 
@@ -49,43 +50,8 @@ class Scheduler {
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
 
-/// Parsed scheduler option string: the "eps=2,prio=bl" tail of a spec.
-///
-/// Purely syntactic — key validity is checked by the registry against the
-/// algorithm's declared options, value validity by the adapter factories.
-class SchedulerOptions {
- public:
-  SchedulerOptions() = default;
-
-  /// Parses "key=value,key=value" (empty string → no options).  Throws
-  /// InvalidArgument on items without '=', empty keys, or duplicate keys.
-  [[nodiscard]] static SchedulerOptions parse(const std::string& text);
-
-  [[nodiscard]] bool has(const std::string& key) const;
-  /// Sets `key` unless already present (CLI flag defaults).
-  void set_default(const std::string& key, const std::string& value);
-  void set(const std::string& key, const std::string& value);
-
-  /// Raw value; throws InvalidArgument when absent.
-  [[nodiscard]] const std::string& get(const std::string& key) const;
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const;
-  [[nodiscard]] std::size_t get_size(const std::string& key,
-                                     std::size_t fallback) const;
-  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
-                                      std::uint64_t fallback) const;
-  /// Accepts 0|1|false|true.
-  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
-
-  [[nodiscard]] std::vector<std::string> keys() const;
-  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
-
-  /// Canonical "k=v,k=v" rendition (keys sorted).
-  [[nodiscard]] std::string to_string() const;
-
- private:
-  std::map<std::string, std::string> values_;
-};
+/// Scheduler option strings share the generic spec syntax (util/spec.hpp).
+using SchedulerOptions = SpecOptions;
 
 // ------------------------------------------------------------------ adapters
 
@@ -155,56 +121,15 @@ class CpopScheduler final : public Scheduler {
 
 // ------------------------------------------------------------------ registry
 
-/// Name → factory registry of scheduling algorithms.
-///
-/// Spec syntax: `name[:key=value[,key=value...]]`.  Unknown names and
-/// unknown option keys fail loudly with the known alternatives listed.
-class SchedulerRegistry {
+/// Name → factory registry of scheduling algorithms: a SpecRegistry over
+/// SchedulerPtr (see util/spec.hpp for the spec syntax and error contract).
+class SchedulerRegistry : public SpecRegistry<SchedulerPtr> {
  public:
-  using Factory = std::function<SchedulerPtr(const SchedulerOptions&)>;
-
-  /// A declared option of a registered algorithm (drives validation and
-  /// the CLI `list-algos` output).
-  struct OptionSpec {
-    std::string key;
-    std::string default_value;
-    std::string help;
-  };
-
-  struct Entry {
-    std::string name;
-    std::string summary;
-    std::vector<OptionSpec> options;
-    Factory factory;
-
-    [[nodiscard]] bool supports(const std::string& key) const;
-  };
+  SchedulerRegistry() : SpecRegistry("scheduler") {}
 
   /// The process-wide registry, pre-populated with the five built-in
   /// algorithms plus the "mc-ftsa-paper" alias (enforcement disabled).
   [[nodiscard]] static SchedulerRegistry& global();
-
-  /// Registers an algorithm; throws InvalidArgument on duplicate names.
-  void add(Entry entry);
-
-  [[nodiscard]] bool contains(const std::string& name) const;
-  /// Throws InvalidArgument (listing known names) when absent.
-  [[nodiscard]] const Entry& entry(const std::string& name) const;
-  /// Registered names, sorted.
-  [[nodiscard]] std::vector<std::string> names() const;
-
-  /// Creates a scheduler from a full spec string ("ftsa:eps=2,prio=bl").
-  [[nodiscard]] SchedulerPtr create(const std::string& spec) const;
-  /// Creates a scheduler from a name and pre-parsed options.
-  [[nodiscard]] SchedulerPtr create(const std::string& name,
-                                    const SchedulerOptions& options) const;
-
-  /// Splits a spec string into its name and option tail.
-  static void split_spec(const std::string& spec, std::string& name,
-                         std::string& option_text);
-
- private:
-  std::map<std::string, Entry> entries_;
 };
 
 /// Creates a scheduler from `spec` through the global registry, filling

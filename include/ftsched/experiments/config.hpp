@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ftsched/workload/paper_workload.hpp"
@@ -25,6 +26,15 @@ struct FigureConfig {
   /// Results are bit-identical for every value (per-instance RNG streams).
   std::size_t threads = 0;
   PaperWorkloadParams workload;
+  /// Workload-family dimension: WorkloadRegistry specs ("paper",
+  /// "fft:size=16", "trace:file=g.txt", ...).  Empty = the paper §6 family
+  /// configured by `workload` above (the figure reproductions).
+  std::vector<std::string> workloads;
+  /// Crash-scenario dimension: CrashTimeLaw specs ("t0", "frac:f=0.5",
+  /// "uniform:hi=1", "exp:mean=0.3").  Empty = {"t0"}, the paper's worst
+  /// case.  With more than one (workload, scenario) cell, run_sweep
+  /// decorates series names with a "[workload|scenario]" suffix.
+  std::vector<std::string> scenarios;
 };
 
 /// Configuration for paper Figure 1 (ε=1), 2 (ε=2), 3 (ε=5) or

@@ -1,7 +1,10 @@
 // Drivers that print the paper's figures and table as text/CSV blocks.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <string>
 
 #include "ftsched/experiments/config.hpp"
 #include "ftsched/experiments/runner.hpp"
@@ -15,6 +18,16 @@ void print_figure(std::ostream& os, const FigureConfig& config,
 
 /// Convenience: run_sweep + print_figure.
 void run_figure(std::ostream& os, int figure);
+
+/// Generic sweep rendition for arbitrary (workload × scenario) sweeps:
+/// one CSV row per granularity, one column per series (sorted), means only.
+[[nodiscard]] std::string sweep_to_csv(const SweepResult& sweep);
+
+/// The workload Table 1 times for row `tasks`, drawn exactly as run_table1
+/// draws it (`row_rng` is the row's split of the root seed).  Shared with
+/// the golden regression test so generator drift is caught.
+[[nodiscard]] std::unique_ptr<Workload> make_table1_workload(
+    Rng& row_rng, std::size_t tasks, const Table1Config& config);
 
 /// Table 1: running times (seconds) of FTSA / MC-FTSA / FTBAR.
 void run_table1(std::ostream& os, const Table1Config& config);

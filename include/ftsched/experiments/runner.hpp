@@ -20,9 +20,11 @@
 #include "ftsched/core/mc_ftsa.hpp"
 #include "ftsched/core/scheduler.hpp"
 #include "ftsched/experiments/config.hpp"
+#include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/util/rng.hpp"
 #include "ftsched/util/stats.hpp"
+#include "ftsched/workload/workload_registry.hpp"
 
 namespace ftsched {
 
@@ -55,6 +57,11 @@ struct InstanceOptions {
   McSelector mc_selector = McSelector::kGreedy;
   SimulationOptions sim;
   std::uint64_t seed = 0;  ///< scheduler tie-break seed
+  /// Crash-instant law (scenario dimension).  Unit times are drawn once per
+  /// instance right after the victims and shared across algorithms, each
+  /// anchored to that algorithm's failure-free lower bound.  The default
+  /// t=0 law draws nothing, preserving legacy RNG streams bit-exactly.
+  CrashTimeLaw crash_law;
   /// Algorithms to evaluate; empty = the paper's trio (FTSA, MC-FTSA,
   /// FTBAR) with the series layout described below.
   std::vector<InstanceAlgo> algos;
@@ -81,11 +88,26 @@ struct InstanceOptions {
 
 /// Aggregated sweep: per granularity, per series, an OnlineStats over the
 /// instances.
+///
+/// With more than one (workload, scenario) cell, every series name carries
+/// a "[workload|scenario]" suffix; `workloads`/`scenarios` record the cell
+/// labels in sweep order.
 struct SweepResult {
   std::vector<double> granularities;
+  /// Workload-family labels swept (always at least {"paper"}).
+  std::vector<std::string> workloads;
+  /// Crash-scenario labels swept (always at least {"t0"}).
+  std::vector<std::string> scenarios;
   /// result[series][granularity index]
   std::map<std::string, std::vector<OnlineStats>> series;
 };
+
+/// The name a sweep series gets inside cell (workload, scenario): undecorated
+/// for the single-cell (legacy) sweep, "name[workload|scenario]" otherwise.
+[[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
+                                            const std::string& series,
+                                            const std::string& workload,
+                                            const std::string& scenario);
 
 /// True iff the two results are bit-identical (same series, same per-point
 /// statistics down to the last double) — the determinism contract of the
@@ -93,11 +115,14 @@ struct SweepResult {
 [[nodiscard]] bool sweep_results_identical(const SweepResult& a,
                                            const SweepResult& b);
 
-/// Runs the full granularity sweep described by `config` on
-/// `config.threads` workers (0 = hardware_concurrency).  Instances are
-/// evaluated in parallel, each on its own pre-derived RNG stream, and
-/// aggregated serially in (granularity, instance) order, so the result is
-/// bit-identical for every thread count.
+/// Runs the sweep described by `config` on `config.threads` workers
+/// (0 = hardware_concurrency), ranging over the full cross product
+/// (workload family × crash scenario × granularity × graphs_per_point).
+/// Instances are evaluated in parallel, each on an RNG stream keyed via
+/// Rng::derive by its (cell, granularity, repetition) coordinates, and
+/// aggregated serially in coordinate order, so the result is bit-identical
+/// for every thread count — and each (family, scenario, instance) stream is
+/// reproducible in isolation (the seam for sharded multi-machine sweeps).
 [[nodiscard]] SweepResult run_sweep(const FigureConfig& config);
 
 }  // namespace ftsched

@@ -4,12 +4,15 @@
 // builds that care about compile times.
 #pragma once
 
-// util: deterministic RNG, statistics, ids, CLI, tables, logging, timing.
+// util: deterministic RNG, statistics, ids, CLI, specs, tables, logging,
+// timing, parallel execution.
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/ids.hpp"
 #include "ftsched/util/log.hpp"
+#include "ftsched/util/parallel.hpp"
 #include "ftsched/util/rng.hpp"
+#include "ftsched/util/spec.hpp"
 #include "ftsched/util/stats.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/util/timer.hpp"
@@ -26,11 +29,13 @@
 #include "ftsched/platform/generator.hpp"
 #include "ftsched/platform/platform.hpp"
 
-// workload: graph generators and the paper's experimental workload.
+// workload: graph generators, the paper's experimental workload, and the
+// workload-family registry.
 #include "ftsched/workload/classic.hpp"
 #include "ftsched/workload/granularity.hpp"
 #include "ftsched/workload/paper_workload.hpp"
 #include "ftsched/workload/random_dag.hpp"
+#include "ftsched/workload/workload_registry.hpp"
 
 // core: the schedulers and schedule tooling.
 #include "ftsched/core/avl.hpp"
@@ -45,6 +50,7 @@
 #include "ftsched/core/robustness.hpp"
 #include "ftsched/core/schedule.hpp"
 #include "ftsched/core/schedule_io.hpp"
+#include "ftsched/core/scheduler.hpp"
 
 // sim: execution, fault injection, validation, traces.
 #include "ftsched/sim/comm_model.hpp"

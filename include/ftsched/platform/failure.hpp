@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "ftsched/util/ids.hpp"
@@ -69,5 +70,47 @@ class FailureScenario {
 /// scenarios is C(proc_count, count), so keep the inputs small.
 [[nodiscard]] std::vector<FailureScenario> all_crash_subsets(
     std::size_t proc_count, std::size_t count);
+
+/// Crash-instant law: the scenario dimension of the sweep engine.
+///
+/// A law draws *unit-less* crash times — fractions of a reference latency
+/// (the schedule's failure-free lower bound M*) — so one draw per instance
+/// is comparable across algorithms whose absolute latencies differ.
+/// Selected by spec strings (the shared util/spec.hpp syntax):
+///
+///   t0             crashes at time 0, the paper's worst case (default)
+///   frac:f=0.5     all victims crash at f · M*
+///   uniform:hi=1   victim times ~ U[0, hi · M*)   (failure.hpp's
+///                  random_timed_crashes law as a sweep dimension)
+///   exp:mean=0.5   victim times ~ Exponential with mean `mean` · M*
+///                  (constant-rate fail-stop law)
+class CrashTimeLaw {
+ public:
+  enum class Kind { kAtZero, kFraction, kUniform, kExponential };
+
+  /// The default law is the paper's t=0 worst case.
+  CrashTimeLaw() = default;
+
+  /// Parses a law spec; throws InvalidArgument on unknown names/options.
+  [[nodiscard]] static CrashTimeLaw parse(const std::string& spec);
+
+  /// Canonical spec string (round-trips through parse).
+  [[nodiscard]] std::string to_string() const;
+  /// One-line human-readable description.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// Draws `count` unit crash times.  kAtZero consumes no randomness and
+  /// returns zeros, so the default preserves legacy RNG streams exactly.
+  [[nodiscard]] std::vector<double> sample(Rng& rng, std::size_t count) const;
+
+  /// Known law names (for diagnostics and the CLI).
+  [[nodiscard]] static std::vector<std::string> known();
+
+ private:
+  Kind kind_ = Kind::kAtZero;
+  double param_ = 0.0;
+};
 
 }  // namespace ftsched

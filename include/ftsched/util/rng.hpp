@@ -57,11 +57,11 @@ class Rng {
   /// advancing this generator: derive(k) is stable no matter how the parent
   /// is used afterwards, and distinct keys give independent streams.
   ///
-  /// Note: run_sweep does NOT use this — it pre-derives its per-instance
-  /// streams with split() in the historical serial order so results stay
-  /// bit-identical to the original sequential sweep.  derive() is the
-  /// primitive for order-free keyed derivation (e.g. the ROADMAP's sharded
-  /// multi-machine sweeps, where no serial split chain exists).
+  /// This is the primitive for order-free keyed derivation: run_sweep keys
+  /// every instance stream by its (workload, granularity, repetition)
+  /// coordinates, so any subset of the sweep grid can be recomputed in
+  /// isolation (the seam for the ROADMAP's sharded multi-machine sweeps,
+  /// where no serial split chain exists).
   [[nodiscard]] Rng derive(std::uint64_t key) const noexcept;
 
   /// k distinct values sampled uniformly from {0, 1, ..., n-1}.

@@ -1,0 +1,200 @@
+// Spec strings: the "name:key=value,key=value" syntax shared by every
+// registry in the system (schedulers, workload families, crash-time laws).
+//
+// `SpecOptions` is the purely syntactic option parser; `SpecRegistry<Ptr>`
+// is the name → factory table with declared-option validation and loud
+// error messages listing the known alternatives.  SchedulerRegistry and
+// WorkloadRegistry are thin subclasses that only fix the noun used in
+// diagnostics ("scheduler" vs "workload family").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace spec_detail {
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const char* sep);
+[[nodiscard]] std::uint64_t parse_u64(const std::string& key,
+                                      const std::string& value);
+[[nodiscard]] double parse_double(const std::string& key,
+                                  const std::string& value);
+/// Compact, stable rendition of a numeric option value — the one
+/// convention every canonical spec string (scheduler names, workload
+/// family names, crash laws) uses, so to_string/parse round-trips agree.
+[[nodiscard]] std::string render_double(double value);
+
+}  // namespace spec_detail
+
+/// Parsed option string: the "eps=2,prio=bl" tail of a spec.
+///
+/// Purely syntactic — key validity is checked by the registry against the
+/// entry's declared options, value validity by the factories.
+class SpecOptions {
+ public:
+  SpecOptions() = default;
+
+  /// Parses "key=value,key=value" (empty string → no options).  Throws
+  /// InvalidArgument on items without '=', empty keys, duplicate keys, or a
+  /// trailing comma.
+  [[nodiscard]] static SpecOptions parse(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Sets `key` unless already present (CLI flag defaults).
+  void set_default(const std::string& key, const std::string& value);
+  void set(const std::string& key, const std::string& value);
+
+  /// Raw value; throws InvalidArgument when absent.
+  [[nodiscard]] const std::string& get(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Accepts 0|1|false|true.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Canonical "k=v,k=v" rendition (keys sorted).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A declared option of a registry entry (drives spec validation and the
+/// CLI list-* output).
+struct SpecOptionSpec {
+  std::string key;
+  std::string default_value;
+  std::string help;
+};
+
+/// Splits a spec string into its name and option tail at the first ':'.
+void split_spec_string(const std::string& spec, std::string& name,
+                       std::string& option_text);
+
+/// Name → factory registry over spec strings.
+///
+/// Spec syntax: `name[:key=value[,key=value...]]`.  Unknown names and
+/// unknown option keys fail loudly with the known alternatives listed;
+/// `kind` is the noun used in those diagnostics.
+template <typename Ptr>
+class SpecRegistry {
+ public:
+  using Factory = std::function<Ptr(const SpecOptions&)>;
+
+  using OptionSpec = SpecOptionSpec;
+
+  struct Entry {
+    std::string name;
+    std::string summary;
+    std::vector<SpecOptionSpec> options;
+    Factory factory;
+
+    [[nodiscard]] bool supports(const std::string& key) const {
+      return std::any_of(options.begin(), options.end(),
+                         [&](const SpecOptionSpec& o) { return o.key == key; });
+    }
+  };
+
+  explicit SpecRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers an entry; throws InvalidArgument on duplicate names.
+  void add(Entry entry) {
+    FTSCHED_REQUIRE(!entry.name.empty(), kind_ + " name must not be empty");
+    FTSCHED_REQUIRE(entry.name.find(':') == std::string::npos,
+                    kind_ + " name must not contain ':'");
+    FTSCHED_REQUIRE(entries_.find(entry.name) == entries_.end(),
+                    kind_ + " '" + entry.name + "' already registered");
+    const std::string name = entry.name;
+    entries_.emplace(name, std::move(entry));
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.find(name) != entries_.end();
+  }
+
+  /// Throws InvalidArgument (listing known names) when absent.
+  [[nodiscard]] const Entry& entry(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw InvalidArgument("unknown " + kind_ + " '" + name + "' (known: " +
+                            spec_detail::join(names(), "|") + ")");
+    }
+    return it->second;
+  }
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) out.push_back(name);
+    return out;
+  }
+
+  /// Creates an object from a full spec string ("ftsa:eps=2,prio=bl").
+  [[nodiscard]] Ptr create(const std::string& spec) const {
+    std::string name;
+    std::string option_text;
+    split_spec_string(spec, name, option_text);
+    return create(name, SpecOptions::parse(option_text));
+  }
+
+  /// Creates an object from a name and pre-parsed options.
+  [[nodiscard]] Ptr create(const std::string& name,
+                           const SpecOptions& options) const {
+    const Entry& e = entry(name);
+    for (const std::string& key : options.keys()) {
+      if (!e.supports(key)) {
+        std::vector<std::string> supported;
+        supported.reserve(e.options.size());
+        for (const SpecOptionSpec& o : e.options) supported.push_back(o.key);
+        throw InvalidArgument(
+            kind_ + " '" + name + "' does not accept option '" + key + "'" +
+            (supported.empty()
+                 ? std::string(" (no options)")
+                 : " (supported: " + spec_detail::join(supported, "|") + ")"));
+      }
+    }
+    return e.factory(options);
+  }
+
+  /// Resolves `spec` like create(), filling `defaults` (key → value) for
+  /// keys the entry supports and the spec leaves unset — the bridge between
+  /// flag-style callers (--epsilon/--seed/--procs) and spec strings.
+  [[nodiscard]] Ptr create_with_defaults(
+      const std::string& spec,
+      const std::vector<std::pair<std::string, std::string>>& defaults) const {
+    std::string name;
+    std::string option_text;
+    split_spec_string(spec, name, option_text);
+    SpecOptions options = SpecOptions::parse(option_text);
+    const Entry& e = entry(name);
+    for (const auto& [key, value] : defaults) {
+      if (e.supports(key)) options.set_default(key, value);
+    }
+    return create(name, options);
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,87 @@
+// Workload registry: the workload-side mirror of the SchedulerRegistry.
+//
+// A `WorkloadFamily` turns an RNG stream and a sweep point (granularity,
+// processor count) into a complete workload instance (graph + platform +
+// cost model).  Families are selected by spec strings like
+// "paper:tmin=100,tmax=150", "layered:tasks=120,width=8", "fft:size=16" or
+// "trace:file=graph.txt", so experiment drivers, benches and the CLI can
+// range over workload families exactly like they range over algorithms.
+//
+// Built-in families:
+//   paper    — the paper's §6 generator (layered DAG, published parameters)
+//   layered  — layered random DAGs with every knob exposed
+//   gnp      — Erdős–Rényi DAGs
+//   chain | forkjoin | intree | outtree | fft | gauss | wavefront | sp |
+//   cholesky | lu — the classic application graphs (workload/classic.hpp)
+//   trace    — a DAG loaded from a dag/serialize.hpp text file
+//
+// Every family draws its platform and execution costs with the paper's
+// randomized cost model; `procs` and `g` (granularity) options pin those
+// dimensions, otherwise the sweep point supplies them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftsched/util/spec.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+
+namespace ftsched {
+
+/// Per-point context a granularity sweep injects into workload generation:
+/// the values used for any dimension the family's spec does not pin.
+struct SweepPoint {
+  double granularity = 1.0;
+  std::size_t proc_count = 20;
+};
+
+/// Abstract workload family: maps an RNG stream (and the sweep point) to a
+/// fresh workload instance.  Implementations are immutable and reusable;
+/// `generate` is const and must be safe to call concurrently — the parallel
+/// sweep invokes one family from many worker threads.
+class WorkloadFamily {
+ public:
+  virtual ~WorkloadFamily() = default;
+
+  /// Canonical spec string (only non-default options are listed).
+  /// Round-trips through the registry: `create(f.name())->name() == f.name()`.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line human-readable description of the configured family.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Draws one workload instance.  Deterministic given `rng`'s state and
+  /// `point`; all randomness flows through `rng`.
+  [[nodiscard]] virtual std::unique_ptr<Workload> generate(
+      Rng& rng, const SweepPoint& point = {}) const = 0;
+};
+
+using WorkloadFamilyPtr = std::unique_ptr<WorkloadFamily>;
+
+/// Name → factory registry of workload families (see util/spec.hpp for the
+/// spec syntax and error contract).
+class WorkloadRegistry : public SpecRegistry<WorkloadFamilyPtr> {
+ public:
+  WorkloadRegistry() : SpecRegistry("workload family") {}
+
+  /// The process-wide registry, pre-populated with the built-in families.
+  [[nodiscard]] static WorkloadRegistry& global();
+};
+
+/// Creates a family from `spec` through the global registry, filling
+/// `defaults` (key → value) for keys the family supports and the spec
+/// leaves unset — the bridge between flag-style callers (the CLI's
+/// --procs/--granularity) and spec strings.
+[[nodiscard]] WorkloadFamilyPtr make_workload_family(
+    const std::string& spec,
+    const std::vector<std::pair<std::string, std::string>>& defaults = {});
+
+/// The paper's §6 family built directly from parameter structs (the route
+/// run_sweep takes for FigureConfig::workload, bypassing spec parsing).
+/// `procs`/`granularity` stay unpinned: the sweep point supplies them.
+[[nodiscard]] WorkloadFamilyPtr make_paper_family(
+    const PaperWorkloadParams& params);
+
+}  // namespace ftsched

@@ -9,28 +9,6 @@ namespace ftsched {
 
 namespace {
 
-std::string join(const std::vector<std::string>& parts, const char* sep) {
-  std::string out;
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (i > 0) out += sep;
-    out += parts[i];
-  }
-  return out;
-}
-
-std::uint64_t parse_u64(const std::string& key, const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(value, &pos);
-    FTSCHED_REQUIRE(pos == value.size(), "trailing characters");
-    return v;
-  } catch (const std::logic_error&) {
-    throw InvalidArgument("scheduler option '" + key +
-                          "': expected a non-negative integer, got '" + value +
-                          "'");
-  }
-}
-
 const char* priority_token(FtsaPriority p) {
   switch (p) {
     case FtsaPriority::kCriticalness:
@@ -72,100 +50,10 @@ void emit(std::vector<std::string>& parts, const std::string& key,
 std::string spec_string(const std::string& name,
                         const std::vector<std::string>& parts) {
   if (parts.empty()) return name;
-  return name + ":" + join(parts, ",");
+  return name + ":" + spec_detail::join(parts, ",");
 }
 
 }  // namespace
-
-// ---------------------------------------------------------- SchedulerOptions
-
-SchedulerOptions SchedulerOptions::parse(const std::string& text) {
-  SchedulerOptions options;
-  if (text.empty()) return options;
-  if (text.back() == ',') {
-    // getline would silently drop the empty trailing segment.
-    throw InvalidArgument("malformed scheduler options '" + text +
-                          "' (trailing comma)");
-  }
-  std::istringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw InvalidArgument("malformed scheduler option '" + item +
-                            "' (expected key=value)");
-    }
-    const std::string key = item.substr(0, eq);
-    if (options.values_.find(key) != options.values_.end()) {
-      throw InvalidArgument("duplicate scheduler option '" + key + "'");
-    }
-    options.values_[key] = item.substr(eq + 1);
-  }
-  return options;
-}
-
-bool SchedulerOptions::has(const std::string& key) const {
-  return values_.find(key) != values_.end();
-}
-
-void SchedulerOptions::set_default(const std::string& key,
-                                   const std::string& value) {
-  values_.emplace(key, value);
-}
-
-void SchedulerOptions::set(const std::string& key, const std::string& value) {
-  values_[key] = value;
-}
-
-const std::string& SchedulerOptions::get(const std::string& key) const {
-  const auto it = values_.find(key);
-  FTSCHED_REQUIRE(it != values_.end(), "missing scheduler option '" + key + "'");
-  return it->second;
-}
-
-std::string SchedulerOptions::get(const std::string& key,
-                                  const std::string& fallback) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
-}
-
-std::size_t SchedulerOptions::get_size(const std::string& key,
-                                       std::size_t fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  return static_cast<std::size_t>(parse_u64(key, it->second));
-}
-
-std::uint64_t SchedulerOptions::get_u64(const std::string& key,
-                                        std::uint64_t fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  return parse_u64(key, it->second);
-}
-
-bool SchedulerOptions::get_bool(const std::string& key, bool fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  const std::string& v = it->second;
-  if (v == "1" || v == "true") return true;
-  if (v == "0" || v == "false") return false;
-  throw InvalidArgument("scheduler option '" + key +
-                        "': expected 0|1|false|true, got '" + v + "'");
-}
-
-std::vector<std::string> SchedulerOptions::keys() const {
-  std::vector<std::string> out;
-  out.reserve(values_.size());
-  for (const auto& [key, value] : values_) out.push_back(key);
-  return out;
-}
-
-std::string SchedulerOptions::to_string() const {
-  std::vector<std::string> parts;
-  parts.reserve(values_.size());
-  for (const auto& [key, value] : values_) parts.push_back(key + "=" + value);
-  return join(parts, ",");
-}
 
 // ------------------------------------------------------------------ adapters
 
@@ -272,73 +160,6 @@ ReplicatedSchedule CpopScheduler::run(const CostModel& costs) const {
 }
 
 // ------------------------------------------------------------------ registry
-
-bool SchedulerRegistry::Entry::supports(const std::string& key) const {
-  return std::any_of(options.begin(), options.end(),
-                     [&](const OptionSpec& o) { return o.key == key; });
-}
-
-void SchedulerRegistry::add(Entry entry) {
-  FTSCHED_REQUIRE(!entry.name.empty(), "scheduler name must not be empty");
-  FTSCHED_REQUIRE(entry.name.find(':') == std::string::npos,
-                  "scheduler name must not contain ':'");
-  FTSCHED_REQUIRE(entries_.find(entry.name) == entries_.end(),
-                  "scheduler '" + entry.name + "' already registered");
-  const std::string name = entry.name;
-  entries_.emplace(name, std::move(entry));
-}
-
-bool SchedulerRegistry::contains(const std::string& name) const {
-  return entries_.find(name) != entries_.end();
-}
-
-const SchedulerRegistry::Entry& SchedulerRegistry::entry(
-    const std::string& name) const {
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    throw InvalidArgument("unknown scheduler '" + name + "' (known: " +
-                          join(names(), "|") + ")");
-  }
-  return it->second;
-}
-
-std::vector<std::string> SchedulerRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, e] : entries_) out.push_back(name);
-  return out;
-}
-
-void SchedulerRegistry::split_spec(const std::string& spec, std::string& name,
-                                   std::string& option_text) {
-  const auto colon = spec.find(':');
-  name = spec.substr(0, colon);
-  option_text = colon == std::string::npos ? std::string() : spec.substr(colon + 1);
-}
-
-SchedulerPtr SchedulerRegistry::create(const std::string& spec) const {
-  std::string name;
-  std::string option_text;
-  split_spec(spec, name, option_text);
-  return create(name, SchedulerOptions::parse(option_text));
-}
-
-SchedulerPtr SchedulerRegistry::create(const std::string& name,
-                                       const SchedulerOptions& options) const {
-  const Entry& e = entry(name);
-  for (const std::string& key : options.keys()) {
-    if (!e.supports(key)) {
-      std::vector<std::string> supported;
-      supported.reserve(e.options.size());
-      for (const OptionSpec& o : e.options) supported.push_back(o.key);
-      throw InvalidArgument(
-          "scheduler '" + name + "' does not accept option '" + key + "'" +
-          (supported.empty() ? std::string(" (no options)")
-                             : " (supported: " + join(supported, "|") + ")"));
-    }
-  }
-  return e.factory(options);
-}
 
 namespace {
 
@@ -457,16 +278,7 @@ SchedulerRegistry& SchedulerRegistry::global() {
 SchedulerPtr make_scheduler(
     const std::string& spec,
     const std::vector<std::pair<std::string, std::string>>& defaults) {
-  const SchedulerRegistry& registry = SchedulerRegistry::global();
-  std::string name;
-  std::string option_text;
-  SchedulerRegistry::split_spec(spec, name, option_text);
-  SchedulerOptions options = SchedulerOptions::parse(option_text);
-  const SchedulerRegistry::Entry& entry = registry.entry(name);
-  for (const auto& [key, value] : defaults) {
-    if (entry.supports(key)) options.set_default(key, value);
-  }
-  return registry.create(name, options);
+  return SchedulerRegistry::global().create_with_defaults(spec, defaults);
 }
 
 }  // namespace ftsched

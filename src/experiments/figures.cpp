@@ -96,6 +96,30 @@ void run_figure(std::ostream& os, int figure) {
   print_figure(os, config, sweep);
 }
 
+std::string sweep_to_csv(const SweepResult& sweep) {
+  std::vector<std::string> header{"granularity"};
+  for (const auto& [name, stats] : sweep.series) header.push_back(name);
+  TextTable table(std::move(header));
+  for (std::size_t gi = 0; gi < sweep.granularities.size(); ++gi) {
+    std::vector<double> row;
+    row.reserve(sweep.series.size());
+    for (const auto& [name, stats] : sweep.series) {
+      row.push_back(stats[gi].mean());
+    }
+    table.add_numeric_row(format_double(sweep.granularities[gi], 2), row);
+  }
+  return table.csv();
+}
+
+std::unique_ptr<Workload> make_table1_workload(Rng& row_rng, std::size_t tasks,
+                                               const Table1Config& config) {
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = config.proc_count;
+  params.granularity = 1.0;
+  return make_paper_workload(row_rng, params);
+}
+
 void run_table1(std::ostream& os, const Table1Config& config) {
   os << "=== Table 1: running times in seconds (m=" << config.proc_count
      << ", epsilon=" << config.epsilon << ", reps=" << config.repetitions
@@ -119,11 +143,7 @@ void run_table1(std::ostream& os, const Table1Config& config) {
   Rng root(config.seed);
   for (std::size_t v : config.task_counts) {
     Rng rng = root.split();
-    PaperWorkloadParams params;
-    params.task_min = params.task_max = v;
-    params.proc_count = config.proc_count;
-    params.granularity = 1.0;
-    const auto workload = make_paper_workload(rng, params);
+    const auto workload = make_table1_workload(rng, v, config);
     const CostModel& costs = workload->costs();
 
     std::vector<double> times(contenders.size(), 0.0);

@@ -1,6 +1,8 @@
 #include "ftsched/experiments/runner.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <set>
 
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
@@ -12,13 +14,16 @@ namespace ftsched {
 namespace {
 
 /// Simulated latency of `schedule` with the first `count` victims of
-/// `victims` crashing at time 0.
+/// `victims` crashing at their unit time scaled by the schedule's
+/// failure-free lower bound (unit time 0 = the paper's t=0 worst case).
 double crash_latency(const ReplicatedSchedule& schedule,
                      const std::vector<std::size_t>& victims,
-                     std::size_t count, const SimulationOptions& sim) {
+                     const std::vector<double>& unit_times, std::size_t count,
+                     const SimulationOptions& sim) {
   FailureScenario scenario;
+  const double anchor = schedule.lower_bound();
   for (std::size_t i = 0; i < count; ++i) {
-    scenario.add(ProcId{victims[i]}, 0.0);
+    scenario.add(ProcId{victims[i]}, unit_times[i] * anchor);
   }
   const SimulationResult result = simulate(schedule, scenario, sim);
   FTSCHED_REQUIRE(result.success,
@@ -73,9 +78,13 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   const std::size_t m = workload.platform().proc_count();
   FTSCHED_REQUIRE(options.epsilon < m, "epsilon must be < proc count");
 
-  // Shared crash victims for this instance.
+  // Shared crash victims and unit crash instants for this instance: every
+  // algorithm's curve faces the same failures (the default t=0 law draws no
+  // randomness, keeping legacy streams bit-identical).
   const std::vector<std::size_t> victims =
       rng.sample_without_replacement(m, options.epsilon);
+  const std::vector<double> unit_times =
+      options.crash_law.sample(rng, options.epsilon);
 
   // Fault-free reference schedules; FTSA* anchors every overhead series.
   const ReplicatedSchedule ff_ftsa =
@@ -110,7 +119,8 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
     for (std::size_t k : counts) {
       FTSCHED_REQUIRE(k <= options.epsilon,
                       "crash count exceeds the tolerated epsilon");
-      const double latency = crash_latency(schedule, victims, k, options.sim);
+      const double latency =
+          crash_latency(schedule, victims, unit_times, k, options.sim);
       const std::string series =
           algo.key + "-" + std::to_string(k) + "Crash";
       sample[series] = norm(latency);
@@ -131,8 +141,17 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   return sample;
 }
 
+std::string sweep_series_name(const SweepResult& sweep,
+                              const std::string& series,
+                              const std::string& workload,
+                              const std::string& scenario) {
+  if (sweep.workloads.size() * sweep.scenarios.size() <= 1) return series;
+  return series + "[" + workload + "|" + scenario + "]";
+}
+
 bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
   if (a.granularities != b.granularities) return false;
+  if (a.workloads != b.workloads || a.scenarios != b.scenarios) return false;
   if (a.series.size() != b.series.size()) return false;
   for (auto ita = a.series.begin(), itb = b.series.begin();
        ita != a.series.end(); ++ita, ++itb) {
@@ -151,27 +170,75 @@ bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
   return true;
 }
 
+namespace {
+
+/// One (workload family, crash scenario) cell of the sweep cross product.
+/// The family is shared across the scenario cells of one workload spec
+/// (generate is const and thread-safe), so specs are parsed — and trace
+/// files loaded — once per workload, not once per cell.
+struct SweepCell {
+  std::shared_ptr<const WorkloadFamily> family;
+  CrashTimeLaw law;
+  std::string workload_label;
+  std::string scenario_label;
+};
+
+}  // namespace
+
 SweepResult run_sweep(const FigureConfig& config) {
   SweepResult result;
   result.granularities = config.granularities;
-  const std::size_t points = config.granularities.size();
-  const std::size_t reps = config.graphs_per_point;
-  const std::size_t instances = points * reps;
-  if (instances == 0) return result;
 
-  // One RNG stream per (granularity, instance) pair, derived up front by
-  // seed-splitting in the historical serial order: the sweep's output is
-  // therefore bit-identical to the old sequential loop no matter how many
-  // threads execute it.
-  std::vector<Rng> streams;
-  streams.reserve(instances);
-  Rng root(config.seed);
-  for (std::size_t gi = 0; gi < points; ++gi) {
-    Rng point_rng = root.split();
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      streams.push_back(point_rng.split());
+  // Resolve the (workload × scenario) cells.  An empty workload list means
+  // the paper §6 family configured by config.workload — the figure
+  // reproductions' exact generator, bypassing spec parsing.
+  std::vector<SweepCell> cells;
+  const std::vector<std::string> workload_specs =
+      config.workloads.empty() ? std::vector<std::string>{std::string()}
+                               : config.workloads;
+  const std::vector<std::string> scenario_specs =
+      config.scenarios.empty() ? std::vector<std::string>{"t0"}
+                               : config.scenarios;
+  // Duplicate labels would silently aggregate two cells into one series;
+  // reject them up front.
+  std::set<std::string> seen_cells;
+  for (const std::string& wspec : workload_specs) {
+    const std::shared_ptr<const WorkloadFamily> family =
+        wspec.empty() ? make_paper_family(config.workload)
+                      : make_workload_family(wspec);
+    for (const std::string& sspec : scenario_specs) {
+      const std::string label = (wspec.empty() ? "paper" : wspec) + "|" + sspec;
+      FTSCHED_REQUIRE(seen_cells.insert(label).second,
+                      "duplicate sweep cell (workload|scenario): " + label);
+      SweepCell cell;
+      cell.family = family;
+      cell.law = CrashTimeLaw::parse(sspec);
+      cell.workload_label = wspec.empty() ? "paper" : wspec;
+      cell.scenario_label = sspec;
+      cells.push_back(std::move(cell));
     }
   }
+  result.workloads = workload_specs;
+  if (config.workloads.empty()) result.workloads = {"paper"};
+  result.scenarios = scenario_specs;
+
+  const std::size_t points = config.granularities.size();
+  const std::size_t reps = config.graphs_per_point;
+  const std::size_t per_cell = points * reps;
+  const std::size_t instances = cells.size() * per_cell;
+  if (instances == 0) return result;
+
+  // One RNG stream per (workload family, granularity, repetition), keyed
+  // off the root seed via Rng::derive: every stream is reproducible in
+  // isolation from (seed, coordinates) alone — no serial split chain — so
+  // any subset of the grid can be recomputed independently (sharded
+  // sweeps), and the result is bit-identical for every thread count.
+  // Scenario cells of the same family deliberately share the key: each
+  // scenario faces the same instances and crash victims (paired
+  // comparison), extending the "every curve faces the same failures"
+  // contract of evaluate_instance to the scenario dimension.
+  const std::size_t scenario_count = scenario_specs.size();
+  const Rng root(config.seed);
 
   InstanceOptions base_options;
   base_options.epsilon = config.epsilon;
@@ -180,23 +247,28 @@ SweepResult run_sweep(const FigureConfig& config) {
   std::vector<SeriesSample> samples(instances);
   ParallelExecutor executor(config.threads);
   executor.for_each(instances, [&](std::size_t idx) {
-    const std::size_t gi = idx / reps;
-    Rng instance_rng = streams[idx];
-    PaperWorkloadParams params = config.workload;
-    params.proc_count = config.proc_count;
-    params.granularity = config.granularities[gi];
-    const auto workload = make_paper_workload(instance_rng, params);
+    const std::size_t ci = idx / per_cell;
+    const std::size_t gi = (idx % per_cell) / reps;
+    const std::size_t rep = idx % reps;
+    const std::size_t wi = ci / scenario_count;
+    Rng instance_rng =
+        root.derive(static_cast<std::uint64_t>((wi * points + gi) * reps + rep));
+    const SweepPoint point{config.granularities[gi], config.proc_count};
+    const auto workload = cells[ci].family->generate(instance_rng, point);
     InstanceOptions options = base_options;
+    options.crash_law = cells[ci].law;
     options.seed = instance_rng();
     samples[idx] = evaluate_instance(*workload, instance_rng, options);
   });
 
-  // Serial aggregation in (granularity, instance) order: OnlineStats
-  // accumulation order — and with it every rounding — is fixed.
+  // Serial aggregation in (cell, granularity, repetition) order:
+  // OnlineStats accumulation order — and with it every rounding — is fixed.
   for (std::size_t idx = 0; idx < instances; ++idx) {
-    const std::size_t gi = idx / reps;
+    const std::size_t ci = idx / per_cell;
+    const std::size_t gi = (idx % per_cell) / reps;
     for (const auto& [name, value] : samples[idx]) {
-      auto& stats = result.series[name];
+      auto& stats = result.series[sweep_series_name(
+          result, name, cells[ci].workload_label, cells[ci].scenario_label)];
       if (stats.size() != points) {
         stats.resize(points);
       }

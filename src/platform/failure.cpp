@@ -1,6 +1,10 @@
 #include "ftsched/platform/failure.hpp"
 
+#include <iomanip>
+#include <sstream>
+
 #include "ftsched/util/error.hpp"
+#include "ftsched/util/spec.hpp"
 
 namespace ftsched {
 
@@ -71,6 +75,112 @@ std::vector<FailureScenario> all_crash_subsets(std::size_t proc_count,
   std::vector<std::size_t> current;
   enumerate_subsets(proc_count, count, 0, current, result);
   return result;
+}
+
+// -------------------------------------------------------------- CrashTimeLaw
+
+namespace {
+
+/// Rejects option keys the law does not take (same loud contract as the
+/// registries).
+void require_only(const SpecOptions& options, const std::string& law,
+                  const std::string& allowed) {
+  for (const std::string& key : options.keys()) {
+    if (key != allowed) {
+      throw InvalidArgument("crash law '" + law +
+                            "' does not accept option '" + key + "'" +
+                            (allowed.empty() ? std::string(" (no options)")
+                                             : " (supported: " + allowed + ")"));
+    }
+  }
+}
+
+}  // namespace
+
+CrashTimeLaw CrashTimeLaw::parse(const std::string& spec) {
+  std::string name;
+  std::string option_text;
+  split_spec_string(spec, name, option_text);
+  const SpecOptions options = SpecOptions::parse(option_text);
+
+  CrashTimeLaw law;
+  if (name == "t0") {
+    require_only(options, name, "");
+    law.kind_ = Kind::kAtZero;
+    law.param_ = 0.0;
+  } else if (name == "frac") {
+    require_only(options, name, "f");
+    law.kind_ = Kind::kFraction;
+    law.param_ = options.get_double("f", 0.5);
+    FTSCHED_REQUIRE(law.param_ >= 0.0, "crash law frac: f must be >= 0");
+  } else if (name == "uniform") {
+    require_only(options, name, "hi");
+    law.kind_ = Kind::kUniform;
+    law.param_ = options.get_double("hi", 1.0);
+    FTSCHED_REQUIRE(law.param_ >= 0.0, "crash law uniform: hi must be >= 0");
+  } else if (name == "exp") {
+    require_only(options, name, "mean");
+    law.kind_ = Kind::kExponential;
+    law.param_ = options.get_double("mean", 0.5);
+    FTSCHED_REQUIRE(law.param_ > 0.0, "crash law exp: mean must be > 0");
+  } else {
+    throw InvalidArgument("unknown crash law '" + name + "' (known: " +
+                          spec_detail::join(known(), "|") + ")");
+  }
+  return law;
+}
+
+std::string CrashTimeLaw::to_string() const {
+  switch (kind_) {
+    case Kind::kAtZero:
+      return "t0";
+    case Kind::kFraction:
+      return "frac:f=" + spec_detail::render_double(param_);
+    case Kind::kUniform:
+      return "uniform:hi=" + spec_detail::render_double(param_);
+    case Kind::kExponential:
+      return "exp:mean=" + spec_detail::render_double(param_);
+  }
+  return "t0";
+}
+
+std::string CrashTimeLaw::describe() const {
+  switch (kind_) {
+    case Kind::kAtZero:
+      return "crashes at t = 0 (paper's worst case)";
+    case Kind::kFraction:
+      return "all victims crash at " + spec_detail::render_double(param_) +
+             " x the failure-free latency";
+    case Kind::kUniform:
+      return "victim crash times ~ U[0, " + spec_detail::render_double(param_) +
+             " x the failure-free latency)";
+    case Kind::kExponential:
+      return "victim crash times ~ Exp(mean " + spec_detail::render_double(param_) +
+             " x the failure-free latency)";
+  }
+  return "crashes at t = 0";
+}
+
+std::vector<double> CrashTimeLaw::sample(Rng& rng, std::size_t count) const {
+  std::vector<double> times(count, 0.0);
+  switch (kind_) {
+    case Kind::kAtZero:
+      break;  // no randomness consumed: legacy streams stay bit-identical
+    case Kind::kFraction:
+      for (double& t : times) t = param_;
+      break;
+    case Kind::kUniform:
+      for (double& t : times) t = rng.uniform(0.0, param_);
+      break;
+    case Kind::kExponential:
+      for (double& t : times) t = rng.exponential(1.0 / param_);
+      break;
+  }
+  return times;
+}
+
+std::vector<std::string> CrashTimeLaw::known() {
+  return {"t0", "frac", "uniform", "exp"};
 }
 
 }  // namespace ftsched

@@ -66,10 +66,24 @@ std::string TextTable::str() const {
 
 std::string TextTable::csv() const {
   std::ostringstream os;
-  auto emit = [&os](const std::vector<std::string>& cells) {
+  // RFC-4180 quoting, applied only when needed: cells without special
+  // characters (the common case — every numeric cell) render unchanged.
+  auto emit_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i) os << ',';
-      os << cells[i];
+      emit_cell(cells[i]);
     }
     os << '\n';
   };

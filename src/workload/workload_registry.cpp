@@ -1,0 +1,394 @@
+#include "ftsched/workload/workload_registry.hpp"
+
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+#include "ftsched/dag/serialize.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/classic.hpp"
+#include "ftsched/workload/random_dag.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Which sweep dimensions a spec pinned explicitly (pinned values win over
+/// the SweepPoint, mirroring how explicit scheduler options win over
+/// injected defaults).
+struct PinnedDims {
+  bool procs = false;
+  bool granularity = false;
+};
+
+using spec_detail::render_double;
+
+/// Builds "family:k=v,..." from emitted parts (mirrors the scheduler
+/// adapters' canonical-name convention: only non-default options listed).
+class NameBuilder {
+ public:
+  explicit NameBuilder(std::string family) : family_(std::move(family)) {}
+
+  void emit(const std::string& key, const std::string& value) {
+    parts_.push_back(key + "=" + value);
+  }
+  void emit_size(const std::string& key, std::size_t value,
+                 std::size_t unless) {
+    if (value != unless) emit(key, std::to_string(value));
+  }
+  void emit_num(const std::string& key, double value, double unless) {
+    if (value != unless) emit(key, render_double(value));
+  }
+
+  [[nodiscard]] std::string str() const {
+    if (parts_.empty()) return family_;
+    return family_ + ":" + spec_detail::join(parts_, ",");
+  }
+
+ private:
+  std::string family_;
+  std::vector<std::string> parts_;
+};
+
+/// The one concrete WorkloadFamily: name/description plus an immutable
+/// generator closure (families differ only in how they build the graph and
+/// parameterize the platform, so a closure keeps the adapters compact).
+class ConfiguredFamily final : public WorkloadFamily {
+ public:
+  using Generator =
+      std::function<std::unique_ptr<Workload>(Rng&, const SweepPoint&)>;
+
+  ConfiguredFamily(std::string name, std::string description,
+                   Generator generator)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        generator_(std::move(generator)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string describe() const override { return description_; }
+  [[nodiscard]] std::unique_ptr<Workload> generate(
+      Rng& rng, const SweepPoint& point) const override {
+    return generator_(rng, point);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Generator generator_;
+};
+
+/// Applies the sweep point to the dimensions the spec left unpinned.
+PaperWorkloadParams resolve_params(const PaperWorkloadParams& base,
+                                   PinnedDims pinned, const SweepPoint& point) {
+  PaperWorkloadParams params = base;
+  if (!pinned.procs) params.proc_count = point.proc_count;
+  if (!pinned.granularity) params.granularity = point.granularity;
+  return params;
+}
+
+/// Parses the platform options shared by every family (procs, g) into
+/// `params`/`pinned`.
+void parse_platform_options(const SpecOptions& o, PaperWorkloadParams& params,
+                            PinnedDims& pinned) {
+  pinned.procs = o.has("procs");
+  pinned.granularity = o.has("g");
+  params.proc_count = o.get_size("procs", params.proc_count);
+  params.granularity = o.get_double("g", params.granularity);
+}
+
+void emit_platform_options(NameBuilder& name, const PaperWorkloadParams& params,
+                           PinnedDims pinned) {
+  if (pinned.procs) name.emit("procs", std::to_string(params.proc_count));
+  if (pinned.granularity) name.emit("g", render_double(params.granularity));
+}
+
+const std::vector<SpecOptionSpec> kPlatformOptionSpecs{
+    {"procs", "(sweep)", "processor count; pins the sweep dimension"},
+    {"g", "(sweep)", "target granularity; pins the sweep dimension"},
+};
+
+std::vector<SpecOptionSpec> with_platform_options(
+    std::vector<SpecOptionSpec> specs) {
+  specs.insert(specs.end(), kPlatformOptionSpecs.begin(),
+               kPlatformOptionSpecs.end());
+  return specs;
+}
+
+// ----------------------------------------------------------------- families
+
+WorkloadFamilyPtr make_paper_family_impl(const PaperWorkloadParams& base,
+                                         PinnedDims pinned) {
+  NameBuilder name("paper");
+  name.emit_size("tmin", base.task_min, 100);
+  name.emit_size("tmax", base.task_max, 150);
+  name.emit_size("width", base.avg_layer_width, 0);
+  name.emit_num("vmin", base.volume_min, 50.0);
+  name.emit_num("vmax", base.volume_max, 150.0);
+  emit_platform_options(name, base, pinned);
+
+  std::ostringstream desc;
+  desc << "paper §6 generator: layered DAG, v ~ U[" << base.task_min << ", "
+       << base.task_max << "], volumes ~ U[" << base.volume_min << ", "
+       << base.volume_max << "], delays ~ U[" << base.delay_min << ", "
+       << base.delay_max << "]";
+  return std::make_unique<ConfiguredFamily>(
+      name.str(), desc.str(),
+      [base, pinned](Rng& rng, const SweepPoint& point) {
+        return make_paper_workload(rng, resolve_params(base, pinned, point));
+      });
+}
+
+WorkloadFamilyPtr make_layered_family(const SpecOptions& o) {
+  LayeredDagParams dag;
+  dag.task_count = o.get_size("tasks", dag.task_count);
+  dag.avg_layer_width = o.get_size("width", dag.avg_layer_width);
+  dag.edge_probability = o.get_double("p", dag.edge_probability);
+  dag.max_layer_jump = o.get_size("jump", dag.max_layer_jump);
+  dag.volume_min = o.get_double("vmin", dag.volume_min);
+  dag.volume_max = o.get_double("vmax", dag.volume_max);
+  dag.connect = o.get_bool("connect", dag.connect);
+  PaperWorkloadParams base;
+  PinnedDims pinned;
+  parse_platform_options(o, base, pinned);
+
+  NameBuilder name("layered");
+  name.emit_size("tasks", dag.task_count, 120);
+  name.emit_size("width", dag.avg_layer_width, 8);
+  name.emit_num("p", dag.edge_probability, 0.25);
+  name.emit_size("jump", dag.max_layer_jump, 2);
+  name.emit_num("vmin", dag.volume_min, 50.0);
+  name.emit_num("vmax", dag.volume_max, 150.0);
+  if (!dag.connect) name.emit("connect", "0");
+  emit_platform_options(name, base, pinned);
+
+  std::ostringstream desc;
+  desc << "layered random DAG: " << dag.task_count << " tasks, avg width "
+       << dag.avg_layer_width << ", edge probability " << dag.edge_probability
+       << ", layer jump " << dag.max_layer_jump;
+  return std::make_unique<ConfiguredFamily>(
+      name.str(), desc.str(),
+      [dag, base, pinned](Rng& rng, const SweepPoint& point) {
+        TaskGraph graph = make_layered_dag(rng, dag);
+        return make_workload_for_graph(rng, std::move(graph),
+                                       resolve_params(base, pinned, point));
+      });
+}
+
+WorkloadFamilyPtr make_gnp_family(const SpecOptions& o) {
+  GnpDagParams dag;
+  dag.task_count = o.get_size("tasks", dag.task_count);
+  dag.edge_probability = o.get_double("p", dag.edge_probability);
+  dag.volume_min = o.get_double("vmin", dag.volume_min);
+  dag.volume_max = o.get_double("vmax", dag.volume_max);
+  PaperWorkloadParams base;
+  PinnedDims pinned;
+  parse_platform_options(o, base, pinned);
+
+  NameBuilder name("gnp");
+  name.emit_size("tasks", dag.task_count, 100);
+  name.emit_num("p", dag.edge_probability, 0.05);
+  name.emit_num("vmin", dag.volume_min, 50.0);
+  name.emit_num("vmax", dag.volume_max, 150.0);
+  emit_platform_options(name, base, pinned);
+
+  std::ostringstream desc;
+  desc << "Erdős–Rényi DAG: " << dag.task_count
+       << " tasks, edge probability " << dag.edge_probability;
+  return std::make_unique<ConfiguredFamily>(
+      name.str(), desc.str(),
+      [dag, base, pinned](Rng& rng, const SweepPoint& point) {
+        TaskGraph graph = make_gnp_dag(rng, dag);
+        return make_workload_for_graph(rng, std::move(graph),
+                                       resolve_params(base, pinned, point));
+      });
+}
+
+/// Classic application graphs: one registry entry per kind, all sharing the
+/// size/volume options (size is the family's natural parameter: chain
+/// length, FFT points, Cholesky tiles, ...).
+struct ClassicKind {
+  const char* name;
+  const char* summary;
+  std::size_t default_size;
+  TaskGraph (*build)(Rng&, std::size_t, const ClassicParams&);
+};
+
+const ClassicKind kClassicKinds[] = {
+    {"chain", "chain t0 -> t1 -> ... (size = length)", 16,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_chain(n, p);
+     }},
+    {"forkjoin", "fork-join: source -> size parallel tasks -> sink", 16,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_fork_join(n, p);
+     }},
+    {"intree", "binary reduction tree (size = leaves, power of two)", 16,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_in_tree(n, p);
+     }},
+    {"outtree", "binary broadcast tree (size = leaves, power of two)", 16,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_out_tree(n, p);
+     }},
+    {"fft", "FFT butterfly (size = points, power of two)", 8,
+     [](Rng&, std::size_t n, const ClassicParams& p) { return make_fft(n, p); }},
+    {"gauss", "Gaussian elimination wavefront (size = matrix dimension)", 8,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_gaussian_elimination(n, p);
+     }},
+    {"wavefront", "2-D stencil wavefront (size x size grid)", 6,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_wavefront(n, n, p);
+     }},
+    {"sp", "random series-parallel DAG (size ~ task count)", 32,
+     [](Rng& rng, std::size_t n, const ClassicParams& p) {
+       return make_series_parallel(rng, n, p);
+     }},
+    {"cholesky", "tiled Cholesky factorization (size = tile dimension)", 4,
+     [](Rng&, std::size_t n, const ClassicParams& p) {
+       return make_cholesky(n, p);
+     }},
+    {"lu", "tiled LU factorization (size = tile dimension)", 4,
+     [](Rng&, std::size_t n, const ClassicParams& p) { return make_lu(n, p); }},
+};
+
+WorkloadFamilyPtr make_classic_family(const ClassicKind& kind,
+                                      const SpecOptions& o) {
+  const std::size_t size = o.get_size("size", kind.default_size);
+  ClassicParams classic;
+  classic.volume = o.get_double("volume", classic.volume);
+  PaperWorkloadParams base;
+  PinnedDims pinned;
+  parse_platform_options(o, base, pinned);
+
+  NameBuilder name(kind.name);
+  name.emit_size("size", size, kind.default_size);
+  name.emit_num("volume", classic.volume, 100.0);
+  emit_platform_options(name, base, pinned);
+
+  const std::string desc =
+      std::string(kind.summary) + ", size " + std::to_string(size);
+  TaskGraph (*build)(Rng&, std::size_t, const ClassicParams&) = kind.build;
+  return std::make_unique<ConfiguredFamily>(
+      name.str(), desc,
+      [build, size, classic, base, pinned](Rng& rng, const SweepPoint& point) {
+        TaskGraph graph = build(rng, size, classic);
+        return make_workload_for_graph(rng, std::move(graph),
+                                       resolve_params(base, pinned, point));
+      });
+}
+
+WorkloadFamilyPtr make_trace_family(const SpecOptions& o) {
+  const std::string path = o.get("file");  // required; throws when absent
+  std::ifstream in(path);
+  FTSCHED_REQUIRE(in.good(), "cannot open trace graph file: " + path);
+  // Loaded once at construction (fail fast on malformed files); generate()
+  // stamps a fresh random platform/cost model onto a copy per instance.
+  const auto graph = std::make_shared<const TaskGraph>(read_graph(in));
+  PaperWorkloadParams base;
+  PinnedDims pinned;
+  parse_platform_options(o, base, pinned);
+
+  NameBuilder name("trace");
+  name.emit("file", path);
+  emit_platform_options(name, base, pinned);
+
+  std::ostringstream desc;
+  desc << "trace-driven DAG from " << path << " (\"" << graph->name() << "\", "
+       << graph->task_count() << " tasks, " << graph->edge_count()
+       << " edges) with random paper-style platforms";
+  return std::make_unique<ConfiguredFamily>(
+      name.str(), desc.str(),
+      [graph, base, pinned](Rng& rng, const SweepPoint& point) {
+        return make_workload_for_graph(rng, TaskGraph(*graph),
+                                       resolve_params(base, pinned, point));
+      });
+}
+
+WorkloadRegistry make_global_registry() {
+  WorkloadRegistry registry;
+  registry.add(
+      {"paper",
+       "the paper's §6 workload: layered DAG, published parameter ranges",
+       with_platform_options({
+           {"tmin", "100", "minimum task count (v ~ U[tmin, tmax])"},
+           {"tmax", "150", "maximum task count"},
+           {"width", "0", "avg tasks per layer (0 = auto: v/15, min 8)"},
+           {"vmin", "50", "minimum message volume"},
+           {"vmax", "150", "maximum message volume"},
+       }),
+       [](const SpecOptions& o) {
+         PaperWorkloadParams params;
+         params.task_min = o.get_size("tmin", params.task_min);
+         params.task_max = o.get_size("tmax", params.task_max);
+         params.avg_layer_width = o.get_size("width", params.avg_layer_width);
+         params.volume_min = o.get_double("vmin", params.volume_min);
+         params.volume_max = o.get_double("vmax", params.volume_max);
+         PinnedDims pinned;
+         parse_platform_options(o, params, pinned);
+         FTSCHED_REQUIRE(params.task_min > 0 &&
+                             params.task_max >= params.task_min,
+                         "paper workload: need 0 < tmin <= tmax");
+         return make_paper_family_impl(params, pinned);
+       }});
+  registry.add({"layered",
+                "layered random DAG (Dogan & Ozguner construction)",
+                with_platform_options({
+                    {"tasks", "120", "task count"},
+                    {"width", "8", "average tasks per layer"},
+                    {"p", "0.25", "edge probability per candidate predecessor"},
+                    {"jump", "2", "how far back (in layers) an edge may reach"},
+                    {"vmin", "50", "minimum message volume"},
+                    {"vmax", "150", "maximum message volume"},
+                    {"connect", "1", "guarantee a connected DAG: 0|1"},
+                }),
+                make_layered_family});
+  registry.add({"gnp",
+                "Erdős–Rényi DAG over a random topological order",
+                with_platform_options({
+                    {"tasks", "100", "task count"},
+                    {"p", "0.05", "edge probability per (i, j) pair"},
+                    {"vmin", "50", "minimum message volume"},
+                    {"vmax", "150", "maximum message volume"},
+                }),
+                make_gnp_family});
+  for (const ClassicKind& kind : kClassicKinds) {
+    registry.add({kind.name,
+                  kind.summary,
+                  with_platform_options({
+                      {"size", std::to_string(kind.default_size),
+                       "family size parameter"},
+                      {"volume", "100", "uniform message volume per edge"},
+                  }),
+                  [&kind](const SpecOptions& o) {
+                    return make_classic_family(kind, o);
+                  }});
+  }
+  registry.add({"trace",
+                "DAG loaded from a text graph file (dag/serialize.hpp format)",
+                with_platform_options({
+                    {"file", "(required)", "graph file to load"},
+                }),
+                make_trace_family});
+  return registry;
+}
+
+}  // namespace
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  static WorkloadRegistry registry = make_global_registry();
+  return registry;
+}
+
+WorkloadFamilyPtr make_workload_family(
+    const std::string& spec,
+    const std::vector<std::pair<std::string, std::string>>& defaults) {
+  return WorkloadRegistry::global().create_with_defaults(spec, defaults);
+}
+
+WorkloadFamilyPtr make_paper_family(const PaperWorkloadParams& params) {
+  return make_paper_family_impl(params, PinnedDims{});
+}
+
+}  // namespace ftsched

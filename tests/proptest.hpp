@@ -1,0 +1,54 @@
+// Lightweight property-based testing on top of GoogleTest.
+//
+// `proptest::check` runs a property over many independently-seeded RNG
+// streams.  Every iteration is wrapped in a SCOPED_TRACE carrying the
+// property's spec string and the exact seed, so any EXPECT/ASSERT failure
+// inside the property automatically prints its counterexample and the
+// one-liner that replays it:
+//
+//   FTSCHED_PROP_SEED=<seed> FTSCHED_PROP_ITERS=1 ./test_x --gtest_filter=...
+//
+// Environment knobs: FTSCHED_PROP_ITERS (iteration count; crank it up for
+// a soak run), FTSCHED_PROP_SEED (base seed; iteration i runs on seed
+// base + i, so replaying a single failing case is just the printed seed
+// with ITERS=1).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/rng.hpp"
+
+namespace ftsched::proptest {
+
+struct PropConfig {
+  std::size_t iterations = 25;
+  std::uint64_t base_seed = 0x9e3779b9;
+};
+
+/// Runs `property(rng, case_seed)` once per iteration, each on a fresh
+/// Rng(case_seed).  Stops early on a fatal (ASSERT_*) failure.
+template <typename Property>
+void check(const std::string& spec, Property&& property,
+           PropConfig config = {}) {
+  const auto iterations = static_cast<std::size_t>(env_int(
+      "FTSCHED_PROP_ITERS", static_cast<std::int64_t>(config.iterations)));
+  const auto base = static_cast<std::uint64_t>(env_int(
+      "FTSCHED_PROP_SEED", static_cast<std::int64_t>(config.base_seed)));
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t case_seed = base + i;
+    SCOPED_TRACE("property '" + spec +
+                 "': counterexample at seed=" + std::to_string(case_seed) +
+                 " (replay: FTSCHED_PROP_SEED=" + std::to_string(case_seed) +
+                 " FTSCHED_PROP_ITERS=1)");
+    Rng rng(case_seed);
+    property(rng, case_seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace ftsched::proptest

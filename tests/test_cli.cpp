@@ -184,6 +184,63 @@ TEST_F(CliTest, ValidateCertifiesFtsaAndFlagsPaperMc) {
   }
 }
 
+TEST_F(CliTest, ListWorkloadsShowsAtLeastFourFamilies) {
+  const CliResult r = run({"list-workloads"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::size_t families = 0;
+  for (const char* name : {"paper", "layered", "gnp", "trace", "fft",
+                           "cholesky", "wavefront"}) {
+    if (r.out.find("\n" + std::string(name) + "\n") != std::string::npos ||
+        r.out.rfind(std::string(name) + "\n", 0) == 0) {
+      ++families;
+    }
+  }
+  EXPECT_GE(families, 4u) << r.out;
+  EXPECT_NE(r.out.find("spec syntax"), std::string::npos);
+  EXPECT_NE(r.out.find("crash laws"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleAcceptsWorkloadSpecInsteadOfGraph) {
+  const CliResult r = run({"schedule", "--workload", "fft:size=8", "--algo",
+                           "ftsa", "--epsilon", "1", "--procs", "4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("lower bound"), std::string::npos);
+
+  const CliResult both =
+      run({"schedule", "--workload", "fft:size=8", "--graph", "x.txt"});
+  EXPECT_EQ(both.code, 1);
+  EXPECT_NE(both.err.find("mutually exclusive"), std::string::npos);
+
+  const CliResult bogus = run({"schedule", "--workload", "nonsense"});
+  EXPECT_EQ(bogus.code, 1);
+  EXPECT_NE(bogus.err.find("unknown workload family"), std::string::npos);
+}
+
+TEST_F(CliTest, SweepRangesOverWorkloadAndScenarioCells) {
+  const CliResult r = run(
+      {"sweep", "--granularities", "0.6;1.4", "--graphs", "1", "--procs", "5",
+       "--workload", "paper:tmin=15,tmax=18;fft:size=8", "--scenario",
+       "t0;frac:f=0.5", "--threads", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("cells=2x2"), std::string::npos);
+  EXPECT_NE(r.out.find("FTSA-1Crash[fft:size=8|t0]"), std::string::npos);
+  EXPECT_NE(r.out.find("FTSA-1Crash[fft:size=8|frac:f=0.5]"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("0.60"), std::string::npos);
+
+  const CliResult bad = run({"sweep", "--scenario", "lightning"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("unknown crash law"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithWorkloadSpecAndCrashes) {
+  const CliResult r =
+      run({"simulate", "--workload", "layered:tasks=25", "--algo", "ftsa",
+           "--epsilon", "2", "--procs", "6", "--crashes", "0@0,3@50.5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("success:              yes"), std::string::npos);
+}
+
 TEST_F(CliTest, ErrorsAreReportedNotThrown) {
   const CliResult r = run({"info", "--graph", "/nonexistent/file"});
   EXPECT_EQ(r.code, 1);

@@ -1,0 +1,187 @@
+// Tests for the shared spec-string utility (util/spec.hpp): option parsing
+// edge cases — factored into one place and tested once for every consumer
+// (SchedulerRegistry, WorkloadRegistry, CrashTimeLaw) — plus the generic
+// SpecRegistry error contract across both registries.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ftsched/core/scheduler.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/spec.hpp"
+#include "ftsched/workload/workload_registry.hpp"
+
+namespace ftsched {
+namespace {
+
+// ------------------------------------------------------------- SpecOptions
+
+TEST(SpecOptions, EmptyAndBasicParsing) {
+  EXPECT_TRUE(SpecOptions::parse("").empty());
+  const SpecOptions o = SpecOptions::parse("eps=2,prio=bl");
+  EXPECT_TRUE(o.has("eps"));
+  EXPECT_TRUE(o.has("prio"));
+  EXPECT_FALSE(o.has("seed"));
+  EXPECT_EQ(o.get("eps"), "2");
+  EXPECT_EQ(o.get("prio"), "bl");
+  EXPECT_EQ(o.to_string(), "eps=2,prio=bl");
+}
+
+TEST(SpecOptions, MalformedInputsThrow) {
+  EXPECT_THROW((void)SpecOptions::parse("eps"), InvalidArgument);     // no '='
+  EXPECT_THROW((void)SpecOptions::parse("=2"), InvalidArgument);      // no key
+  EXPECT_THROW((void)SpecOptions::parse("a=1,"), InvalidArgument);    // trail
+  EXPECT_THROW((void)SpecOptions::parse("a=1,a=2"), InvalidArgument); // dup
+  EXPECT_THROW((void)SpecOptions::parse("a=1,,b=2"), InvalidArgument);
+}
+
+TEST(SpecOptions, EmptyValueIsAllowedButMissingKeyThrows) {
+  const SpecOptions o = SpecOptions::parse("file=");
+  EXPECT_TRUE(o.has("file"));
+  EXPECT_EQ(o.get("file"), "");
+  EXPECT_THROW((void)o.get("absent"), InvalidArgument);
+  EXPECT_EQ(o.get("absent", "fallback"), "fallback");
+}
+
+TEST(SpecOptions, NumericAccessorsValidate) {
+  const SpecOptions o = SpecOptions::parse("n=12,x=1.5,neg=-3,bad=two,b=1");
+  EXPECT_EQ(o.get_size("n", 0), 12u);
+  EXPECT_EQ(o.get_u64("n", 0), 12u);
+  EXPECT_EQ(o.get_size("absent", 7), 7u);
+  EXPECT_DOUBLE_EQ(o.get_double("x", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(o.get_double("neg", 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(o.get_double("absent", 2.5), 2.5);
+  EXPECT_THROW((void)o.get_size("bad", 0), InvalidArgument);
+  EXPECT_THROW((void)o.get_size("neg", 0), InvalidArgument);  // unsigned
+  EXPECT_THROW((void)o.get_size("x", 0), InvalidArgument);    // trailing .5
+  EXPECT_THROW((void)o.get_double("bad", 0.0), InvalidArgument);
+  EXPECT_TRUE(o.get_bool("b", false));
+  EXPECT_THROW((void)o.get_bool("n", false), InvalidArgument);  // 12
+}
+
+TEST(SpecOptions, SetDefaultDoesNotOverride) {
+  SpecOptions o = SpecOptions::parse("eps=2");
+  o.set_default("eps", "9");
+  o.set_default("seed", "7");
+  EXPECT_EQ(o.get("eps"), "2");
+  EXPECT_EQ(o.get("seed"), "7");
+  o.set("eps", "4");
+  EXPECT_EQ(o.get("eps"), "4");
+}
+
+TEST(SpecSplit, SplitsAtFirstColonOnly) {
+  std::string name;
+  std::string options;
+  split_spec_string("trace:file=a:b.txt", name, options);
+  EXPECT_EQ(name, "trace");
+  EXPECT_EQ(options, "file=a:b.txt");
+  split_spec_string("ftsa", name, options);
+  EXPECT_EQ(name, "ftsa");
+  EXPECT_EQ(options, "");
+}
+
+// --------------------------------------- shared registry error contract
+
+/// Both registries reject unknown names listing the alternatives, reject
+/// unknown option keys listing the supported keys, and reject malformed
+/// option strings — the same code path (SpecRegistry), asserted once per
+/// consumer here so a regression in either wiring is caught.
+template <typename Registry>
+void expect_registry_error_contract(const Registry& registry,
+                                    const std::string& known_name,
+                                    const std::string& known_key) {
+  try {
+    (void)registry.create("no-such-entry");
+    FAIL() << "expected InvalidArgument for unknown name";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-entry"), std::string::npos);
+    EXPECT_NE(what.find(known_name), std::string::npos);  // alternatives
+  }
+  try {
+    (void)registry.create(known_name + ":bogus=1");
+    FAIL() << "expected InvalidArgument for unknown option";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find(known_key), std::string::npos);  // supported keys
+  }
+  EXPECT_THROW((void)registry.create(known_name + ":" + known_key),
+               InvalidArgument);
+  EXPECT_THROW((void)registry.create(known_name + ":=1"), InvalidArgument);
+  EXPECT_THROW((void)registry.create(known_name + ":" + known_key + "=1," +
+                                     known_key + "=2"),
+               InvalidArgument);
+}
+
+TEST(SpecRegistry, SchedulerRegistryErrorContract) {
+  expect_registry_error_contract(SchedulerRegistry::global(), "ftsa", "eps");
+}
+
+TEST(SpecRegistry, WorkloadRegistryErrorContract) {
+  expect_registry_error_contract(WorkloadRegistry::global(), "paper", "tmin");
+}
+
+TEST(SpecRegistry, BadNumericValuesRejectedByBothRegistries) {
+  EXPECT_THROW((void)SchedulerRegistry::global().create("ftsa:eps=two"),
+               InvalidArgument);
+  EXPECT_THROW((void)WorkloadRegistry::global().create("paper:tmin=ten"),
+               InvalidArgument);
+  EXPECT_THROW((void)WorkloadRegistry::global().create("layered:p=often"),
+               InvalidArgument);
+}
+
+TEST(SpecRegistry, EmptySpecIsUnknownName) {
+  EXPECT_THROW((void)SchedulerRegistry::global().create(""), InvalidArgument);
+  EXPECT_THROW((void)WorkloadRegistry::global().create(""), InvalidArgument);
+  EXPECT_THROW((void)WorkloadRegistry::global().create(":tmin=1"),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ CrashTimeLaw
+
+TEST(CrashTimeLaw, ParsesAndRoundTrips) {
+  for (const char* spec :
+       {"t0", "frac:f=0.5", "frac:f=1.2", "uniform:hi=1", "exp:mean=0.25"}) {
+    const CrashTimeLaw law = CrashTimeLaw::parse(spec);
+    EXPECT_EQ(CrashTimeLaw::parse(law.to_string()).to_string(),
+              law.to_string())
+        << spec;
+    EXPECT_FALSE(law.describe().empty());
+  }
+  EXPECT_EQ(CrashTimeLaw().to_string(), "t0");
+  EXPECT_EQ(CrashTimeLaw::parse("frac").to_string(), "frac:f=0.5");
+}
+
+TEST(CrashTimeLaw, RejectsUnknownLawsAndOptions) {
+  EXPECT_THROW((void)CrashTimeLaw::parse("lightning"), InvalidArgument);
+  EXPECT_THROW((void)CrashTimeLaw::parse("t0:f=1"), InvalidArgument);
+  EXPECT_THROW((void)CrashTimeLaw::parse("frac:hi=1"), InvalidArgument);
+  EXPECT_THROW((void)CrashTimeLaw::parse("frac:f=-1"), InvalidArgument);
+  EXPECT_THROW((void)CrashTimeLaw::parse("exp:mean=0"), InvalidArgument);
+  EXPECT_THROW((void)CrashTimeLaw::parse("frac:f=fast"), InvalidArgument);
+}
+
+TEST(CrashTimeLaw, SamplingContracts) {
+  Rng rng(3);
+  const auto before = rng;
+  // t0 consumes no randomness (the legacy-stream guarantee) ...
+  const std::vector<double> zeros = CrashTimeLaw().sample(rng, 4);
+  EXPECT_EQ(zeros, std::vector<double>(4, 0.0));
+  Rng copy = before;
+  EXPECT_EQ(rng(), copy());
+  // ... frac is deterministic, uniform/exp draw nonnegative times.
+  const auto fracs = CrashTimeLaw::parse("frac:f=0.3").sample(rng, 3);
+  EXPECT_EQ(fracs, std::vector<double>(3, 0.3));
+  for (double t : CrashTimeLaw::parse("uniform:hi=2").sample(rng, 8)) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 2.0);
+  }
+  for (double t : CrashTimeLaw::parse("exp:mean=0.5").sample(rng, 8)) {
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -16,11 +16,13 @@
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/trace.hpp"
 #include "ftsched/sim/validator.hpp"
+#include "ftsched/experiments/figures.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/workload/classic.hpp"
 #include "ftsched/workload/paper_workload.hpp"
+#include "ftsched/workload/workload_registry.hpp"
 
 namespace ftsched::cli {
 
@@ -57,13 +59,39 @@ TaskGraph load_graph(const std::string& path) {
   return read_graph(in);
 }
 
-/// Builds a workload (platform + costs) for a graph file using CLI options.
+/// Builds a workload (platform + costs) from either --workload (a
+/// WorkloadRegistry spec) or --graph (a graph file) using CLI options.
 std::unique_ptr<Workload> load_workload(const CliParser& cli) {
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs"));
+  const double granularity = cli.get_double("granularity");
+  const std::string spec = cli.get("workload");
+  if (!spec.empty()) {
+    FTSCHED_REQUIRE(cli.get("graph").empty(),
+                    "--graph and --workload are mutually exclusive");
+    const SweepPoint point{granularity, procs};
+    return make_workload_family(spec)->generate(rng, point);
+  }
   PaperWorkloadParams params;
-  params.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
-  params.granularity = cli.get_double("granularity");
+  params.proc_count = procs;
+  params.granularity = granularity;
   return make_workload_for_graph(rng, load_graph(cli.get("graph")), params);
+}
+
+constexpr const char* kWorkloadHelp =
+    "WorkloadRegistry spec instead of --graph, e.g. paper or fft:size=16 "
+    "(see list-workloads)";
+
+/// Splits a ';'-separated list (specs already use ',' and ':').
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
 }
 
 /// Resolves --algo through the SchedulerRegistry.  `algo` is a full
@@ -160,8 +188,9 @@ int cmd_info(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int cmd_schedule(const std::vector<std::string>& args, std::ostream& out) {
-  CliParser cli("ftsched_cli schedule: schedule a graph file");
+  CliParser cli("ftsched_cli schedule: schedule a graph file or workload");
   cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("workload", "", kWorkloadHelp);
   cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "8", "processors in the generated platform");
@@ -199,6 +228,7 @@ int cmd_schedule(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   CliParser cli("ftsched_cli simulate: execute a schedule under crashes");
   cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("workload", "", kWorkloadHelp);
   cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "8", "processors in the generated platform");
@@ -266,11 +296,94 @@ int cmd_list_algos(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_list_workloads(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli list-workloads: workload families registered in the "
+      "WorkloadRegistry, with their option keys");
+  std::vector<const char*> argv{"list-workloads"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const WorkloadRegistry::Entry& entry = registry.entry(name);
+    out << name << "\n    " << entry.summary << '\n';
+    for (const SpecOptionSpec& option : entry.options) {
+      out << "    " << option.key << "=" << option.default_value << "  "
+          << option.help << '\n';
+    }
+  }
+  out << "\nspec syntax: family[:key=value[,key=value...]], e.g. "
+         "\"paper:tmin=100,tmax=150\" or \"fft:size=16\"\n"
+         "crash laws (sweep --scenario): t0 | frac:f=F | uniform:hi=H | "
+         "exp:mean=M\n";
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli sweep: granularity sweep over (workload family x crash "
+      "scenario) cells, deterministic for any thread count");
+  cli.add_option("figure", "1", "base config: paper figure 1..4");
+  cli.add_option("workload", "",
+                 "';'-separated WorkloadRegistry specs (empty = the paper "
+                 "§6 generator)");
+  cli.add_option("scenario", "",
+                 "';'-separated crash-law specs (empty = t0)");
+  cli.add_option("granularities", "",
+                 "';'-separated granularity values (empty = the 0.2..2.0 "
+                 "paper grid)");
+  cli.add_option("graphs", "8", "instances per (cell, granularity) point");
+  cli.add_option("epsilon", "0", "failures tolerated (0 = figure default)");
+  cli.add_option("procs", "0", "processors (0 = figure default)");
+  cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_option("seed", "42", "root seed");
+  cli.add_option("out", "", "write the CSV to this file (stdout when empty)");
+  std::vector<const char*> argv{"sweep"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  FigureConfig config = figure_config(static_cast<int>(cli.get_int("figure")));
+  config.graphs_per_point = static_cast<std::size_t>(cli.get_int("graphs"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (cli.get_int("epsilon") != 0) {
+    config.epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
+  }
+  if (cli.get_int("procs") != 0) {
+    config.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
+    config.workload.proc_count = config.proc_count;
+  }
+  // Lowering epsilon below a figure's extra crash counts would trip the
+  // runner's k <= epsilon requirement; keep only the counts still tolerated.
+  std::erase_if(config.extra_crash_counts,
+                [&](std::size_t k) { return k > config.epsilon; });
+  config.workloads = split_list(cli.get("workload"));
+  config.scenarios = split_list(cli.get("scenario"));
+  const std::vector<std::string> grans = split_list(cli.get("granularities"));
+  if (!grans.empty()) {
+    config.granularities.clear();
+    for (const std::string& g : grans) {
+      config.granularities.push_back(spec_detail::parse_double("granularities", g));
+    }
+  }
+
+  const SweepResult sweep = run_sweep(config);
+  out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
+      << ", graphs/point=" << config.graphs_per_point << ", seed="
+      << config.seed << ", cells=" << sweep.workloads.size() << "x"
+      << sweep.scenarios.size() << ") ===\n";
+  write_or_print(cli.get("out"), sweep_to_csv(sweep), out);
+  return 0;
+}
+
 int cmd_validate(const std::vector<std::string>& args, std::ostream& out) {
   CliParser cli(
       "ftsched_cli validate: exhaustive fault-tolerance validation "
       "(Theorem 4.1) plus kill-set analysis");
   cli.add_option("graph", "", "graph file (text format)");
+  cli.add_option("workload", "", kWorkloadHelp);
   cli.add_option("algo", "ftsa", kAlgoHelp);
   cli.add_option("epsilon", "1", "failures to tolerate");
   cli.add_option("procs", "6", "processors (validation is C(m, eps) runs)");
@@ -305,12 +418,15 @@ std::string usage() {
       "usage: ftsched_cli <command> [options]   (--help per command)\n"
       "\n"
       "commands:\n"
-      "  generate    emit a task graph (layered, gnp, fft, cholesky, ...)\n"
-      "  info        structural statistics of a graph file\n"
-      "  list-algos  registered scheduling algorithms and their options\n"
-      "  schedule    schedule a graph (--algo takes a registry spec)\n"
-      "  simulate    execute a schedule under a crash scenario\n"
-      "  validate    exhaustive Theorem-4.1 validation + kill-set analysis\n";
+      "  generate        emit a task graph (layered, gnp, fft, cholesky, ...)\n"
+      "  info            structural statistics of a graph file\n"
+      "  list-algos      registered scheduling algorithms and their options\n"
+      "  list-workloads  registered workload families and their options\n"
+      "  schedule        schedule a graph or workload (--algo, --workload)\n"
+      "  simulate        execute a schedule under a crash scenario\n"
+      "  sweep           (workload x scenario x granularity) sweep to CSV\n"
+      "  validate        exhaustive Theorem-4.1 validation + kill-set "
+      "analysis\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -325,8 +441,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "generate") return cmd_generate(rest, out);
     if (command == "info") return cmd_info(rest, out);
     if (command == "list-algos") return cmd_list_algos(rest, out);
+    if (command == "list-workloads") return cmd_list_workloads(rest, out);
     if (command == "schedule") return cmd_schedule(rest, out);
     if (command == "simulate") return cmd_simulate(rest, out);
+    if (command == "sweep") return cmd_sweep(rest, out);
     if (command == "validate") return cmd_validate(rest, out);
     err << "unknown command: " << command << "\n\n" << usage();
     return 1;
