@@ -1,9 +1,10 @@
 // Benchmark guard for the parallel sweep engine: the same granularity
-// sweep is run serially and on growing thread counts, wall times and
+// sweep plan is run serially and on growing thread counts, wall times and
 // speedups are reported, and every parallel result is checked to be
-// bit-identical to the serial one (the determinism contract of
-// run_sweep's per-instance RNG streams).  Exit code 2 if any result
-// diverges, so CI can run this as a guard.
+// bit-identical to the serial one (the determinism contract of the
+// plan/execute pipeline's per-instance RNG streams and ordered sample
+// delivery).  Exit code 2 if any result diverges, so CI can run this as a
+// guard.
 //
 // Environment overrides: FTSCHED_GRAPHS (default 8 graphs per point,
 // small so the guard stays fast), FTSCHED_SEED, FTSCHED_MAXTHREADS.
@@ -12,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "ftsched/experiments/runner.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/util/timer.hpp"
@@ -32,7 +33,7 @@ int main() {
   for (std::size_t t = 2; t < max_threads; t *= 2) thread_counts.push_back(t);
   if (max_threads > 1) thread_counts.push_back(max_threads);
 
-  std::cout << "=== run_sweep scaling (figure-1 sweep, "
+  std::cout << "=== run_plan scaling (figure-1 sweep, "
             << config.graphs_per_point << " graphs/point, "
             << config.granularities.size() << " granularities, hardware "
             << hw << " threads) ===\n";
@@ -43,9 +44,12 @@ int main() {
   bool all_identical = true;
   for (const std::size_t threads : thread_counts) {
     config.threads = threads;
+    const SweepPlan plan(config);
+    OnlineStatsSink sink(plan);
     Stopwatch sw;
-    const SweepResult result = run_sweep(config);
+    run_plan(plan, sink);
     const double seconds = sw.seconds();
+    const SweepResult result = sink.take();
     bool identical = true;
     if (threads == 1) {
       reference = result;

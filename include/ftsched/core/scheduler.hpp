@@ -119,6 +119,31 @@ class CpopScheduler final : public Scheduler {
   [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
 };
 
+struct RandomPlacementOptions {
+  std::size_t epsilon = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Random-placement control baseline: the FTSA engine (criticalness order,
+/// all-pairs channels, eq. (1)/(3) timing) with the ε+1 target processors
+/// drawn uniformly at random per task instead of minimizing finish time.
+/// Still a valid ε-fault-tolerant schedule — it isolates how much of the
+/// paper's performance comes from informed processor selection.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(RandomPlacementOptions options = {})
+      : options_(options) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] ReplicatedSchedule run(const CostModel& costs) const override;
+  [[nodiscard]] const RandomPlacementOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  RandomPlacementOptions options_;
+};
+
 // ------------------------------------------------------------------ registry
 
 /// Name → factory registry of scheduling algorithms: a SpecRegistry over

@@ -102,8 +102,17 @@ struct SweepResult {
   std::map<std::string, std::vector<OnlineStats>> series;
 };
 
-/// The name a sweep series gets inside cell (workload, scenario): undecorated
-/// for the single-cell (legacy) sweep, "name[workload|scenario]" otherwise.
+/// The one renderer of the cell-decoration rule: undecorated for a
+/// single-cell sweep, "series[workload|scenario]" otherwise.  Shared by
+/// sweep_series_name and SweepPlan::series_label, so aggregated results
+/// and shard records can never disagree on series names.
+[[nodiscard]] std::string decorate_series_name(const std::string& series,
+                                               const std::string& workload,
+                                               const std::string& scenario,
+                                               bool multi_cell);
+
+/// The name a sweep series gets inside cell (workload, scenario) of
+/// `sweep` (see decorate_series_name).
 [[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
                                             const std::string& series,
                                             const std::string& workload,
@@ -115,14 +124,17 @@ struct SweepResult {
 [[nodiscard]] bool sweep_results_identical(const SweepResult& a,
                                            const SweepResult& b);
 
-/// Runs the sweep described by `config` on `config.threads` workers
+/// Runs the full sweep described by `config` on `config.threads` workers
 /// (0 = hardware_concurrency), ranging over the full cross product
 /// (workload family × crash scenario × granularity × graphs_per_point).
-/// Instances are evaluated in parallel, each on an RNG stream keyed via
-/// Rng::derive by its (cell, granularity, repetition) coordinates, and
-/// aggregated serially in coordinate order, so the result is bit-identical
-/// for every thread count — and each (family, scenario, instance) stream is
-/// reproducible in isolation (the seam for sharded multi-machine sweeps).
+///
+/// Thin wrapper over the plan/execute/merge pipeline
+/// (experiments/sweep_plan.hpp): `SweepPlan` enumerates the grid,
+/// `run_plan` evaluates it in parallel (one Rng::derive stream per
+/// instance) and streams samples in coordinate order into an
+/// OnlineStatsSink.  The result is bit-identical for every thread count,
+/// and to any sharded run of the same plan combined with `merge_shards`
+/// (experiments/sweep_io.hpp).
 [[nodiscard]] SweepResult run_sweep(const FigureConfig& config);
 
 }  // namespace ftsched

@@ -1,0 +1,174 @@
+// Stage 1 and 2 of the plan/execute/merge sweep pipeline.
+//
+// `SweepPlan` makes the sweep grid explicit: built from a FigureConfig, it
+// enumerates every instance of the (workload family × crash scenario ×
+// granularity × repetition) cross product as an addressable InstanceCoord
+// with a stable id, and `plan.shard(i, n)` deterministically selects the
+// i-th of n disjoint subsets — the unit of work a coordinator hands to one
+// machine.  `run_plan(plan, sink)` executes the selected instances on a
+// ParallelExecutor and streams every per-instance sample into a SweepSink,
+// decoupling execution from aggregation:
+//
+//   * OnlineStatsSink aggregates in memory and reproduces exactly the
+//     SweepResult the monolithic run_sweep used to build (run_sweep is now
+//     a thin wrapper over this pair);
+//   * ShardWriterSink (experiments/sweep_io.hpp) serializes the samples
+//     losslessly to a JSONL shard file, and merge_shards combines shard
+//     files back into a SweepResult that is bit-identical to the unsharded
+//     run for any shard partition of the grid.
+//
+// Every instance runs on an RNG stream keyed off the root seed by its
+// coordinates via Rng::derive (scenario cells share streams for paired
+// comparison), so any subset of the grid is computable in isolation and
+// results never depend on thread count or shard layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftsched/experiments/config.hpp"
+#include "ftsched/experiments/runner.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/util/rng.hpp"
+#include "ftsched/workload/workload_registry.hpp"
+
+namespace ftsched {
+
+/// Address of one sweep instance inside the full grid.
+///
+/// `id` is the stable linear id: with W workload families, S scenarios,
+/// P granularity points and R repetitions,
+///   id = ((workload * S + scenario) * P + gran) * R + rep,
+/// i.e. exactly the serial aggregation order of the unsharded sweep.  Ids
+/// are invariant under sharding — a shard keeps the full-grid ids of the
+/// instances it selects — which is what lets merge_shards restore the
+/// canonical coordinate order.
+struct InstanceCoord {
+  std::size_t workload = 0;  ///< workload-family index
+  std::size_t scenario = 0;  ///< crash-scenario index
+  std::size_t gran = 0;      ///< granularity index
+  std::size_t rep = 0;       ///< repetition
+  std::uint64_t id = 0;      ///< stable linear id within the full grid
+};
+
+/// Streaming consumer of per-instance samples.  run_plan invokes
+/// on_sample once per selected instance, serially, in increasing-id order
+/// (instances are *evaluated* in parallel; delivery is ordered), so sinks
+/// need no locking and deterministic aggregation comes for free.
+class SweepSink {
+ public:
+  virtual ~SweepSink() = default;
+
+  virtual void on_sample(const InstanceCoord& coord,
+                         const SeriesSample& sample) = 0;
+};
+
+/// An addressable sweep grid plus a selected subset of it.
+///
+/// Construction resolves the (workload × scenario) cells once — specs
+/// parsed, trace files loaded — and validates cell labels; shard() only
+/// narrows the selection, so sharding is cheap and repeatable.  Copyable;
+/// cells are shared between copies (families are immutable).
+class SweepPlan {
+ public:
+  /// Builds the full-grid plan for `config` (every instance selected).
+  explicit SweepPlan(const FigureConfig& config);
+
+  [[nodiscard]] const FigureConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<double>& granularities() const noexcept {
+    return config_.granularities;
+  }
+  /// Workload-family labels, sweep order (always at least {"paper"}).
+  [[nodiscard]] const std::vector<std::string>& workloads() const noexcept {
+    return workload_labels_;
+  }
+  /// Crash-scenario labels, sweep order (always at least {"t0"}).
+  [[nodiscard]] const std::vector<std::string>& scenarios() const noexcept {
+    return scenario_labels_;
+  }
+  [[nodiscard]] std::size_t repetitions() const noexcept {
+    return config_.graphs_per_point;
+  }
+
+  /// Instances in the full grid (W × S × P × R).
+  [[nodiscard]] std::uint64_t grid_size() const noexcept;
+  /// Instances selected by this plan (== grid_size() before sharding).
+  [[nodiscard]] std::size_t size() const noexcept { return selected_.size(); }
+  [[nodiscard]] bool complete() const noexcept {
+    return selected_.size() == grid_size();
+  }
+  /// "full", or the "i/n" shard chain ("0/3" / "0/3,1/2" when nested).
+  [[nodiscard]] const std::string& shard_label() const noexcept {
+    return shard_label_;
+  }
+
+  /// Coordinates of the k-th *selected* instance (k < size()).
+  [[nodiscard]] InstanceCoord coord(std::size_t k) const;
+  /// Decomposes a full-grid id (id < grid_size()).
+  [[nodiscard]] InstanceCoord coord_of_id(std::uint64_t id) const;
+
+  /// The i-th of `count` disjoint strided subsets of this plan's selection
+  /// (instance k goes to shard k mod count).  Shards of the full plan
+  /// partition the grid; sharding a shard partitions further.  Throws
+  /// InvalidArgument unless index < count.
+  [[nodiscard]] SweepPlan shard(std::size_t index, std::size_t count) const;
+
+  /// The series name samples of `coord` aggregate under: undecorated for a
+  /// single-cell grid, "name[workload|scenario]" otherwise (the same rule
+  /// as sweep_series_name).
+  [[nodiscard]] std::string series_label(const InstanceCoord& coord,
+                                         const std::string& series) const;
+
+  /// Canonical one-line identity of the *grid* (seed, epsilon, processor
+  /// count, repetitions, crash counts, exact granularities, cell labels) —
+  /// independent of sharding and thread count.  merge_shards refuses to
+  /// combine shards whose fingerprints differ.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Evaluates one instance on its own derived RNG stream; the result
+  /// depends only on (config, coord), never on what else ran.
+  [[nodiscard]] SeriesSample evaluate(const InstanceCoord& coord) const;
+
+ private:
+  struct Cell {
+    std::shared_ptr<const WorkloadFamily> family;
+    CrashTimeLaw law;
+  };
+
+  FigureConfig config_;
+  std::vector<Cell> cells_;  ///< workload-major (workload * S + scenario)
+  std::vector<std::string> workload_labels_;
+  std::vector<std::string> scenario_labels_;
+  Rng root_;
+  std::vector<std::uint64_t> selected_;  ///< sorted full-grid ids
+  std::string shard_label_ = "full";
+};
+
+/// Evaluates the plan's selected instances on `plan.config().threads`
+/// workers (0 = hardware_concurrency) and streams the samples into `sink`
+/// serially in increasing-id order.  Bit-identical for every thread count.
+void run_plan(const SweepPlan& plan, SweepSink& sink);
+
+/// In-memory aggregation sink: accumulates every sample into per-series
+/// OnlineStats, reproducing the monolithic run_sweep's SweepResult —
+/// bit-identically when run over the full grid in coordinate order.
+class OnlineStatsSink final : public SweepSink {
+ public:
+  /// `plan` must outlive the sink (labels and series decoration).
+  explicit OnlineStatsSink(const SweepPlan& plan);
+
+  void on_sample(const InstanceCoord& coord,
+                 const SeriesSample& sample) override;
+
+  /// Moves the aggregated result out (the sink is spent afterwards).
+  [[nodiscard]] SweepResult take();
+
+ private:
+  const SweepPlan* plan_;
+  SweepResult result_;
+};
+
+}  // namespace ftsched

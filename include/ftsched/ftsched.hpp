@@ -62,5 +62,7 @@
 #include "ftsched/experiments/config.hpp"
 #include "ftsched/experiments/figures.hpp"
 #include "ftsched/experiments/runner.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/metrics/reliability.hpp"

@@ -2,17 +2,38 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace ftsched {
 
-/// Numerically-stable streaming mean/variance (Welford's algorithm).
+/// Numerically-stable streaming mean/variance (Welford/Chan).
+///
+/// Contract for distributed aggregation (the sharded-sweep merge relies on
+/// it): `add(x)` is implemented as `merge(OnlineStats::of(x))`, so adding
+/// samples one by one and merging the equivalent single-sample accumulators
+/// in the same order produce *bit-identical* state.  Merging multi-sample
+/// accumulators is mathematically equivalent but may differ in the last
+/// ulp (floating-point merge is only approximately associative).
 class OnlineStats {
  public:
   void add(double x) noexcept;
 
+  /// A single-sample accumulator: count 1, mean x, m2 0, min = max = x.
+  [[nodiscard]] static OnlineStats of(double x) noexcept;
+
+  /// Rebuilds an accumulator from raw state, the inverse of the
+  /// (count, mean, m2, min, max) accessors.  count == 0 yields the empty
+  /// accumulator regardless of the other fields.
+  [[nodiscard]] static OnlineStats from_parts(std::size_t count, double mean,
+                                              double m2, double min,
+                                              double max) noexcept;
+
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Raw second central moment sum (Welford's M2); variance * (n-1).
+  /// Exposed for lossless serialization of partial aggregates.
+  [[nodiscard]] double m2() const noexcept { return n_ ? m2_ : 0.0; }
   /// Unbiased sample variance; 0 when fewer than two samples.
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
@@ -31,6 +52,19 @@ class OnlineStats {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+/// Exact (lossless) text rendition of a double as a C99-style hex-float
+/// ("0x1.91eb851eb851fp+1"); hex_to_double parses it back bit-identically,
+/// including negative zero, denormals and infinities.  Locale-independent
+/// in both directions (std::to_chars/from_chars).  The shard job protocol
+/// serializes every statistic through this pair.
+[[nodiscard]] std::string double_to_hex(double x);
+
+/// Parses double_to_hex output (hex-float only — digits are *always* read
+/// as hex, with or without the "0x" prefix; do not feed decimal
+/// literals).  Throws InvalidArgument when `text` is not one complete
+/// literal.
+[[nodiscard]] double hex_to_double(const std::string& text);
 
 /// Batch summary of a sample.
 struct Summary {

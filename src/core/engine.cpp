@@ -239,8 +239,17 @@ class Engine {
     }
   }
 
-  /// The ε+1 processors with the smallest F(t, Pj) (ties: processor index).
-  std::vector<ProcId> choose_processors(const std::vector<double>& finish) const {
+  /// The ε+1 processors with the smallest F(t, Pj) (ties: processor
+  /// index), or a uniformly random distinct set under random_placement.
+  std::vector<ProcId> choose_processors(const std::vector<double>& finish) {
+    if (options_.random_placement) {
+      std::vector<ProcId> chosen;
+      chosen.reserve(replica_count_);
+      for (std::size_t j : rng_.sample_without_replacement(m_, replica_count_)) {
+        chosen.emplace_back(j);
+      }
+      return chosen;
+    }
     std::vector<std::size_t> idx(m_);
     std::iota(idx.begin(), idx.end(), std::size_t{0});
     std::stable_sort(idx.begin(), idx.end(),

@@ -37,6 +37,11 @@ struct EngineOptions {
   std::size_t epsilon = 1;
   std::uint64_t seed = 0;  // tie-break randomization in α
   ChannelPolicy policy = ChannelPolicy::kAllPairs;
+  /// Control baseline: draw the ε+1 target processors uniformly at random
+  /// instead of keeping the minimal-finish-time set (replica timing and
+  /// channel realization are unchanged, so the schedule stays a valid
+  /// ε-fault-tolerant schedule — just a deliberately uninformed one).
+  bool random_placement = false;
   /// MC policies only: enforce *end-to-end* ε-fault-tolerance.  The paper's
   /// Prop. 4.3 is a per-edge guarantee; with several predecessors, one
   /// processor may be the selected source of two different replicas via two

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "engine_detail.hpp"
 #include "ftsched/util/error.hpp"
 
 namespace ftsched {
@@ -159,6 +160,30 @@ ReplicatedSchedule CpopScheduler::run(const CostModel& costs) const {
   return cpop_schedule(costs);
 }
 
+std::string RandomScheduler::name() const {
+  std::vector<std::string> parts;
+  if (options_.epsilon != 1) emit(parts, "eps", std::to_string(options_.epsilon));
+  if (options_.seed != 0) emit(parts, "seed", std::to_string(options_.seed));
+  return spec_string("random", parts);
+}
+
+std::string RandomScheduler::describe() const {
+  std::ostringstream os;
+  os << "random placement control: epsilon=" << options_.epsilon
+     << ", FTSA timing/channels with uniformly random processor sets";
+  return os.str();
+}
+
+ReplicatedSchedule RandomScheduler::run(const CostModel& costs) const {
+  detail::EngineOptions engine_options;
+  engine_options.epsilon = options_.epsilon;
+  engine_options.seed = options_.seed;
+  engine_options.policy = detail::ChannelPolicy::kAllPairs;
+  engine_options.random_placement = true;
+  engine_options.algorithm_name = "RANDOM";
+  return detail::run_list_engine(costs, engine_options);
+}
+
 // ------------------------------------------------------------------ registry
 
 namespace {
@@ -264,6 +289,20 @@ SchedulerRegistry make_global_registry() {
                 {},
                 [](const SchedulerOptions&) -> SchedulerPtr {
                   return std::make_unique<CpopScheduler>();
+                }});
+  registry.add({"random",
+                "random placement control: uniformly random ε+1 processors "
+                "per task (FTSA timing and channels)",
+                {
+                    {"eps", "1",
+                     "failures tolerated (epsilon+1 replicas per task)"},
+                    {"seed", "0", "placement/tie-breaking seed"},
+                },
+                [](const SchedulerOptions& o) -> SchedulerPtr {
+                  RandomPlacementOptions options;
+                  options.epsilon = o.get_size("eps", 1);
+                  options.seed = o.get_u64("seed", 0);
+                  return std::make_unique<RandomScheduler>(options);
                 }});
   return registry;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ftsched/core/scheduler.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/util/ascii_chart.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/table.hpp"
@@ -91,9 +92,13 @@ void print_figure(std::ostream& os, const FigureConfig& config,
 }
 
 void run_figure(std::ostream& os, int figure) {
+  // The plan/execute path explicitly: identical to run_sweep(config), and
+  // the SweepPlan is where a sharded reproduction would fork off.
   const FigureConfig config = figure_config(figure);
-  const SweepResult sweep = run_sweep(config);
-  print_figure(os, config, sweep);
+  const SweepPlan plan(config);
+  OnlineStatsSink sink(plan);
+  run_plan(plan, sink);
+  print_figure(os, config, sink.take());
 }
 
 std::string sweep_to_csv(const SweepResult& sweep) {

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <set>
 
+#include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/util/error.hpp"
-#include "ftsched/util/parallel.hpp"
 
 namespace ftsched {
 
@@ -141,12 +140,21 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   return sample;
 }
 
+std::string decorate_series_name(const std::string& series,
+                                 const std::string& workload,
+                                 const std::string& scenario,
+                                 bool multi_cell) {
+  if (!multi_cell) return series;
+  return series + "[" + workload + "|" + scenario + "]";
+}
+
 std::string sweep_series_name(const SweepResult& sweep,
                               const std::string& series,
                               const std::string& workload,
                               const std::string& scenario) {
-  if (sweep.workloads.size() * sweep.scenarios.size() <= 1) return series;
-  return series + "[" + workload + "|" + scenario + "]";
+  return decorate_series_name(
+      series, workload, scenario,
+      sweep.workloads.size() * sweep.scenarios.size() > 1);
 }
 
 bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
@@ -170,112 +178,16 @@ bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
   return true;
 }
 
-namespace {
-
-/// One (workload family, crash scenario) cell of the sweep cross product.
-/// The family is shared across the scenario cells of one workload spec
-/// (generate is const and thread-safe), so specs are parsed — and trace
-/// files loaded — once per workload, not once per cell.
-struct SweepCell {
-  std::shared_ptr<const WorkloadFamily> family;
-  CrashTimeLaw law;
-  std::string workload_label;
-  std::string scenario_label;
-};
-
-}  // namespace
-
 SweepResult run_sweep(const FigureConfig& config) {
-  SweepResult result;
-  result.granularities = config.granularities;
-
-  // Resolve the (workload × scenario) cells.  An empty workload list means
-  // the paper §6 family configured by config.workload — the figure
-  // reproductions' exact generator, bypassing spec parsing.
-  std::vector<SweepCell> cells;
-  const std::vector<std::string> workload_specs =
-      config.workloads.empty() ? std::vector<std::string>{std::string()}
-                               : config.workloads;
-  const std::vector<std::string> scenario_specs =
-      config.scenarios.empty() ? std::vector<std::string>{"t0"}
-                               : config.scenarios;
-  // Duplicate labels would silently aggregate two cells into one series;
-  // reject them up front.
-  std::set<std::string> seen_cells;
-  for (const std::string& wspec : workload_specs) {
-    const std::shared_ptr<const WorkloadFamily> family =
-        wspec.empty() ? make_paper_family(config.workload)
-                      : make_workload_family(wspec);
-    for (const std::string& sspec : scenario_specs) {
-      const std::string label = (wspec.empty() ? "paper" : wspec) + "|" + sspec;
-      FTSCHED_REQUIRE(seen_cells.insert(label).second,
-                      "duplicate sweep cell (workload|scenario): " + label);
-      SweepCell cell;
-      cell.family = family;
-      cell.law = CrashTimeLaw::parse(sspec);
-      cell.workload_label = wspec.empty() ? "paper" : wspec;
-      cell.scenario_label = sspec;
-      cells.push_back(std::move(cell));
-    }
-  }
-  result.workloads = workload_specs;
-  if (config.workloads.empty()) result.workloads = {"paper"};
-  result.scenarios = scenario_specs;
-
-  const std::size_t points = config.granularities.size();
-  const std::size_t reps = config.graphs_per_point;
-  const std::size_t per_cell = points * reps;
-  const std::size_t instances = cells.size() * per_cell;
-  if (instances == 0) return result;
-
-  // One RNG stream per (workload family, granularity, repetition), keyed
-  // off the root seed via Rng::derive: every stream is reproducible in
-  // isolation from (seed, coordinates) alone — no serial split chain — so
-  // any subset of the grid can be recomputed independently (sharded
-  // sweeps), and the result is bit-identical for every thread count.
-  // Scenario cells of the same family deliberately share the key: each
-  // scenario faces the same instances and crash victims (paired
-  // comparison), extending the "every curve faces the same failures"
-  // contract of evaluate_instance to the scenario dimension.
-  const std::size_t scenario_count = scenario_specs.size();
-  const Rng root(config.seed);
-
-  InstanceOptions base_options;
-  base_options.epsilon = config.epsilon;
-  base_options.extra_crash_counts = config.extra_crash_counts;
-
-  std::vector<SeriesSample> samples(instances);
-  ParallelExecutor executor(config.threads);
-  executor.for_each(instances, [&](std::size_t idx) {
-    const std::size_t ci = idx / per_cell;
-    const std::size_t gi = (idx % per_cell) / reps;
-    const std::size_t rep = idx % reps;
-    const std::size_t wi = ci / scenario_count;
-    Rng instance_rng =
-        root.derive(static_cast<std::uint64_t>((wi * points + gi) * reps + rep));
-    const SweepPoint point{config.granularities[gi], config.proc_count};
-    const auto workload = cells[ci].family->generate(instance_rng, point);
-    InstanceOptions options = base_options;
-    options.crash_law = cells[ci].law;
-    options.seed = instance_rng();
-    samples[idx] = evaluate_instance(*workload, instance_rng, options);
-  });
-
-  // Serial aggregation in (cell, granularity, repetition) order:
-  // OnlineStats accumulation order — and with it every rounding — is fixed.
-  for (std::size_t idx = 0; idx < instances; ++idx) {
-    const std::size_t ci = idx / per_cell;
-    const std::size_t gi = (idx % per_cell) / reps;
-    for (const auto& [name, value] : samples[idx]) {
-      auto& stats = result.series[sweep_series_name(
-          result, name, cells[ci].workload_label, cells[ci].scenario_label)];
-      if (stats.size() != points) {
-        stats.resize(points);
-      }
-      stats[gi].add(value);
-    }
-  }
-  return result;
+  // Thin wrapper over the plan/execute pipeline: enumerate the full grid,
+  // evaluate it in parallel, aggregate through the in-memory sink.  The
+  // serial coordinate-order delivery of run_plan pins every OnlineStats
+  // rounding, so the result is bit-identical for every thread count — and
+  // to any sharded run of the same plan merged back with merge_shards.
+  const SweepPlan plan(config);
+  OnlineStatsSink sink(plan);
+  run_plan(plan, sink);
+  return sink.take();
 }
 
 }  // namespace ftsched

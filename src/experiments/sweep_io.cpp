@@ -1,0 +1,438 @@
+#include "ftsched/experiments/sweep_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/spec.hpp"
+
+namespace ftsched {
+
+namespace {
+
+// ----------------------------------------------------------- JSONL plumbing
+// The protocol only ever emits flat objects whose values are strings (or
+// the bare version number), so a full JSON parser is not needed: a strict
+// scanner for exactly that shape keeps the merge tool dependency-free.
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      // The protocol is line-oriented: a raw newline (e.g. from a weird
+      // trace-file path in a workload spec) would split the record and
+      // make the file the writer just produced unreadable.
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void malformed(const std::string& where, const std::string& why) {
+  throw InvalidArgument("malformed shard line (" + where + "): " + why);
+}
+
+void skip_spaces(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+std::string parse_json_string(const std::string& s, std::size_t& i,
+                              const std::string& where) {
+  if (i >= s.size() || s[i] != '"') malformed(where, "expected '\"'");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) malformed(where, "dangling escape");
+      switch (s[i]) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default: malformed(where, "unsupported escape");
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+    ++i;
+  }
+  if (i >= s.size()) malformed(where, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+/// Parses one flat JSON object {"k":"v",...} (values: strings or bare
+/// tokens like the version integer) into a key → value map.
+std::map<std::string, std::string> parse_flat_json(const std::string& line,
+                                                   const std::string& where) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  skip_spaces(line, i);
+  if (i >= line.size() || line[i] != '{') malformed(where, "expected '{'");
+  ++i;
+  skip_spaces(line, i);
+  if (i < line.size() && line[i] == '}') return out;
+  while (true) {
+    skip_spaces(line, i);
+    const std::string key = parse_json_string(line, i, where);
+    skip_spaces(line, i);
+    if (i >= line.size() || line[i] != ':') malformed(where, "expected ':'");
+    ++i;
+    skip_spaces(line, i);
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      value = parse_json_string(line, i, where);
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        value.push_back(line[i]);
+        ++i;
+      }
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+      }
+    }
+    if (!out.emplace(key, value).second) {
+      malformed(where, "duplicate key '" + key + "'");
+    }
+    skip_spaces(line, i);
+    if (i >= line.size()) malformed(where, "unterminated object");
+    if (line[i] == '}') break;
+    if (line[i] != ',') malformed(where, "expected ',' or '}'");
+    ++i;
+  }
+  return out;
+}
+
+const std::string& field(const std::map<std::string, std::string>& object,
+                         const char* key, const std::string& where) {
+  const auto it = object.find(key);
+  if (it == object.end()) malformed(where, std::string("missing key '") + key + "'");
+  return it->second;
+}
+
+std::vector<std::string> split_semicolons(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ';')) out.push_back(item);
+  return out;
+}
+
+template <typename T, typename Fn>
+std::string join_mapped(const std::vector<T>& items, Fn&& render) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ";";
+    out += render(items[i]);
+  }
+  return out;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+  return static_cast<std::size_t>(spec_detail::parse_u64(key, value));
+}
+
+/// Exact rendition of every PaperWorkloadParams field the paper cell's
+/// generator reads (proc count and granularity come from the sweep point,
+/// which the header already captures).  Empty when the grid has no
+/// paper-configured cell.
+std::string render_paper_params(const FigureConfig& config) {
+  if (!config.workloads.empty()) return {};
+  const PaperWorkloadParams& p = config.workload;
+  std::string out = std::to_string(p.task_min);
+  out += "," + std::to_string(p.task_max);
+  out += "," + std::to_string(p.avg_layer_width);
+  out += "," + double_to_hex(p.volume_min);
+  out += "," + double_to_hex(p.volume_max);
+  out += "," + double_to_hex(p.delay_min);
+  out += "," + double_to_hex(p.delay_max);
+  out += "," + double_to_hex(p.exec.base_min);
+  out += "," + double_to_hex(p.exec.base_max);
+  out += "," + double_to_hex(p.exec.spread);
+  out += "," + std::to_string(static_cast<int>(p.exec.heterogeneity));
+  return out;
+}
+
+}  // namespace
+
+std::string ShardHeader::fingerprint() const {
+  // The one renderer of the grid identity; SweepPlan::fingerprint()
+  // delegates here through shard_header().
+  std::string fp = "v1 seed=" + std::to_string(seed);
+  fp += " eps=" + std::to_string(epsilon);
+  fp += " m=" + std::to_string(procs);
+  fp += " reps=" + std::to_string(reps);
+  fp += " extra=" + join_mapped(extra_crash_counts, [](std::size_t k) {
+          return std::to_string(k);
+        });
+  fp += " granularities=" +
+        join_mapped(granularities, [](double g) { return double_to_hex(g); });
+  fp += " workloads=" +
+        join_mapped(workloads, [](const std::string& w) { return w; });
+  fp += " scenarios=" +
+        join_mapped(scenarios, [](const std::string& s) { return s; });
+  fp += " paper=" + paper_params;
+  return fp;
+}
+
+std::string SweepPlan::fingerprint() const {
+  // Defined here rather than in sweep_plan.cpp so the grid identity has a
+  // single renderer: the one merge_shards compares headers with.
+  return shard_header(*this).fingerprint();
+}
+
+ShardHeader shard_header(const SweepPlan& plan) {
+  ShardHeader h;
+  h.seed = plan.config().seed;
+  h.epsilon = plan.config().epsilon;
+  h.procs = plan.config().proc_count;
+  h.reps = plan.repetitions();
+  h.extra_crash_counts = plan.config().extra_crash_counts;
+  h.granularities = plan.granularities();
+  h.workloads = plan.workloads();
+  h.scenarios = plan.scenarios();
+  h.paper_params = render_paper_params(plan.config());
+  h.grid = plan.grid_size();
+  h.selected = plan.size();
+  h.shard = plan.shard_label();
+  return h;
+}
+
+ShardWriterSink::ShardWriterSink(std::ostream& os, const SweepPlan& plan)
+    : os_(&os), plan_(&plan) {
+  const ShardHeader h = shard_header(plan);
+  *os_ << "{\"ftsched_sweep_shard\":1"
+       << ",\"seed\":\"" << h.seed << "\""
+       << ",\"epsilon\":\"" << h.epsilon << "\""
+       << ",\"m\":\"" << h.procs << "\""
+       << ",\"reps\":\"" << h.reps << "\""
+       << ",\"extra\":\""
+       << join_mapped(h.extra_crash_counts,
+                      [](std::size_t k) { return std::to_string(k); })
+       << "\""
+       << ",\"granularities\":\""
+       << join_mapped(h.granularities,
+                      [](double g) { return double_to_hex(g); })
+       << "\""
+       << ",\"workloads\":\""
+       << json_escape(join_mapped(
+              h.workloads, [](const std::string& w) { return w; }))
+       << "\""
+       << ",\"scenarios\":\""
+       << json_escape(join_mapped(
+              h.scenarios, [](const std::string& s) { return s; }))
+       << "\""
+       << ",\"paper\":\"" << json_escape(h.paper_params) << "\""
+       << ",\"grid\":\"" << h.grid << "\""
+       << ",\"selected\":\"" << h.selected << "\""
+       << ",\"shard\":\"" << json_escape(h.shard) << "\"}\n";
+}
+
+void ShardWriterSink::on_sample(const InstanceCoord& coord,
+                                const SeriesSample& sample) {
+  for (const auto& [name, value] : sample) {
+    const OnlineStats stats = OnlineStats::of(value);
+    *os_ << "{\"id\":\"" << coord.id << "\""
+         << ",\"w\":\"" << coord.workload << "\""
+         << ",\"s\":\"" << coord.scenario << "\""
+         << ",\"g\":\"" << coord.gran << "\""
+         << ",\"r\":\"" << coord.rep << "\""
+         << ",\"series\":\"" << json_escape(plan_->series_label(coord, name))
+         << "\""
+         << ",\"n\":\"" << stats.count() << "\""
+         << ",\"mean\":\"" << double_to_hex(stats.mean()) << "\""
+         << ",\"m2\":\"" << double_to_hex(stats.m2()) << "\""
+         << ",\"min\":\"" << double_to_hex(stats.min()) << "\""
+         << ",\"max\":\"" << double_to_hex(stats.max()) << "\"}\n";
+  }
+  ++samples_;
+}
+
+ShardFile read_shard(std::istream& in, const std::string& name) {
+  ShardFile shard;
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = name + ":" + std::to_string(line_no);
+    const auto object = parse_flat_json(line, where);
+    if (!have_header) {
+      FTSCHED_REQUIRE(object.count("ftsched_sweep_shard") != 0,
+                      where + ": not a ftsched sweep shard file");
+      FTSCHED_REQUIRE(field(object, "ftsched_sweep_shard", where) == "1",
+                      where + ": unsupported shard protocol version");
+      ShardHeader& h = shard.header;
+      h.seed = spec_detail::parse_u64("seed", field(object, "seed", where));
+      h.epsilon = parse_size("epsilon", field(object, "epsilon", where));
+      h.procs = parse_size("m", field(object, "m", where));
+      h.reps = parse_size("reps", field(object, "reps", where));
+      for (const std::string& k :
+           split_semicolons(field(object, "extra", where))) {
+        h.extra_crash_counts.push_back(parse_size("extra", k));
+      }
+      for (const std::string& g :
+           split_semicolons(field(object, "granularities", where))) {
+        h.granularities.push_back(hex_to_double(g));
+      }
+      h.workloads = split_semicolons(field(object, "workloads", where));
+      h.scenarios = split_semicolons(field(object, "scenarios", where));
+      h.paper_params = field(object, "paper", where);
+      h.grid = spec_detail::parse_u64("grid", field(object, "grid", where));
+      h.selected =
+          spec_detail::parse_u64("selected", field(object, "selected", where));
+      h.shard = field(object, "shard", where);
+      have_header = true;
+      continue;
+    }
+    ShardRecord record;
+    record.coord.id = spec_detail::parse_u64("id", field(object, "id", where));
+    record.coord.workload = parse_size("w", field(object, "w", where));
+    record.coord.scenario = parse_size("s", field(object, "s", where));
+    record.coord.gran = parse_size("g", field(object, "g", where));
+    record.coord.rep = parse_size("r", field(object, "r", where));
+    record.series = field(object, "series", where);
+    record.stats = OnlineStats::from_parts(
+        parse_size("n", field(object, "n", where)),
+        hex_to_double(field(object, "mean", where)),
+        hex_to_double(field(object, "m2", where)),
+        hex_to_double(field(object, "min", where)),
+        hex_to_double(field(object, "max", where)));
+    shard.records.push_back(std::move(record));
+  }
+  FTSCHED_REQUIRE(have_header, name + ": empty shard file (missing header)");
+  return shard;
+}
+
+ShardFile read_shard_file(const std::string& path) {
+  std::ifstream in(path);
+  FTSCHED_REQUIRE(in.good(), "cannot open shard file: " + path);
+  return read_shard(in, path);
+}
+
+SweepResult merge_shards(const std::vector<ShardFile>& shards) {
+  FTSCHED_REQUIRE(!shards.empty(), "merge_shards: no shard files");
+
+  const ShardHeader& head = shards.front().header;
+  const std::string fp = head.fingerprint();
+  for (const ShardFile& s : shards) {
+    const std::string other = s.header.fingerprint();
+    FTSCHED_REQUIRE(other == fp,
+                    "merge_shards: shard plan mismatch\n  first: " + fp +
+                        "\n  other: " + other);
+  }
+
+  SweepResult result;
+  result.granularities = head.granularities;
+  result.workloads = head.workloads;
+  result.scenarios = head.scenarios;
+  const std::size_t points = result.granularities.size();
+  const std::size_t scenarios = head.scenarios.size();
+  const std::size_t reps = head.reps;
+
+  // The header's grid count is redundant with its fingerprint-checked
+  // dimensions; cross-check it instead of trusting it (a mangled count
+  // must fail loudly, not size the owner vector below).
+  const std::uint64_t expected_grid =
+      static_cast<std::uint64_t>(head.workloads.size()) * scenarios * points *
+      reps;
+  FTSCHED_REQUIRE(head.grid == expected_grid,
+                  "merge_shards: header grid count " +
+                      std::to_string(head.grid) +
+                      " inconsistent with its dimensions (" +
+                      std::to_string(expected_grid) + " instances)");
+
+  // Overlap/coverage bookkeeping: every full-grid instance must be owned
+  // by exactly one shard (each instance emits at least its FaultFree
+  // reference series, so record coverage equals instance coverage).
+  std::vector<int> owner(static_cast<std::size_t>(head.grid), -1);
+  std::vector<const ShardRecord*> records;
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    for (const ShardRecord& r : shards[si].records) {
+      FTSCHED_REQUIRE(r.coord.id < head.grid,
+                      "merge_shards: record instance id " +
+                          std::to_string(r.coord.id) +
+                          " outside the grid of " + std::to_string(head.grid));
+      // The record's w/s/g/r fields are redundant with its id; aggregating
+      // by an inconsistent (corrupted) coordinate would silently land
+      // samples on the wrong granularity point, so verify the decomposition.
+      const std::uint64_t per_cell =
+          static_cast<std::uint64_t>(points) * reps;
+      const std::uint64_t ci = r.coord.id / per_cell;
+      FTSCHED_REQUIRE(
+          r.coord.workload == ci / scenarios &&
+              r.coord.scenario == ci % scenarios &&
+              r.coord.gran == (r.coord.id % per_cell) / reps &&
+              r.coord.rep == r.coord.id % reps,
+          "merge_shards: record coordinates of instance " +
+              std::to_string(r.coord.id) +
+              " disagree with its id (corrupted shard file?)");
+      int& own = owner[static_cast<std::size_t>(r.coord.id)];
+      if (own == -1) {
+        own = static_cast<int>(si);
+      } else {
+        FTSCHED_REQUIRE(own == static_cast<int>(si),
+                        "merge_shards: overlapping shards — instance " +
+                            std::to_string(r.coord.id) +
+                            " appears in two shard files");
+      }
+      records.push_back(&r);
+    }
+  }
+  std::size_t missing = 0;
+  std::uint64_t first_missing = 0;
+  for (std::size_t id = 0; id < owner.size(); ++id) {
+    if (owner[id] == -1) {
+      if (missing == 0) first_missing = id;
+      ++missing;
+    }
+  }
+  FTSCHED_REQUIRE(missing == 0,
+                  "merge_shards: incomplete partition — " +
+                      std::to_string(missing) + " of " +
+                      std::to_string(head.grid) +
+                      " instances missing (first: id " +
+                      std::to_string(first_missing) + ")");
+
+  // Canonical coordinate order: ascending full-grid id, exactly the serial
+  // aggregation order of the unsharded sweep.  With single-sample records
+  // and add() == merge(of(x)), the result below is bit-identical to
+  // run_sweep whatever the partition was.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ShardRecord* a, const ShardRecord* b) {
+                     return a->coord.id < b->coord.id;
+                   });
+  for (const ShardRecord* r : records) {
+    auto& stats = result.series[r->series];
+    if (stats.size() != points) {
+      stats.resize(points);
+    }
+    stats[r->coord.gran].merge(r->stats);
+  }
+  return result;
+}
+
+SweepResult merge_shard_files(const std::vector<std::string>& paths) {
+  std::vector<ShardFile> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    shards.push_back(read_shard_file(path));
+  }
+  return merge_shards(shards);
+}
+
+}  // namespace ftsched

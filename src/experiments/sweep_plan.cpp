@@ -1,0 +1,164 @@
+#include "ftsched/experiments/sweep_plan.hpp"
+
+#include <set>
+#include <utility>
+
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/parallel.hpp"
+#include "ftsched/util/stats.hpp"
+
+namespace ftsched {
+
+SweepPlan::SweepPlan(const FigureConfig& config)
+    : config_(config), root_(config.seed) {
+  // Resolve the (workload × scenario) cells.  An empty workload list means
+  // the paper §6 family configured by config.workload — the figure
+  // reproductions' exact generator, bypassing spec parsing.  The family is
+  // shared across the scenario cells of one workload spec (generate is
+  // const and thread-safe), so specs are parsed — and trace files loaded —
+  // once per workload, not once per cell.
+  const std::vector<std::string> workload_specs =
+      config.workloads.empty() ? std::vector<std::string>{std::string()}
+                               : config.workloads;
+  const std::vector<std::string> scenario_specs =
+      config.scenarios.empty() ? std::vector<std::string>{"t0"}
+                               : config.scenarios;
+  // Duplicate labels would silently aggregate two cells into one series;
+  // reject them up front.
+  std::set<std::string> seen_cells;
+  for (const std::string& wspec : workload_specs) {
+    const std::shared_ptr<const WorkloadFamily> family =
+        wspec.empty() ? make_paper_family(config.workload)
+                      : make_workload_family(wspec);
+    const std::string wlabel = wspec.empty() ? "paper" : wspec;
+    for (const std::string& sspec : scenario_specs) {
+      const std::string label = wlabel + "|" + sspec;
+      FTSCHED_REQUIRE(seen_cells.insert(label).second,
+                      "duplicate sweep cell (workload|scenario): " + label);
+      cells_.push_back(Cell{family, CrashTimeLaw::parse(sspec)});
+    }
+    workload_labels_.push_back(wlabel);
+  }
+  scenario_labels_ = scenario_specs;
+
+  selected_.reserve(grid_size());
+  for (std::uint64_t id = 0; id < grid_size(); ++id) selected_.push_back(id);
+}
+
+std::uint64_t SweepPlan::grid_size() const noexcept {
+  return static_cast<std::uint64_t>(cells_.size()) *
+         config_.granularities.size() * config_.graphs_per_point;
+}
+
+InstanceCoord SweepPlan::coord(std::size_t k) const {
+  FTSCHED_REQUIRE(k < selected_.size(), "instance index out of range");
+  return coord_of_id(selected_[k]);
+}
+
+InstanceCoord SweepPlan::coord_of_id(std::uint64_t id) const {
+  FTSCHED_REQUIRE(id < grid_size(), "instance id out of range");
+  const std::uint64_t points = config_.granularities.size();
+  const std::uint64_t reps = config_.graphs_per_point;
+  const std::uint64_t scenarios = scenario_labels_.size();
+  const std::uint64_t per_cell = points * reps;
+  const std::uint64_t ci = id / per_cell;
+  InstanceCoord c;
+  c.workload = static_cast<std::size_t>(ci / scenarios);
+  c.scenario = static_cast<std::size_t>(ci % scenarios);
+  c.gran = static_cast<std::size_t>((id % per_cell) / reps);
+  c.rep = static_cast<std::size_t>(id % reps);
+  c.id = id;
+  return c;
+}
+
+SweepPlan SweepPlan::shard(std::size_t index, std::size_t count) const {
+  FTSCHED_REQUIRE(count > 0, "shard count must be positive");
+  FTSCHED_REQUIRE(index < count, "shard index " + std::to_string(index) +
+                                     " out of range for " +
+                                     std::to_string(count) + " shards");
+  SweepPlan out = *this;
+  out.selected_.clear();
+  for (std::size_t k = index; k < selected_.size(); k += count) {
+    out.selected_.push_back(selected_[k]);
+  }
+  const std::string step =
+      std::to_string(index) + "/" + std::to_string(count);
+  out.shard_label_ = shard_label_ == "full" ? step : shard_label_ + "," + step;
+  return out;
+}
+
+std::string SweepPlan::series_label(const InstanceCoord& coord,
+                                    const std::string& series) const {
+  return decorate_series_name(
+      series, workload_labels_[coord.workload],
+      scenario_labels_[coord.scenario],
+      workload_labels_.size() * scenario_labels_.size() > 1);
+}
+
+// SweepPlan::fingerprint() is defined in sweep_io.cpp as the fingerprint
+// of the plan's shard header, so the grid identity has exactly one
+// renderer on both the write and the merge side.
+
+SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
+  // One RNG stream per (workload family, granularity, repetition), keyed
+  // off the root seed via Rng::derive: every stream is reproducible in
+  // isolation from (seed, coordinates) alone — no serial split chain — so
+  // any subset of the grid can be recomputed independently, and results
+  // never depend on thread count or shard layout.  Scenario cells of the
+  // same family deliberately share the key: each scenario faces the same
+  // instances and crash victims (paired comparison), extending the "every
+  // curve faces the same failures" contract of evaluate_instance to the
+  // scenario dimension.
+  const std::size_t points = config_.granularities.size();
+  const std::size_t reps = config_.graphs_per_point;
+  Rng rng = root_.derive(static_cast<std::uint64_t>(
+      (coord.workload * points + coord.gran) * reps + coord.rep));
+  const Cell& cell =
+      cells_[coord.workload * scenario_labels_.size() + coord.scenario];
+  const SweepPoint point{config_.granularities[coord.gran],
+                         config_.proc_count};
+  const auto workload = cell.family->generate(rng, point);
+  InstanceOptions options;
+  options.epsilon = config_.epsilon;
+  options.extra_crash_counts = config_.extra_crash_counts;
+  options.crash_law = cell.law;
+  options.seed = rng();
+  return evaluate_instance(*workload, rng, options);
+}
+
+void run_plan(const SweepPlan& plan, SweepSink& sink) {
+  const std::size_t n = plan.size();
+  if (n == 0) return;
+  // Parallel evaluation into per-instance slots, then ordered delivery:
+  // sinks observe exactly the serial coordinate order whatever the thread
+  // count, so aggregation rounding is pinned.
+  std::vector<SeriesSample> samples(n);
+  ParallelExecutor executor(plan.config().threads);
+  executor.for_each(
+      n, [&](std::size_t k) { samples[k] = plan.evaluate(plan.coord(k)); });
+  for (std::size_t k = 0; k < n; ++k) {
+    sink.on_sample(plan.coord(k), samples[k]);
+  }
+}
+
+OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan) : plan_(&plan) {
+  result_.granularities = plan.granularities();
+  result_.workloads = plan.workloads();
+  result_.scenarios = plan.scenarios();
+}
+
+void OnlineStatsSink::on_sample(const InstanceCoord& coord,
+                                const SeriesSample& sample) {
+  const std::size_t points = result_.granularities.size();
+  for (const auto& [name, value] : sample) {
+    auto& stats = result_.series[plan_->series_label(coord, name)];
+    if (stats.size() != points) {
+      stats.resize(points);
+    }
+    stats[coord.gran].add(value);
+  }
+}
+
+SweepResult OnlineStatsSink::take() { return std::move(result_); }
+
+}  // namespace ftsched

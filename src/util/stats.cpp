@@ -1,21 +1,41 @@
 #include "ftsched/util/stats.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <string_view>
+#include <system_error>
+
+#include "ftsched/util/error.hpp"
 
 namespace ftsched {
 
+OnlineStats OnlineStats::of(double x) noexcept {
+  OnlineStats s;
+  s.n_ = 1;
+  s.mean_ = x;
+  s.m2_ = 0.0;
+  s.min_ = s.max_ = x;
+  return s;
+}
+
+OnlineStats OnlineStats::from_parts(std::size_t count, double mean, double m2,
+                                    double min, double max) noexcept {
+  if (count == 0) return {};
+  OnlineStats s;
+  s.n_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void OnlineStats::add(double x) noexcept {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
+  // Deliberately routed through merge(): sequential adds and a
+  // coordinate-ordered merge of single-sample accumulators must agree
+  // bit-for-bit (the sharded-sweep contract, see stats.hpp).
+  merge(of(x));
 }
 
 double OnlineStats::variance() const noexcept {
@@ -44,6 +64,36 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ = n;
+}
+
+std::string double_to_hex(double x) {
+  // std::to_chars is locale-independent (snprintf("%a")/strtod are not:
+  // a host locale with a ',' radix would corrupt the shard protocol).
+  char buffer[64];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), x, std::chars_format::hex);
+  FTSCHED_ASSERT(result.ec == std::errc{}, "to_chars buffer too small");
+  std::string digits(buffer, result.ptr);
+  if (!std::isfinite(x)) return digits;  // "inf" / "-inf" / "nan"
+  if (digits.front() == '-') return "-0x" + digits.substr(1);
+  return "0x" + digits;
+}
+
+double hex_to_double(const std::string& text) {
+  FTSCHED_REQUIRE(!text.empty(), "empty float literal");
+  std::string_view body = text;
+  const bool negative = body.front() == '-';
+  if (negative || body.front() == '+') body.remove_prefix(1);
+  if (body.size() >= 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    body.remove_prefix(2);
+  }
+  double value = 0.0;
+  const auto result = std::from_chars(body.data(), body.data() + body.size(),
+                                      value, std::chars_format::hex);
+  FTSCHED_REQUIRE(
+      result.ec == std::errc{} && result.ptr == body.data() + body.size(),
+      "malformed hex-float literal: '" + text + "'");
+  return negative ? -value : value;
 }
 
 double percentile_sorted(const std::vector<double>& sorted,

@@ -1,0 +1,42 @@
+// Shared scaffolding for golden-file regression tests.
+//
+// `expect_matches_golden(path, actual, what)` implements the repo's golden
+// convention in one place: with FTSCHED_UPDATE_GOLDEN set it rewrites the
+// committed file and skips (review + commit that diff — it IS the behavior
+// change); otherwise it byte-compares `actual` against the file and fails
+// with the regeneration hint.  Call it as the last statement of the test
+// (GTEST_SKIP/ASSERT return from this helper, not from the caller).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ftsched::goldentest {
+
+inline void expect_matches_golden(const char* path, const std::string& actual,
+                                  const char* what) {
+  if (std::getenv("FTSCHED_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << path
+                 << " — review and commit the diff";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " (generate with FTSCHED_UPDATE_GOLDEN=1 and commit it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << what
+      << " drifted from the committed golden.  If the change is "
+         "intentional, regenerate with FTSCHED_UPDATE_GOLDEN=1 and commit "
+         "the diff.";
+}
+
+}  // namespace ftsched::goldentest

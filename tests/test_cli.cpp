@@ -5,11 +5,13 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "cli_commands.hpp"
+#include "golden_test.hpp"
 
 namespace ftsched::cli {
 namespace {
@@ -90,7 +92,8 @@ TEST_F(CliTest, ScheduleAllAlgorithms) {
                 .code,
             0);
   for (const char* algo :
-       {"ftsa", "mc-ftsa", "mc-ftsa-paper", "ftbar", "heft", "cpop"}) {
+       {"ftsa", "mc-ftsa", "mc-ftsa-paper", "ftbar", "heft", "cpop",
+        "random"}) {
     const bool replicated = std::string(algo) != "heft" &&
                             std::string(algo) != "cpop";
     std::vector<std::string> args{"schedule", "--graph", graph_file_,
@@ -245,6 +248,120 @@ TEST_F(CliTest, ErrorsAreReportedNotThrown) {
   const CliResult r = run({"info", "--graph", "/nonexistent/file"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+// ------------------------------------------------- plan / shard / merge
+
+/// The shared grid options of the sharding tests (small but multi-cell).
+std::vector<std::string> shard_grid_args() {
+  return {"--granularities", "0.6;1.4",  "--graphs",   "3",
+          "--procs",         "5",        "--workload", "paper;chain:size=10",
+          "--scenario",      "t0;frac:f=0.5", "--seed", "13"};
+}
+
+std::vector<std::string> with_grid(std::vector<std::string> args,
+                                   std::vector<std::string> extra) {
+  for (auto& a : shard_grid_args()) args.push_back(a);
+  for (auto& a : extra) args.push_back(std::move(a));
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(CliTest, PlanEnumeratesGridAndShards) {
+  const CliResult full = run(with_grid({"plan"}, {"--limit", "0"}));
+  ASSERT_EQ(full.code, 0) << full.err;
+  EXPECT_NE(full.out.find("grid:         24 instances"), std::string::npos);
+  EXPECT_NE(full.out.find("[shard full]"), std::string::npos);
+  EXPECT_NE(full.out.find("fingerprint:  v1 seed=13"), std::string::npos);
+  EXPECT_NE(full.out.find("chain:size=10"), std::string::npos);
+  EXPECT_NE(full.out.find("frac:f=0.5"), std::string::npos);
+
+  const CliResult shard = run(with_grid({"plan"}, {"--shard", "1/3"}));
+  ASSERT_EQ(shard.code, 0) << shard.err;
+  EXPECT_NE(shard.out.find("selected:     8 [shard 1/3]"), std::string::npos);
+
+  const CliResult bad = run(with_grid({"plan"}, {"--shard", "3/3"}));
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("shard index"), std::string::npos);
+
+  const CliResult malformed = run(with_grid({"plan"}, {"--shard", "nope"}));
+  EXPECT_EQ(malformed.code, 1);
+}
+
+TEST_F(CliTest, ShardedSweepMergesByteIdenticalToUnshardedCsv) {
+  const std::string full_csv = (dir_ / "full.csv").string();
+  ASSERT_EQ(run(with_grid({"sweep"}, {"--out", full_csv})).code, 0);
+
+  std::string shard_list;
+  for (int i = 0; i < 3; ++i) {
+    const std::string part =
+        (dir_ / ("part" + std::to_string(i) + ".jsonl")).string();
+    const CliResult r = run(with_grid(
+        {"sweep"}, {"--shard", std::to_string(i) + "/3", "--out", part}));
+    ASSERT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("sweep shard " + std::to_string(i) + "/3"),
+              std::string::npos);
+    if (i) shard_list += ";";
+    shard_list += part;
+  }
+
+  const std::string merged_csv = (dir_ / "merged.csv").string();
+  const CliResult merged =
+      run({"merge", "--in", shard_list, "--out", merged_csv});
+  ASSERT_EQ(merged.code, 0) << merged.err;
+  EXPECT_NE(merged.out.find("3 shards, 24 of 24 instances"),
+            std::string::npos);
+
+  const std::string full = read_file(full_csv);
+  ASSERT_FALSE(full.empty());
+  EXPECT_EQ(full, read_file(merged_csv))
+      << "merged CSV is not byte-identical to the unsharded sweep";
+}
+
+TEST_F(CliTest, ShardedSweepWritesJsonlToStdout) {
+  const CliResult r = run(with_grid({"sweep"}, {"--shard", "0/4"}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Pure JSONL: first line is the protocol header, no banner.
+  EXPECT_EQ(r.out.rfind("{\"ftsched_sweep_shard\":1", 0), 0u);
+  EXPECT_NE(r.out.find("\"shard\":\"0/4\""), std::string::npos);
+}
+
+TEST_F(CliTest, MergeRejectsIncompleteShardSet) {
+  const std::string part = (dir_ / "part0.jsonl").string();
+  ASSERT_EQ(run(with_grid({"sweep"}, {"--shard", "0/3", "--out", part})).code,
+            0);
+  const CliResult r = run({"merge", "--in", part});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("incomplete partition"), std::string::npos);
+
+  const CliResult none = run({"merge"});
+  EXPECT_EQ(none.code, 1);
+}
+
+// ------------------------------------------------------------ CSV golden
+
+const char* kSweepCsvGoldenPath =
+    FTSCHED_SOURCE_DIR "/tests/golden/sweep_cli.csv";
+
+/// Pins the `sweep` CLI end to end (grid config parsing through CSV
+/// rendition).  Every option is passed explicitly so environment
+/// overrides cannot leak in.  Regenerate after an intentional change:
+///   FTSCHED_UPDATE_GOLDEN=1 ./test_cli --gtest_filter='*SweepCsvGolden*'
+TEST_F(CliTest, SweepCsvMatchesCommittedGolden) {
+  const std::string csv_file = (dir_ / "golden_run.csv").string();
+  const CliResult r = run({"sweep", "--figure", "1", "--granularities",
+                           "0.8;1.6", "--graphs", "2", "--procs", "6",
+                           "--scenario", "t0;uniform:hi=1", "--seed", "42",
+                           "--threads", "2", "--out", csv_file});
+  ASSERT_EQ(r.code, 0) << r.err;
+  goldentest::expect_matches_golden(kSweepCsvGoldenPath, read_file(csv_file),
+                                    "sweep CLI CSV");
 }
 
 }  // namespace

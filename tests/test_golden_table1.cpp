@@ -13,8 +13,6 @@
 // and commit the diff (review it — that diff IS the behavior change).
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <string>
@@ -22,6 +20,7 @@
 
 #include "ftsched/core/scheduler.hpp"
 #include "ftsched/experiments/figures.hpp"
+#include "golden_test.hpp"
 
 #ifndef FTSCHED_SOURCE_DIR
 #error "FTSCHED_SOURCE_DIR must point at the repository root"
@@ -67,24 +66,9 @@ std::string render_golden(const Table1Config& config) {
 }
 
 TEST(GoldenTable1, BoundsMatchCommittedGolden) {
-  const std::string actual = render_golden(golden_config());
-  if (std::getenv("FTSCHED_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(kGoldenPath);
-    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
-    out << actual;
-    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath
-                 << " — review and commit the diff";
-  }
-  std::ifstream in(kGoldenPath);
-  ASSERT_TRUE(in.good())
-      << "missing golden file " << kGoldenPath
-      << " (generate with FTSCHED_UPDATE_GOLDEN=1 and commit it)";
-  std::ostringstream expected;
-  expected << in.rdbuf();
-  EXPECT_EQ(expected.str(), actual)
-      << "Table-1 schedule bounds drifted from the committed golden.  If "
-         "the change is intentional, regenerate with "
-         "FTSCHED_UPDATE_GOLDEN=1 and commit the diff.";
+  goldentest::expect_matches_golden(kGoldenPath,
+                                    render_golden(golden_config()),
+                                    "Table-1 schedule bounds");
 }
 
 }  // namespace

@@ -30,9 +30,10 @@ std::unique_ptr<Workload> small_workload(std::uint64_t seed = 3,
 
 // ----------------------------------------------------------------- registry
 
-TEST(SchedulerRegistry, AllFiveAlgorithmsConstructibleByName) {
+TEST(SchedulerRegistry, AllBuiltinAlgorithmsConstructibleByName) {
   const auto w = small_workload();
-  for (const char* name : {"ftsa", "mc-ftsa", "ftbar", "heft", "cpop"}) {
+  for (const char* name :
+       {"ftsa", "mc-ftsa", "ftbar", "heft", "cpop", "random"}) {
     const SchedulerPtr s = SchedulerRegistry::global().create(name);
     ASSERT_NE(s, nullptr) << name;
     const ReplicatedSchedule schedule = s->run(w->costs());
@@ -80,7 +81,8 @@ TEST(SchedulerRegistry, NamesContainBuiltinsSorted) {
   const std::vector<std::string> names = SchedulerRegistry::global().names();
   const std::set<std::string> set(names.begin(), names.end());
   for (const char* expected :
-       {"ftsa", "mc-ftsa", "mc-ftsa-paper", "ftbar", "heft", "cpop"}) {
+       {"ftsa", "mc-ftsa", "mc-ftsa-paper", "ftbar", "heft", "cpop",
+        "random"}) {
     EXPECT_TRUE(set.count(expected)) << expected;
   }
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
@@ -92,7 +94,7 @@ TEST(SchedulerRegistry, SpecRoundTripsThroughName) {
        {"ftsa", "ftsa:eps=2,prio=bl", "ftsa:eps=3,ports=1,seed=9",
         "mc-ftsa:enforce=0,eps=2,selector=matching", "ftbar:npf=2,seed=5",
         "ftbar:mst=0", "heft", "heft:insertion=0", "cpop",
-        "mc-ftsa:seed=77"}) {
+        "mc-ftsa:seed=77", "random", "random:eps=2,seed=3"}) {
     const SchedulerPtr first = registry.create(spec);
     const SchedulerPtr second = registry.create(first->name());
     EXPECT_EQ(first->name(), second->name()) << "spec: " << spec;
@@ -295,6 +297,53 @@ TEST(EvaluateInstance, CustomAlgoListViaRegistry) {
   EXPECT_TRUE(sample.count("Msg-HEFT"));
   EXPECT_TRUE(sample.count("FaultFree-FTSA"));
   EXPECT_FALSE(sample.count("FTSA-LowerBound"));
+}
+
+// ------------------------------------------- random placement baseline
+
+TEST(RandomScheduler, ProducesValidFaultTolerantSchedules) {
+  const auto w = small_workload(3, 7);
+  for (std::size_t eps : {0u, 1u, 2u}) {
+    const auto s = make_scheduler("random:eps=" + std::to_string(eps) +
+                                  ",seed=11")
+                       ->run(w->costs());
+    s.validate();
+    EXPECT_EQ(s.epsilon(), eps);
+    EXPECT_LE(s.lower_bound(), s.upper_bound() + 1e-9);
+  }
+}
+
+TEST(RandomScheduler, DeterministicPerSeedAndSeedSensitive) {
+  const auto w = small_workload(4, 6);
+  const auto a = make_scheduler("random:seed=5")->run(w->costs());
+  const auto b = make_scheduler("random:seed=5")->run(w->costs());
+  const auto c = make_scheduler("random:seed=6")->run(w->costs());
+  EXPECT_EQ(a.lower_bound(), b.lower_bound());
+  EXPECT_EQ(a.upper_bound(), b.upper_bound());
+  // Different placement seeds give different schedules (astronomically
+  // likely for a 30-task workload on 6 processors).
+  EXPECT_NE(a.mapping_matrix(), c.mapping_matrix());
+}
+
+TEST(RandomScheduler, SweepableViaInstanceAlgoList) {
+  // The PR-1 seam end to end: a registry entry is all it takes for an
+  // algorithm to be sweepable next to the paper's trio.
+  const auto w = small_workload(5, 6);
+  InstanceOptions options;
+  options.epsilon = 1;
+  options.seed = 9;
+  InstanceAlgo random;
+  random.key = "RANDOM";
+  random.spec = "random";
+  random.crash_counts = {1};
+  options.algos = {random};
+  Rng rng(1);
+  const SeriesSample sample = evaluate_instance(*w, rng, options);
+  EXPECT_TRUE(sample.count("RANDOM-LowerBound"));
+  EXPECT_TRUE(sample.count("RANDOM-1Crash"));
+  EXPECT_TRUE(sample.count("Msg-RANDOM"));
+  // Simulated crash latency stays within the schedule's guaranteed bound.
+  EXPECT_LE(sample.at("RANDOM-1Crash"), sample.at("RANDOM-UpperBound") + 1e-9);
 }
 
 }  // namespace

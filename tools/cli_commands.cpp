@@ -17,6 +17,8 @@
 #include "ftsched/sim/trace.hpp"
 #include "ftsched/sim/validator.hpp"
 #include "ftsched/experiments/figures.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/table.hpp"
@@ -321,10 +323,8 @@ int cmd_list_workloads(const std::vector<std::string>& args,
   return 0;
 }
 
-int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
-  CliParser cli(
-      "ftsched_cli sweep: granularity sweep over (workload family x crash "
-      "scenario) cells, deterministic for any thread count");
+/// Declares the sweep-grid options shared by the plan and sweep commands.
+void add_sweep_grid_options(CliParser& cli) {
   cli.add_option("figure", "1", "base config: paper figure 1..4");
   cli.add_option("workload", "",
                  "';'-separated WorkloadRegistry specs (empty = the paper "
@@ -339,11 +339,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   cli.add_option("procs", "0", "processors (0 = figure default)");
   cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
   cli.add_option("seed", "42", "root seed");
-  cli.add_option("out", "", "write the CSV to this file (stdout when empty)");
-  std::vector<const char*> argv{"sweep"};
-  for (const auto& a : args) argv.push_back(a.c_str());
-  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  cli.add_option("shard", "",
+                 "run only shard i/N of the grid, e.g. 0/3 (empty = full "
+                 "grid)");
+}
 
+/// Builds the FigureConfig the declared sweep-grid options describe.
+FigureConfig sweep_config_from_cli(const CliParser& cli) {
   FigureConfig config = figure_config(static_cast<int>(cli.get_int("figure")));
   config.graphs_per_point = static_cast<std::size_t>(cli.get_int("graphs"));
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -368,6 +370,99 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
       config.granularities.push_back(spec_detail::parse_double("granularities", g));
     }
   }
+  return config;
+}
+
+/// Applies the --shard option ("i/N", empty = full plan).
+SweepPlan apply_shard_option(SweepPlan plan, const std::string& spec) {
+  if (spec.empty()) return plan;
+  const auto slash = spec.find('/');
+  FTSCHED_REQUIRE(slash != std::string::npos && slash > 0 &&
+                      slash + 1 < spec.size(),
+                  "--shard expects i/N, e.g. 0/3; got '" + spec + "'");
+  return plan.shard(spec_detail::parse_u64("shard", spec.substr(0, slash)),
+                    spec_detail::parse_u64("shard", spec.substr(slash + 1)));
+}
+
+int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli plan: enumerate the sweep grid (and a shard's slice of "
+      "it) without running anything");
+  add_sweep_grid_options(cli);
+  cli.add_option("limit", "40", "coordinate rows to print (0 = all)");
+  std::vector<const char*> argv{"plan"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const FigureConfig config = sweep_config_from_cli(cli);
+  const SweepPlan plan =
+      apply_shard_option(SweepPlan(config), cli.get("shard"));
+  out << "=== sweep plan (epsilon=" << config.epsilon
+      << ", m=" << config.proc_count << ", graphs/point="
+      << config.graphs_per_point << ", seed=" << config.seed << ") ===\n";
+  out << "cells:        " << plan.workloads().size() << " workload(s) x "
+      << plan.scenarios().size() << " scenario(s)\n";
+  out << "grid:         " << plan.grid_size() << " instances ("
+      << plan.granularities().size() << " granularities x "
+      << plan.repetitions() << " reps per cell)\n";
+  out << "selected:     " << plan.size() << " [shard " << plan.shard_label()
+      << "]\n";
+  out << "fingerprint:  " << plan.fingerprint() << "\n\n";
+
+  const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
+  const std::size_t rows =
+      limit == 0 ? plan.size() : std::min(plan.size(), limit);
+  TextTable table({"id", "workload", "scenario", "granularity", "rep"});
+  for (std::size_t k = 0; k < rows; ++k) {
+    const InstanceCoord c = plan.coord(k);
+    table.add_row({std::to_string(c.id), plan.workloads()[c.workload],
+                   plan.scenarios()[c.scenario],
+                   format_double(plan.granularities()[c.gran], 2),
+                   std::to_string(c.rep)});
+  }
+  table.print(out);
+  if (rows < plan.size()) {
+    out << "... (" << plan.size() - rows
+        << " more; rerun with --limit 0 for all)\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli sweep: granularity sweep over (workload family x crash "
+      "scenario) cells, deterministic for any thread count; with --shard, "
+      "runs one slice of the grid and emits the JSONL shard protocol "
+      "instead of CSV (recombine with 'merge')");
+  add_sweep_grid_options(cli);
+  cli.add_option("out", "",
+                 "write the CSV (or JSONL shard) to this file (stdout when "
+                 "empty)");
+  std::vector<const char*> argv{"sweep"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const FigureConfig config = sweep_config_from_cli(cli);
+
+  if (!cli.get("shard").empty()) {
+    const SweepPlan plan =
+        apply_shard_option(SweepPlan(config), cli.get("shard"));
+    const std::string path = cli.get("out");
+    if (path.empty()) {
+      // Pure JSONL on stdout so the shard can be piped.
+      ShardWriterSink sink(out, plan);
+      run_plan(plan, sink);
+    } else {
+      std::ofstream file(path);
+      FTSCHED_REQUIRE(file.good(), "cannot open output file: " + path);
+      ShardWriterSink sink(file, plan);
+      run_plan(plan, sink);
+      out << "=== sweep shard " << plan.shard_label() << " (" << plan.size()
+          << " of " << plan.grid_size() << " instances) -> " << path
+          << " ===\n";
+    }
+    return 0;
+  }
 
   const SweepResult sweep = run_sweep(config);
   out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
@@ -375,6 +470,33 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
       << config.seed << ", cells=" << sweep.workloads.size() << "x"
       << sweep.scenarios.size() << ") ===\n";
   write_or_print(cli.get("out"), sweep_to_csv(sweep), out);
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli merge: combine JSONL sweep shards (from 'sweep --shard') "
+      "covering a full partition of one plan's grid into the CSV of the "
+      "unsharded run — bit-identical, any partition");
+  cli.add_option("in", "", "';'-separated shard files");
+  cli.add_option("out", "", "write the CSV to this file (stdout when empty)");
+  std::vector<const char*> argv{"merge"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const std::vector<std::string> paths = split_list(cli.get("in"));
+  FTSCHED_REQUIRE(!paths.empty(), "merge needs --in \"a.jsonl;b.jsonl;...\"");
+  std::vector<ShardFile> shards;
+  shards.reserve(paths.size());
+  std::uint64_t covered = 0;
+  for (const std::string& path : paths) {
+    shards.push_back(read_shard_file(path));
+    covered += shards.back().header.selected;
+  }
+  const SweepResult merged = merge_shards(shards);
+  out << "=== merge (" << shards.size() << " shards, " << covered << " of "
+      << shards.front().header.grid << " instances) ===\n";
+  write_or_print(cli.get("out"), sweep_to_csv(merged), out);
   return 0;
 }
 
@@ -422,9 +544,12 @@ std::string usage() {
       "  info            structural statistics of a graph file\n"
       "  list-algos      registered scheduling algorithms and their options\n"
       "  list-workloads  registered workload families and their options\n"
+      "  plan            enumerate the sweep grid / a shard's slice of it\n"
       "  schedule        schedule a graph or workload (--algo, --workload)\n"
       "  simulate        execute a schedule under a crash scenario\n"
-      "  sweep           (workload x scenario x granularity) sweep to CSV\n"
+      "  sweep           (workload x scenario x granularity) sweep to CSV;\n"
+      "                  --shard i/N emits a JSONL shard instead\n"
+      "  merge           combine sweep shards into the unsharded CSV\n"
       "  validate        exhaustive Theorem-4.1 validation + kill-set "
       "analysis\n";
 }
@@ -442,6 +567,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "info") return cmd_info(rest, out);
     if (command == "list-algos") return cmd_list_algos(rest, out);
     if (command == "list-workloads") return cmd_list_workloads(rest, out);
+    if (command == "merge") return cmd_merge(rest, out);
+    if (command == "plan") return cmd_plan(rest, out);
     if (command == "schedule") return cmd_schedule(rest, out);
     if (command == "simulate") return cmd_simulate(rest, out);
     if (command == "sweep") return cmd_sweep(rest, out);

@@ -4,9 +4,12 @@
 // Subcommands:
 //   generate  — emit a task graph (any built-in family) in text format
 //   info      — structural statistics of a graph file
+//   plan      — enumerate the sweep grid / a shard's slice of it
 //   schedule  — schedule a graph file with any algorithm; print bounds,
 //               optionally an ASCII Gantt, JSON, or a schedule file
 //   simulate  — execute a schedule under a crash scenario
+//   sweep     — run a sweep to CSV, or one shard of it to JSONL (--shard)
+//   merge     — combine sweep shards into the unsharded CSV (bit-identical)
 //   validate  — exhaustive fault-tolerance validation + kill-set analysis
 #pragma once
 
