@@ -1,0 +1,80 @@
+// Ablation: graceful degradation under failure-model laws.  The paper
+// fixes the crash count at ε and draws victims uniformly; here the count
+// and victim laws are a sweep *failure dimension* (FailureModel specs):
+// fixed counts pushed past ε, per-processor Bernoulli crashes whose
+// Binomial count exceeds ε with growing probability, and correlated
+// whole-rack failures over fault domains.
+//
+// Every failure cell faces the same workload instances (run_sweep pairs
+// cells on identical RNG streams), so the rows differ only in the injected
+// failures.  Past ε nothing is guaranteed: the table reports the fraction
+// of runs that still completed (the <algo>-Success cell mean) and the
+// latency over the survivors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ftsched/experiments/figures.hpp"
+#include "ftsched/experiments/runner.hpp"
+#include "ftsched/util/cli.hpp"
+#include "ftsched/util/table.hpp"
+
+using namespace ftsched;
+
+int main() {
+  const auto graphs = static_cast<std::size_t>(env_int("FTSCHED_GRAPHS", 30));
+
+  FigureConfig config = figure_config(2);  // epsilon = 2, m = 20
+  config.granularities = {1.0};
+  config.extra_crash_counts.clear();
+  config.graphs_per_point = graphs;
+  config.failure_models = {
+      "eps",
+      "fixed:k=1",         "fixed:k=4",          "fixed:k=8",
+      "bernoulli:p=0.05",  "bernoulli:p=0.1",    "bernoulli:p=0.2",
+      "bernoulli:p=0.4",
+      "domain:size=2",     "domain:size=4",
+      "fixed:k=4,domain=2", "bernoulli:p=0.2,domain=4",
+  };
+  const SweepResult sweep = run_sweep(config);
+
+  std::cout << "=== Ablation: failure-model laws (epsilon=" << config.epsilon
+            << ", m=" << config.proc_count << ", " << graphs
+            << " graphs; counts above epsilon void the Theorem-4.1 "
+               "guarantee) ===\n";
+  TextTable table({"failure model", "mean crashes", "FTSA success",
+                   "FTSA latency|ok", "MC-FTSA success"});
+  const std::string eps = std::to_string(config.epsilon);
+  auto stats_of = [&](const std::string& series, const std::string& failure) {
+    // A cell where no run survived never emits its DrawnCrash series at
+    // all; report the empty accumulator instead of throwing.
+    const auto it = sweep.series.find(
+        sweep_series_name(sweep, series, "paper", "t0", failure));
+    return it == sweep.series.end() ? OnlineStats{} : it->second[0];
+  };
+  for (const std::string& failure : sweep.failures) {
+    // The eps cell keeps the paper's exact layout: ε crashes, success
+    // guaranteed, latency under the FTSA-<ε>Crash series.
+    const bool is_eps = failure == "eps";
+    const double drawn = is_eps ? static_cast<double>(config.epsilon)
+                                : stats_of("DrawnCrashes", failure).mean();
+    const double ftsa_ok =
+        is_eps ? 1.0 : stats_of("FTSA-Success", failure).mean();
+    const double mc_ok =
+        is_eps ? 1.0 : stats_of("MC-FTSA-Success", failure).mean();
+    const std::string latency_series =
+        is_eps ? "FTSA-" + eps + "Crash" : "FTSA-DrawnCrash";
+    const OnlineStats latency = stats_of(latency_series, failure);
+    table.add_numeric_row(failure,
+                          {drawn, ftsa_ok,
+                           latency.count() ? latency.mean() : 0.0, mc_ok});
+  }
+  table.print(std::cout);
+  std::cout << "csv:\n" << table.csv();
+  std::cout << "(success = completed runs / all runs per cell; latency is "
+               "normalized and averaged\n over the survivors only — a "
+               "success fraction of 1.000 for counts <= epsilon is the\n "
+               "Theorem-4.1 guarantee, also for correlated whole-domain "
+               "victims)\n";
+  return 0;
+}

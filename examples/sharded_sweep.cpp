@@ -10,7 +10,7 @@
 // bit-identical, not merely close.
 //
 //   ./sharded_sweep [--figure 1] [--graphs 6] [--shards 3] [--procs 8]
-//                   [--seed 42]
+//                   [--seed 42] [--failures "eps;bernoulli:p=0.1"]
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_option("shards", "3", "worker count to split the grid across");
   cli.add_option("procs", "8", "processors in the generated platforms");
   cli.add_option("seed", "42", "root seed");
+  cli.add_option("failures", "eps;bernoulli:p=0.1",
+                 "';'-separated FailureModel specs — the bit-identity "
+                 "contract covers the failure dimension too");
   if (!cli.parse(argc, argv)) return 0;
 
   FigureConfig config = figure_config(static_cast<int>(cli.get_int("figure")));
@@ -37,14 +40,22 @@ int main(int argc, char** argv) {
   config.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
   config.workload.proc_count = config.proc_count;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  {
+    std::istringstream specs(cli.get("failures"));
+    std::string item;
+    while (std::getline(specs, item, ';')) {
+      if (!item.empty()) config.failure_models.push_back(item);
+    }
+  }
   const auto shard_count = static_cast<std::size_t>(cli.get_int("shards"));
 
   // Coordinator: enumerate the grid.
   const SweepPlan plan(config);
   std::cout << "plan: " << plan.grid_size() << " instances ("
             << plan.workloads().size() << "x" << plan.scenarios().size()
-            << " cells, " << plan.granularities().size()
-            << " granularities, " << plan.repetitions() << " reps)\n";
+            << "x" << plan.failures().size() << " cells, "
+            << plan.granularities().size() << " granularities, "
+            << plan.repetitions() << " reps)\n";
   std::cout << "fingerprint: " << plan.fingerprint() << "\n\n";
 
   // Workers: each runs its shard and streams records to "its" file.

@@ -35,6 +35,12 @@ struct FigureConfig {
   /// case.  With more than one (workload, scenario) cell, run_sweep
   /// decorates series names with a "[workload|scenario]" suffix.
   std::vector<std::string> scenarios;
+  /// Failure-model dimension: FailureModel specs ("eps", "fixed:k=3",
+  /// "bernoulli:p=0.1", "domain:size=4").  Empty = {"eps"}, the paper's ε
+  /// uniform victims — byte-identical legacy RNG streams and series.  With
+  /// more than one failure cell the series suffix grows a third part:
+  /// "[workload|scenario|failure]".
+  std::vector<std::string> failure_models;
 };
 
 /// Configuration for paper Figure 1 (ε=1), 2 (ε=2), 3 (ε=5) or

@@ -62,6 +62,16 @@ struct InstanceOptions {
   /// anchored to that algorithm's failure-free lower bound.  The default
   /// t=0 law draws nothing, preserving legacy RNG streams bit-exactly.
   CrashTimeLaw crash_law;
+  /// Failure-model law (count + victim dimension).  The default (ε uniform
+  /// victims) consumes exactly the legacy draws and emits exactly the
+  /// legacy series.  A non-default model draws the instance's victim set —
+  /// possibly more than ε victims — and adds, per algorithm, the simulated
+  /// "<A>-DrawnCrash" latency plus an "<A>-Success" indicator whose cell
+  /// mean is the graceful-degradation success fraction (the simulator is
+  /// *not* asserted to succeed past ε), and a per-instance "DrawnCrashes"
+  /// count series.  Legacy fixed-count series are kept for counts the draw
+  /// covers (k <= both ε and the drawn count), paired on victim prefixes.
+  FailureModel failure_model;
   /// Algorithms to evaluate; empty = the paper's trio (FTSA, MC-FTSA,
   /// FTBAR) with the series layout described below.
   std::vector<InstanceAlgo> algos;
@@ -98,25 +108,38 @@ struct SweepResult {
   std::vector<std::string> workloads;
   /// Crash-scenario labels swept (always at least {"t0"}).
   std::vector<std::string> scenarios;
+  /// Failure-model labels swept (always at least {"eps"}).
+  std::vector<std::string> failures;
   /// result[series][granularity index]
   std::map<std::string, std::vector<OnlineStats>> series;
 };
 
 /// The one renderer of the cell-decoration rule: undecorated for a
-/// single-cell sweep, "series[workload|scenario]" otherwise.  Shared by
-/// sweep_series_name and SweepPlan::series_label, so aggregated results
-/// and shard records can never disagree on series names.
+/// single-cell sweep, "series[workload|scenario]" otherwise, with a third
+/// "|failure" part only when the failure dimension itself is swept
+/// (multi_failure) — so grids without --failures keep their exact legacy
+/// names.  Shared by sweep_series_name and SweepPlan::series_label, so
+/// aggregated results and shard records can never disagree on series names.
 [[nodiscard]] std::string decorate_series_name(const std::string& series,
                                                const std::string& workload,
                                                const std::string& scenario,
-                                               bool multi_cell);
+                                               bool multi_cell,
+                                               const std::string& failure = "",
+                                               bool multi_failure = false);
 
-/// The name a sweep series gets inside cell (workload, scenario) of
-/// `sweep` (see decorate_series_name).
+/// The name a sweep series gets inside cell (workload, scenario, failure)
+/// of `sweep` (see decorate_series_name).  The three-argument form is for
+/// sweeps whose failure dimension is unswept (failure defaults to the
+/// sweep's single failure label).
 [[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
                                             const std::string& series,
                                             const std::string& workload,
                                             const std::string& scenario);
+[[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
+                                            const std::string& series,
+                                            const std::string& workload,
+                                            const std::string& scenario,
+                                            const std::string& failure);
 
 /// True iff the two results are bit-identical (same series, same per-point
 /// statistics down to the last double) — the determinism contract of the
@@ -126,7 +149,8 @@ struct SweepResult {
 
 /// Runs the full sweep described by `config` on `config.threads` workers
 /// (0 = hardware_concurrency), ranging over the full cross product
-/// (workload family × crash scenario × granularity × graphs_per_point).
+/// (workload family × crash scenario × failure model × granularity ×
+/// graphs_per_point).
 ///
 /// Thin wrapper over the plan/execute/merge pipeline
 /// (experiments/sweep_plan.hpp): `SweepPlan` enumerates the grid,

@@ -2,7 +2,8 @@
 //
 // `SweepPlan` makes the sweep grid explicit: built from a FigureConfig, it
 // enumerates every instance of the (workload family × crash scenario ×
-// granularity × repetition) cross product as an addressable InstanceCoord
+// failure model × granularity × repetition) cross product as an
+// addressable InstanceCoord
 // with a stable id, and `plan.shard(i, n)` deterministically selects the
 // i-th of n disjoint subsets — the unit of work a coordinator hands to one
 // machine.  `run_plan(plan, sink)` executes the selected instances on a
@@ -40,15 +41,17 @@ namespace ftsched {
 /// Address of one sweep instance inside the full grid.
 ///
 /// `id` is the stable linear id: with W workload families, S scenarios,
-/// P granularity points and R repetitions,
-///   id = ((workload * S + scenario) * P + gran) * R + rep,
-/// i.e. exactly the serial aggregation order of the unsharded sweep.  Ids
-/// are invariant under sharding — a shard keeps the full-grid ids of the
-/// instances it selects — which is what lets merge_shards restore the
-/// canonical coordinate order.
+/// F failure models, P granularity points and R repetitions,
+///   id = (((workload * S + scenario) * F + failure) * P + gran) * R + rep,
+/// i.e. exactly the serial aggregation order of the unsharded sweep (and,
+/// with the default single failure cell F = 1, exactly the pre-failure-
+/// dimension id).  Ids are invariant under sharding — a shard keeps the
+/// full-grid ids of the instances it selects — which is what lets
+/// merge_shards restore the canonical coordinate order.
 struct InstanceCoord {
   std::size_t workload = 0;  ///< workload-family index
   std::size_t scenario = 0;  ///< crash-scenario index
+  std::size_t failure = 0;   ///< failure-model index
   std::size_t gran = 0;      ///< granularity index
   std::size_t rep = 0;       ///< repetition
   std::uint64_t id = 0;      ///< stable linear id within the full grid
@@ -89,11 +92,15 @@ class SweepPlan {
   [[nodiscard]] const std::vector<std::string>& scenarios() const noexcept {
     return scenario_labels_;
   }
+  /// Failure-model labels, sweep order (always at least {"eps"}).
+  [[nodiscard]] const std::vector<std::string>& failures() const noexcept {
+    return failure_labels_;
+  }
   [[nodiscard]] std::size_t repetitions() const noexcept {
     return config_.graphs_per_point;
   }
 
-  /// Instances in the full grid (W × S × P × R).
+  /// Instances in the full grid (W × S × F × P × R).
   [[nodiscard]] std::uint64_t grid_size() const noexcept;
   /// Instances selected by this plan (== grid_size() before sharding).
   [[nodiscard]] std::size_t size() const noexcept { return selected_.size(); }
@@ -117,15 +124,17 @@ class SweepPlan {
   [[nodiscard]] SweepPlan shard(std::size_t index, std::size_t count) const;
 
   /// The series name samples of `coord` aggregate under: undecorated for a
-  /// single-cell grid, "name[workload|scenario]" otherwise (the same rule
-  /// as sweep_series_name).
+  /// single-cell grid, "name[workload|scenario]" otherwise, with a third
+  /// "|failure" part when the failure dimension is swept (the same rule as
+  /// sweep_series_name).
   [[nodiscard]] std::string series_label(const InstanceCoord& coord,
                                          const std::string& series) const;
 
   /// Canonical one-line identity of the *grid* (seed, epsilon, processor
-  /// count, repetitions, crash counts, exact granularities, cell labels) —
-  /// independent of sharding and thread count.  merge_shards refuses to
-  /// combine shards whose fingerprints differ.
+  /// count, repetitions, crash counts, exact granularities, workload /
+  /// scenario / failure-model cell labels) — independent of sharding and
+  /// thread count.  merge_shards refuses to combine shards whose
+  /// fingerprints differ.
   [[nodiscard]] std::string fingerprint() const;
 
   /// Evaluates one instance on its own derived RNG stream; the result
@@ -136,12 +145,15 @@ class SweepPlan {
   struct Cell {
     std::shared_ptr<const WorkloadFamily> family;
     CrashTimeLaw law;
+    FailureModel model;
   };
 
   FigureConfig config_;
-  std::vector<Cell> cells_;  ///< workload-major (workload * S + scenario)
+  /// workload-major: (workload * S + scenario) * F + failure
+  std::vector<Cell> cells_;
   std::vector<std::string> workload_labels_;
   std::vector<std::string> scenario_labels_;
+  std::vector<std::string> failure_labels_;
   Rng root_;
   std::vector<std::uint64_t> selected_;  ///< sorted full-grid ids
   std::string shard_label_ = "full";

@@ -113,4 +113,88 @@ class CrashTimeLaw {
   double param_ = 0.0;
 };
 
+/// Failure-model law: how many processors crash and which ones — the third
+/// scenario axis of the sweep engine, layered under CrashTimeLaw (when the
+/// victims crash).
+///
+/// A model composes a *count law* with a *victim law*.  Count laws:
+///
+///   eps              exactly ε victims, the paper's §6 setup (default)
+///   fixed:k=K        exactly K victims; K may exceed ε to measure graceful
+///                    degradation (clamped to the m available processors)
+///   bernoulli:p=P    every processor crashes independently with
+///                    probability P: the count is Binomial(m, P) and can
+///                    exceed ε, so schedules are pushed past their
+///                    guarantee (the ROADMAP's probabilistic-failure item)
+///
+/// Victim laws:
+///
+///   uniform          victims drawn uniformly at random (default)
+///   domain (size=S)  the m processors are partitioned into fault domains
+///                    (racks/switches) of S consecutive processors; whole
+///                    domains crash together in random order, the last one
+///                    truncated so the count law stays exact — correlated
+///                    failures over a structured interconnect topology
+///
+/// Spec syntax: the count-law name picks the model; every count law takes
+/// an optional `domain=S` key to switch the victim law, and `domain:size=S`
+/// is the canonical shorthand for ε whole-domain victims:
+///
+///   eps | fixed:k=6 | bernoulli:p=0.1 | domain:size=4
+///   fixed:k=6,domain=2 | bernoulli:p=0.1,domain=4
+///
+/// The default model consumes exactly the legacy RNG draws (one
+/// sample_without_replacement(m, ε)), so empty specs keep every legacy
+/// stream and golden byte-identical.
+class FailureModel {
+ public:
+  enum class CountKind { kEpsilon, kFixed, kBernoulli };
+  enum class VictimKind { kUniform, kDomain };
+
+  /// The default model is the paper's setup: ε uniform victims.
+  FailureModel() = default;
+
+  /// Parses a model spec; throws InvalidArgument on unknown names/options
+  /// and on meaningless parameters (p outside [0,1], domain size 0, ...).
+  [[nodiscard]] static FailureModel parse(const std::string& spec);
+
+  /// Canonical spec string (round-trips through parse).
+  [[nodiscard]] std::string to_string() const;
+  /// One-line human-readable description.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] CountKind count_kind() const noexcept { return count_; }
+  [[nodiscard]] VictimKind victim_kind() const noexcept { return victims_; }
+  /// Victims per fixed draw / fault-domain width (meaningful per kind).
+  [[nodiscard]] std::size_t fixed_count() const noexcept { return fixed_k_; }
+  [[nodiscard]] std::size_t domain_size() const noexcept {
+    return domain_size_;
+  }
+  [[nodiscard]] double probability() const noexcept { return prob_; }
+
+  /// True for the paper default (ε uniform victims): evaluate_instance
+  /// keeps its legacy RNG stream and series layout exactly.
+  [[nodiscard]] bool is_default() const noexcept {
+    return count_ == CountKind::kEpsilon && victims_ == VictimKind::kUniform;
+  }
+
+  /// Draws one instance's victim set: the count law decides how many (may
+  /// exceed `epsilon`; never more than `proc_count`), the victim law which
+  /// ones.  The order matters downstream — the runner pairs its fixed
+  /// crash-count series on prefixes of this vector.
+  [[nodiscard]] std::vector<std::size_t> draw(Rng& rng,
+                                              std::size_t proc_count,
+                                              std::size_t epsilon) const;
+
+  /// Known model names (for diagnostics and the CLI).
+  [[nodiscard]] static std::vector<std::string> known();
+
+ private:
+  CountKind count_ = CountKind::kEpsilon;
+  VictimKind victims_ = VictimKind::kUniform;
+  std::size_t fixed_k_ = 1;      ///< kFixed count
+  double prob_ = 0.1;            ///< kBernoulli per-processor probability
+  std::size_t domain_size_ = 4;  ///< kDomain rack width
+};
+
 }  // namespace ftsched

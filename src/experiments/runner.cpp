@@ -15,16 +15,28 @@ namespace {
 /// Simulated latency of `schedule` with the first `count` victims of
 /// `victims` crashing at their unit time scaled by the schedule's
 /// failure-free lower bound (unit time 0 = the paper's t=0 worst case).
-double crash_latency(const ReplicatedSchedule& schedule,
-                     const std::vector<std::size_t>& victims,
-                     const std::vector<double>& unit_times, std::size_t count,
-                     const SimulationOptions& sim) {
+/// Simulates `schedule` with the first `count` victims of `victims`
+/// crashing at their unit time scaled by the schedule's failure-free lower
+/// bound.  No success assertion: graceful-degradation draws exceed ε.
+SimulationResult simulate_crashes(const ReplicatedSchedule& schedule,
+                                  const std::vector<std::size_t>& victims,
+                                  const std::vector<double>& unit_times,
+                                  std::size_t count,
+                                  const SimulationOptions& sim) {
   FailureScenario scenario;
   const double anchor = schedule.lower_bound();
   for (std::size_t i = 0; i < count; ++i) {
     scenario.add(ProcId{victims[i]}, unit_times[i] * anchor);
   }
-  const SimulationResult result = simulate(schedule, scenario, sim);
+  return simulate(schedule, scenario, sim);
+}
+
+double crash_latency(const ReplicatedSchedule& schedule,
+                     const std::vector<std::size_t>& victims,
+                     const std::vector<double>& unit_times, std::size_t count,
+                     const SimulationOptions& sim) {
+  const SimulationResult result =
+      simulate_crashes(schedule, victims, unit_times, count, sim);
   FTSCHED_REQUIRE(result.success,
                   "simulation failed with <= epsilon crashes (Thm 4.1 bug)");
   return result.latency;
@@ -78,12 +90,15 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   FTSCHED_REQUIRE(options.epsilon < m, "epsilon must be < proc count");
 
   // Shared crash victims and unit crash instants for this instance: every
-  // algorithm's curve faces the same failures (the default t=0 law draws no
-  // randomness, keeping legacy streams bit-identical).
+  // algorithm's curve faces the same failures.  The default failure model
+  // draws exactly the legacy sample_without_replacement(m, ε), and the
+  // default t=0 law draws nothing, keeping legacy streams bit-identical.
   const std::vector<std::size_t> victims =
-      rng.sample_without_replacement(m, options.epsilon);
+      options.failure_model.draw(rng, m, options.epsilon);
+  const std::size_t drawn = victims.size();
   const std::vector<double> unit_times =
-      options.crash_law.sample(rng, options.epsilon);
+      options.crash_law.sample(rng, drawn);
+  const bool default_model = options.failure_model.is_default();
 
   // Fault-free reference schedules; FTSA* anchors every overhead series.
   const ReplicatedSchedule ff_ftsa =
@@ -98,6 +113,11 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
   };
   sample["FaultFree-FTSA"] = norm(ftsa_star);
   sample["FaultFree-FTBAR"] = norm(ff_ftbar.lower_bound());
+  if (!default_model) {
+    // How many crashes the model actually drew (cell mean = the average
+    // injected failure count, for degradation plots against ε).
+    sample["DrawnCrashes"] = static_cast<double>(drawn);
+  }
 
   const std::vector<InstanceAlgo> algos =
       options.algos.empty() ? default_instance_algos(options) : options.algos;
@@ -118,12 +138,35 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
     for (std::size_t k : counts) {
       FTSCHED_REQUIRE(k <= options.epsilon,
                       "crash count exceeds the tolerated epsilon");
+      // A probabilistic model may draw fewer victims than a fixed series
+      // asks for; that instance simply doesn't sample the series (the
+      // default model always draws ε, covering every legacy count).
+      if (k > drawn) continue;
       const double latency =
           crash_latency(schedule, victims, unit_times, k, options.sim);
       const std::string series =
           algo.key + "-" + std::to_string(k) + "Crash";
       sample[series] = norm(latency);
       sample["OH-" + series] = overhead_percent(latency, ftsa_star);
+    }
+
+    if (!default_model) {
+      // The drawn scenario itself: all `drawn` victims, which may exceed
+      // the tolerated ε.  Past ε nothing is guaranteed, so instead of
+      // asserting we record a success indicator — its cell mean is the
+      // graceful-degradation success fraction — and latency/overhead over
+      // the surviving runs only.
+      const SimulationResult result = simulate_crashes(
+          schedule, victims, unit_times, drawn, options.sim);
+      FTSCHED_REQUIRE(result.success || drawn > options.epsilon,
+                      "simulation failed with <= epsilon crashes (Thm 4.1 "
+                      "bug)");
+      sample[algo.key + "-Success"] = result.success ? 1.0 : 0.0;
+      if (result.success) {
+        sample[algo.key + "-DrawnCrash"] = norm(result.latency);
+        sample["OH-" + algo.key + "-DrawnCrash"] =
+            overhead_percent(result.latency, ftsa_star);
+      }
     }
 
     // Communication accounting for the ablation tables.
@@ -142,24 +185,43 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
 
 std::string decorate_series_name(const std::string& series,
                                  const std::string& workload,
-                                 const std::string& scenario,
-                                 bool multi_cell) {
+                                 const std::string& scenario, bool multi_cell,
+                                 const std::string& failure,
+                                 bool multi_failure) {
   if (!multi_cell) return series;
-  return series + "[" + workload + "|" + scenario + "]";
+  std::string out = series + "[" + workload + "|" + scenario;
+  // The failure part appears only when that dimension is actually swept,
+  // so legacy (workload x scenario) grids keep their exact names.
+  if (multi_failure) out += "|" + failure;
+  return out + "]";
+}
+
+std::string sweep_series_name(const SweepResult& sweep,
+                              const std::string& series,
+                              const std::string& workload,
+                              const std::string& scenario,
+                              const std::string& failure) {
+  const std::size_t failure_cells =
+      sweep.failures.empty() ? 1 : sweep.failures.size();
+  return decorate_series_name(
+      series, workload, scenario,
+      sweep.workloads.size() * sweep.scenarios.size() * failure_cells > 1,
+      failure, failure_cells > 1);
 }
 
 std::string sweep_series_name(const SweepResult& sweep,
                               const std::string& series,
                               const std::string& workload,
                               const std::string& scenario) {
-  return decorate_series_name(
-      series, workload, scenario,
-      sweep.workloads.size() * sweep.scenarios.size() > 1);
+  return sweep_series_name(sweep, series, workload, scenario,
+                           sweep.failures.empty() ? "eps"
+                                                  : sweep.failures.front());
 }
 
 bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
   if (a.granularities != b.granularities) return false;
   if (a.workloads != b.workloads || a.scenarios != b.scenarios) return false;
+  if (a.failures != b.failures) return false;
   if (a.series.size() != b.series.size()) return false;
   for (auto ita = a.series.begin(), itb = b.series.begin();
        ita != a.series.end(); ++ita, ++itb) {

@@ -122,6 +122,14 @@ const std::string& field(const std::map<std::string, std::string>& object,
   return it->second;
 }
 
+/// Like field(), but absent keys fall back — for fields added to the
+/// protocol after version 1 shipped (old shards must stay mergeable).
+std::string field_or(const std::map<std::string, std::string>& object,
+                     const char* key, const char* fallback) {
+  const auto it = object.find(key);
+  return it == object.end() ? std::string(fallback) : it->second;
+}
+
 std::vector<std::string> split_semicolons(const std::string& text) {
   std::vector<std::string> out;
   if (text.empty()) return out;
@@ -184,6 +192,8 @@ std::string ShardHeader::fingerprint() const {
         join_mapped(workloads, [](const std::string& w) { return w; });
   fp += " scenarios=" +
         join_mapped(scenarios, [](const std::string& s) { return s; });
+  fp += " failures=" +
+        join_mapped(failures, [](const std::string& f) { return f; });
   fp += " paper=" + paper_params;
   return fp;
 }
@@ -204,6 +214,7 @@ ShardHeader shard_header(const SweepPlan& plan) {
   h.granularities = plan.granularities();
   h.workloads = plan.workloads();
   h.scenarios = plan.scenarios();
+  h.failures = plan.failures();
   h.paper_params = render_paper_params(plan.config());
   h.grid = plan.grid_size();
   h.selected = plan.size();
@@ -235,6 +246,10 @@ ShardWriterSink::ShardWriterSink(std::ostream& os, const SweepPlan& plan)
        << json_escape(join_mapped(
               h.scenarios, [](const std::string& s) { return s; }))
        << "\""
+       << ",\"failures\":\""
+       << json_escape(join_mapped(
+              h.failures, [](const std::string& f) { return f; }))
+       << "\""
        << ",\"paper\":\"" << json_escape(h.paper_params) << "\""
        << ",\"grid\":\"" << h.grid << "\""
        << ",\"selected\":\"" << h.selected << "\""
@@ -248,6 +263,7 @@ void ShardWriterSink::on_sample(const InstanceCoord& coord,
     *os_ << "{\"id\":\"" << coord.id << "\""
          << ",\"w\":\"" << coord.workload << "\""
          << ",\"s\":\"" << coord.scenario << "\""
+         << ",\"f\":\"" << coord.failure << "\""
          << ",\"g\":\"" << coord.gran << "\""
          << ",\"r\":\"" << coord.rep << "\""
          << ",\"series\":\"" << json_escape(plan_->series_label(coord, name))
@@ -291,6 +307,8 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
       }
       h.workloads = split_semicolons(field(object, "workloads", where));
       h.scenarios = split_semicolons(field(object, "scenarios", where));
+      // Pre-failure-dimension shards carry the implicit single eps cell.
+      h.failures = split_semicolons(field_or(object, "failures", "eps"));
       h.paper_params = field(object, "paper", where);
       h.grid = spec_detail::parse_u64("grid", field(object, "grid", where));
       h.selected =
@@ -303,6 +321,7 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
     record.coord.id = spec_detail::parse_u64("id", field(object, "id", where));
     record.coord.workload = parse_size("w", field(object, "w", where));
     record.coord.scenario = parse_size("s", field(object, "s", where));
+    record.coord.failure = parse_size("f", field_or(object, "f", "0"));
     record.coord.gran = parse_size("g", field(object, "g", where));
     record.coord.rep = parse_size("r", field(object, "r", where));
     record.series = field(object, "series", where);
@@ -340,16 +359,20 @@ SweepResult merge_shards(const std::vector<ShardFile>& shards) {
   result.granularities = head.granularities;
   result.workloads = head.workloads;
   result.scenarios = head.scenarios;
+  result.failures = head.failures;
   const std::size_t points = result.granularities.size();
   const std::size_t scenarios = head.scenarios.size();
+  const std::size_t failures = head.failures.size();
   const std::size_t reps = head.reps;
+  FTSCHED_REQUIRE(failures > 0,
+                  "merge_shards: header declares no failure-model cells");
 
   // The header's grid count is redundant with its fingerprint-checked
   // dimensions; cross-check it instead of trusting it (a mangled count
   // must fail loudly, not size the owner vector below).
   const std::uint64_t expected_grid =
-      static_cast<std::uint64_t>(head.workloads.size()) * scenarios * points *
-      reps;
+      static_cast<std::uint64_t>(head.workloads.size()) * scenarios *
+      failures * points * reps;
   FTSCHED_REQUIRE(head.grid == expected_grid,
                   "merge_shards: header grid count " +
                       std::to_string(head.grid) +
@@ -374,8 +397,9 @@ SweepResult merge_shards(const std::vector<ShardFile>& shards) {
           static_cast<std::uint64_t>(points) * reps;
       const std::uint64_t ci = r.coord.id / per_cell;
       FTSCHED_REQUIRE(
-          r.coord.workload == ci / scenarios &&
-              r.coord.scenario == ci % scenarios &&
+          r.coord.workload == ci / (scenarios * failures) &&
+              r.coord.scenario == (ci / failures) % scenarios &&
+              r.coord.failure == ci % failures &&
               r.coord.gran == (r.coord.id % per_cell) / reps &&
               r.coord.rep == r.coord.id % reps,
           "merge_shards: record coordinates of instance " +

@@ -23,6 +23,15 @@ SweepPlan::SweepPlan(const FigureConfig& config)
   const std::vector<std::string> scenario_specs =
       config.scenarios.empty() ? std::vector<std::string>{"t0"}
                                : config.scenarios;
+  const std::vector<std::string> failure_specs =
+      config.failure_models.empty() ? std::vector<std::string>{"eps"}
+                                    : config.failure_models;
+  // Parse the failure models once (shared across every workload/scenario).
+  std::vector<FailureModel> models;
+  models.reserve(failure_specs.size());
+  for (const std::string& fspec : failure_specs) {
+    models.push_back(FailureModel::parse(fspec));
+  }
   // Duplicate labels would silently aggregate two cells into one series;
   // reject them up front.
   std::set<std::string> seen_cells;
@@ -32,14 +41,20 @@ SweepPlan::SweepPlan(const FigureConfig& config)
                       : make_workload_family(wspec);
     const std::string wlabel = wspec.empty() ? "paper" : wspec;
     for (const std::string& sspec : scenario_specs) {
-      const std::string label = wlabel + "|" + sspec;
-      FTSCHED_REQUIRE(seen_cells.insert(label).second,
-                      "duplicate sweep cell (workload|scenario): " + label);
-      cells_.push_back(Cell{family, CrashTimeLaw::parse(sspec)});
+      const CrashTimeLaw law = CrashTimeLaw::parse(sspec);
+      for (std::size_t fi = 0; fi < failure_specs.size(); ++fi) {
+        const std::string label =
+            wlabel + "|" + sspec + "|" + failure_specs[fi];
+        FTSCHED_REQUIRE(
+            seen_cells.insert(label).second,
+            "duplicate sweep cell (workload|scenario|failure): " + label);
+        cells_.push_back(Cell{family, law, models[fi]});
+      }
     }
     workload_labels_.push_back(wlabel);
   }
   scenario_labels_ = scenario_specs;
+  failure_labels_ = failure_specs;
 
   selected_.reserve(grid_size());
   for (std::uint64_t id = 0; id < grid_size(); ++id) selected_.push_back(id);
@@ -60,11 +75,13 @@ InstanceCoord SweepPlan::coord_of_id(std::uint64_t id) const {
   const std::uint64_t points = config_.granularities.size();
   const std::uint64_t reps = config_.graphs_per_point;
   const std::uint64_t scenarios = scenario_labels_.size();
+  const std::uint64_t failures = failure_labels_.size();
   const std::uint64_t per_cell = points * reps;
   const std::uint64_t ci = id / per_cell;
   InstanceCoord c;
-  c.workload = static_cast<std::size_t>(ci / scenarios);
-  c.scenario = static_cast<std::size_t>(ci % scenarios);
+  c.workload = static_cast<std::size_t>(ci / (scenarios * failures));
+  c.scenario = static_cast<std::size_t>((ci / failures) % scenarios);
+  c.failure = static_cast<std::size_t>(ci % failures);
   c.gran = static_cast<std::size_t>((id % per_cell) / reps);
   c.rep = static_cast<std::size_t>(id % reps);
   c.id = id;
@@ -92,7 +109,10 @@ std::string SweepPlan::series_label(const InstanceCoord& coord,
   return decorate_series_name(
       series, workload_labels_[coord.workload],
       scenario_labels_[coord.scenario],
-      workload_labels_.size() * scenario_labels_.size() > 1);
+      workload_labels_.size() * scenario_labels_.size() *
+              failure_labels_.size() >
+          1,
+      failure_labels_[coord.failure], failure_labels_.size() > 1);
 }
 
 // SweepPlan::fingerprint() is defined in sweep_io.cpp as the fingerprint
@@ -104,17 +124,20 @@ SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
   // off the root seed via Rng::derive: every stream is reproducible in
   // isolation from (seed, coordinates) alone — no serial split chain — so
   // any subset of the grid can be recomputed independently, and results
-  // never depend on thread count or shard layout.  Scenario cells of the
-  // same family deliberately share the key: each scenario faces the same
-  // instances and crash victims (paired comparison), extending the "every
-  // curve faces the same failures" contract of evaluate_instance to the
-  // scenario dimension.
+  // never depend on thread count or shard layout.  Scenario and failure
+  // cells of the same family deliberately share the key: each cell faces
+  // the same instances (and, for cells whose count/victim laws draw the
+  // same way, the same crash victims — paired comparison), extending the
+  // "every curve faces the same failures" contract of evaluate_instance to
+  // the scenario and failure dimensions.
   const std::size_t points = config_.granularities.size();
   const std::size_t reps = config_.graphs_per_point;
   Rng rng = root_.derive(static_cast<std::uint64_t>(
       (coord.workload * points + coord.gran) * reps + coord.rep));
   const Cell& cell =
-      cells_[coord.workload * scenario_labels_.size() + coord.scenario];
+      cells_[(coord.workload * scenario_labels_.size() + coord.scenario) *
+                 failure_labels_.size() +
+             coord.failure];
   const SweepPoint point{config_.granularities[coord.gran],
                          config_.proc_count};
   const auto workload = cell.family->generate(rng, point);
@@ -122,6 +145,7 @@ SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
   options.epsilon = config_.epsilon;
   options.extra_crash_counts = config_.extra_crash_counts;
   options.crash_law = cell.law;
+  options.failure_model = cell.model;
   options.seed = rng();
   return evaluate_instance(*workload, rng, options);
 }
@@ -145,6 +169,7 @@ OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan) : plan_(&plan) {
   result_.granularities = plan.granularities();
   result_.workloads = plan.workloads();
   result_.scenarios = plan.scenarios();
+  result_.failures = plan.failures();
 }
 
 void OnlineStatsSink::on_sample(const InstanceCoord& coord,

@@ -1,5 +1,7 @@
 #include "ftsched/platform/failure.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -83,16 +85,38 @@ namespace {
 
 /// Rejects option keys the law does not take (same loud contract as the
 /// registries).
-void require_only(const SpecOptions& options, const std::string& law,
-                  const std::string& allowed) {
+void require_keys(const SpecOptions& options, const char* kind,
+                  const std::string& law,
+                  const std::vector<std::string>& allowed) {
   for (const std::string& key : options.keys()) {
-    if (key != allowed) {
-      throw InvalidArgument("crash law '" + law +
-                            "' does not accept option '" + key + "'" +
-                            (allowed.empty() ? std::string(" (no options)")
-                                             : " (supported: " + allowed + ")"));
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw InvalidArgument(
+          std::string(kind) + " '" + law + "' does not accept option '" + key +
+          "'" +
+          (allowed.empty() ? std::string(" (no options)")
+                           : " (supported: " + spec_detail::join(allowed, "|") +
+                                 ")"));
     }
   }
+}
+
+void require_only(const SpecOptions& options, const std::string& law,
+                  const std::string& allowed) {
+  require_keys(options, "crash law", law,
+               allowed.empty() ? std::vector<std::string>{}
+                               : std::vector<std::string>{allowed});
+}
+
+/// Spec-style rejection of meaningless law parameters: NaN and infinities
+/// never pass (every comparison with NaN is false), and the bound itself is
+/// spelled out in the message — the same loud contract as unknown keys,
+/// instead of degenerate draws (NaN crash times) downstream.
+void require_param(bool ok, const char* kind, const std::string& law,
+                   const char* key, const char* constraint, double value) {
+  if (ok && std::isfinite(value)) return;
+  throw InvalidArgument(std::string(kind) + " '" + law + "': option '" + key +
+                        "' must be " + constraint + ", got '" +
+                        spec_detail::render_double(value) + "'");
 }
 
 }  // namespace
@@ -112,17 +136,20 @@ CrashTimeLaw CrashTimeLaw::parse(const std::string& spec) {
     require_only(options, name, "f");
     law.kind_ = Kind::kFraction;
     law.param_ = options.get_double("f", 0.5);
-    FTSCHED_REQUIRE(law.param_ >= 0.0, "crash law frac: f must be >= 0");
+    require_param(law.param_ >= 0.0, "crash law", name, "f", "a finite value >= 0",
+                  law.param_);
   } else if (name == "uniform") {
     require_only(options, name, "hi");
     law.kind_ = Kind::kUniform;
     law.param_ = options.get_double("hi", 1.0);
-    FTSCHED_REQUIRE(law.param_ >= 0.0, "crash law uniform: hi must be >= 0");
+    require_param(law.param_ >= 0.0, "crash law", name, "hi",
+                  "a finite value >= 0", law.param_);
   } else if (name == "exp") {
     require_only(options, name, "mean");
     law.kind_ = Kind::kExponential;
     law.param_ = options.get_double("mean", 0.5);
-    FTSCHED_REQUIRE(law.param_ > 0.0, "crash law exp: mean must be > 0");
+    require_param(law.param_ > 0.0, "crash law", name, "mean",
+                  "a finite value > 0", law.param_);
   } else {
     throw InvalidArgument("unknown crash law '" + name + "' (known: " +
                           spec_detail::join(known(), "|") + ")");
@@ -181,6 +208,170 @@ std::vector<double> CrashTimeLaw::sample(Rng& rng, std::size_t count) const {
 
 std::vector<std::string> CrashTimeLaw::known() {
   return {"t0", "frac", "uniform", "exp"};
+}
+
+// -------------------------------------------------------------- FailureModel
+
+namespace {
+
+/// Parses the shared `domain=S` victim-law option (S >= 1; absent keeps the
+/// uniform default).
+void apply_domain_option(FailureModel::VictimKind& victims,
+                         std::size_t& domain_size, const SpecOptions& options,
+                         const std::string& name) {
+  if (!options.has("domain")) return;
+  const std::size_t size = options.get_size("domain", 0);
+  if (size == 0) {
+    throw InvalidArgument("failure model '" + name +
+                          "': option 'domain' must be a domain size >= 1, "
+                          "got '" +
+                          options.get("domain") + "'");
+  }
+  victims = FailureModel::VictimKind::kDomain;
+  domain_size = size;
+}
+
+}  // namespace
+
+FailureModel FailureModel::parse(const std::string& spec) {
+  std::string name;
+  std::string option_text;
+  split_spec_string(spec, name, option_text);
+  const SpecOptions options = SpecOptions::parse(option_text);
+
+  FailureModel model;
+  if (name == "eps") {
+    require_keys(options, "failure model", name, {"domain"});
+    model.count_ = CountKind::kEpsilon;
+    // "eps:domain=S" canonicalizes to the "domain:size=S" shorthand.
+    apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "fixed") {
+    require_keys(options, "failure model", name, {"k", "domain"});
+    model.count_ = CountKind::kFixed;
+    model.fixed_k_ = options.get_size("k", 1);
+    apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "bernoulli") {
+    require_keys(options, "failure model", name, {"p", "domain"});
+    model.count_ = CountKind::kBernoulli;
+    model.prob_ = options.get_double("p", 0.1);
+    require_param(model.prob_ >= 0.0 && model.prob_ <= 1.0, "failure model",
+                  name, "p", "a probability in [0, 1]", model.prob_);
+    apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "domain") {
+    // Canonical shorthand for eps-count whole-domain victims.
+    require_keys(options, "failure model", name, {"size"});
+    model.count_ = CountKind::kEpsilon;
+    model.victims_ = VictimKind::kDomain;
+    model.domain_size_ = options.get_size("size", 4);
+    if (model.domain_size_ == 0) {
+      throw InvalidArgument(
+          "failure model 'domain': option 'size' must be >= 1, got '" +
+          options.get("size") + "'");
+    }
+  } else {
+    throw InvalidArgument("unknown failure model '" + name + "' (known: " +
+                          spec_detail::join(known(), "|") + ")");
+  }
+  return model;
+}
+
+std::string FailureModel::to_string() const {
+  std::string out;
+  switch (count_) {
+    case CountKind::kEpsilon:
+      if (victims_ == VictimKind::kDomain) {
+        return "domain:size=" + std::to_string(domain_size_);
+      }
+      return "eps";
+    case CountKind::kFixed:
+      out = "fixed:k=" + std::to_string(fixed_k_);
+      break;
+    case CountKind::kBernoulli:
+      out = "bernoulli:p=" + spec_detail::render_double(prob_);
+      break;
+  }
+  if (victims_ == VictimKind::kDomain) {
+    out += ",domain=" + std::to_string(domain_size_);
+  }
+  return out;
+}
+
+std::string FailureModel::describe() const {
+  std::string count;
+  switch (count_) {
+    case CountKind::kEpsilon:
+      count = "exactly epsilon victims (the paper's setup)";
+      break;
+    case CountKind::kFixed:
+      count = "exactly " + std::to_string(fixed_k_) +
+              " victims (may exceed epsilon: graceful degradation)";
+      break;
+    case CountKind::kBernoulli:
+      count = "each processor crashes with probability " +
+              spec_detail::render_double(prob_) +
+              " (Binomial count, may exceed epsilon)";
+      break;
+  }
+  if (victims_ == VictimKind::kDomain) {
+    count += ", drawn as whole fault domains of " +
+             std::to_string(domain_size_) + " processors (correlated)";
+  } else {
+    count += ", drawn uniformly";
+  }
+  return count;
+}
+
+std::vector<std::size_t> FailureModel::draw(Rng& rng, std::size_t proc_count,
+                                            std::size_t epsilon) const {
+  // Count law first.  The count is clamped to the population: "crash 50 of
+  // 20 processors" degrades to "crash everything", which the simulator then
+  // reports as a failed (success-fraction 0) run rather than an error.
+  std::size_t count = 0;
+  switch (count_) {
+    case CountKind::kEpsilon:
+      count = std::min(epsilon, proc_count);
+      break;
+    case CountKind::kFixed:
+      count = std::min(fixed_k_, proc_count);
+      break;
+    case CountKind::kBernoulli:
+      // One flip per processor, always all m of them, so the RNG stream
+      // position never depends on the outcome sequence.
+      for (std::size_t p = 0; p < proc_count; ++p) {
+        if (rng.bernoulli(prob_)) ++count;
+      }
+      break;
+  }
+
+  if (victims_ == VictimKind::kUniform) {
+    // The default model's draw is bit-identical to the legacy
+    // evaluate_instance victim draw (one sample_without_replacement).
+    return rng.sample_without_replacement(proc_count, count);
+  }
+
+  // Domain victims: processors [d*S, (d+1)*S) form fault domain d.  Whole
+  // domains crash in a random order; the last one is truncated so the count
+  // law stays exact (counts <= epsilon therefore keep the Theorem-4.1
+  // success guarantee even though the victims are correlated).
+  const std::size_t domains =
+      (proc_count + domain_size_ - 1) / domain_size_;
+  const std::vector<std::size_t> order =
+      rng.sample_without_replacement(domains, domains);
+  std::vector<std::size_t> victims;
+  victims.reserve(count);
+  for (std::size_t d : order) {
+    for (std::size_t p = d * domain_size_;
+         p < std::min((d + 1) * domain_size_, proc_count); ++p) {
+      if (victims.size() == count) return victims;
+      victims.push_back(p);
+    }
+    if (victims.size() == count) break;
+  }
+  return victims;
+}
+
+std::vector<std::string> FailureModel::known() {
+  return {"eps", "fixed", "bernoulli", "domain"};
 }
 
 }  // namespace ftsched

@@ -1,8 +1,9 @@
 #include "ftsched/util/spec.hpp"
 
-#include <iomanip>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace ftsched {
 
@@ -38,16 +39,18 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
 }
 
 double parse_double(const std::string& key, const std::string& value) {
+  // std::from_chars, not std::stod: stod honors the global C locale, so
+  // under e.g. de_DE.UTF-8 (radix ',') a spec like "frac:f=0.5" would stop
+  // parsing at the '.' and be rejected — spec strings must mean the same
+  // thing on every machine of a sharded sweep.
   double v = 0.0;
-  bool ok = !value.empty();
+  const char* first = value.data();
+  const char* last = first + value.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  bool ok = first != last;
   if (ok) {
-    try {
-      std::size_t pos = 0;
-      v = std::stod(value, &pos);
-      ok = pos == value.size();
-    } catch (const std::logic_error&) {
-      ok = false;
-    }
+    const auto result = std::from_chars(first, last, v);
+    ok = result.ec == std::errc{} && result.ptr == last;
   }
   if (!ok) {
     throw InvalidArgument("option '" + key + "': expected a number, got '" +
@@ -57,9 +60,14 @@ double parse_double(const std::string& key, const std::string& value) {
 }
 
 std::string render_double(double value) {
-  std::ostringstream os;
-  os << std::setprecision(12) << value;
-  return os.str();
+  // std::to_chars, not ostringstream: the stream would render the radix of
+  // an imbued locale ("0,5"), breaking to_string/parse round trips of
+  // canonical specs.  to_chars also emits the *shortest* form that parses
+  // back bit-identically.
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  // 32 bytes always fit the shortest round-trip form of a double.
+  return std::string(buffer, result.ptr);
 }
 
 }  // namespace spec_detail

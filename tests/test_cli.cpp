@@ -138,6 +138,71 @@ TEST_F(CliTest, SimulateSurvivesCrashSpec) {
   EXPECT_NE(r.out.find("success:              yes"), std::string::npos);
 }
 
+TEST_F(CliTest, SimulateRejectsMalformedCrashSpecs) {
+  ASSERT_EQ(run({"generate", "--family", "chain", "--tasks", "5", "--out",
+                 graph_file_})
+                .code,
+            0);
+  // "3x@1" used to stoul-parse as processor 3 with the "x" silently
+  // dropped, and "-1" wrapped to a huge processor id; both must be loud
+  // errors now, as must junk times and out-of-range ids.
+  for (const char* crashes :
+       {"3x@1", "-1", "0@-5", "0@1x", "one@0", "0@", "99999999999"}) {
+    const CliResult r =
+        run({"simulate", "--graph", graph_file_, "--algo", "heft", "--procs",
+             "2", "--epsilon", "0", "--crashes", crashes});
+    EXPECT_EQ(r.code, 1) << crashes;
+    EXPECT_NE(r.err.find("error:"), std::string::npos) << crashes;
+  }
+}
+
+TEST_F(CliTest, SimulateDrawsScenarioFromFailureModel) {
+  ASSERT_EQ(run({"generate", "--family", "layered", "--tasks", "25",
+                 "--out", graph_file_})
+                .code,
+            0);
+  // domain draws exactly epsilon victims: Thm 4.1 guarantees success.
+  const CliResult ok =
+      run({"simulate", "--graph", graph_file_, "--algo", "ftsa", "--epsilon",
+           "2", "--procs", "6", "--failures", "domain:size=2"});
+  ASSERT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("failure model:"), std::string::npos);
+  EXPECT_NE(ok.out.find("drawn crashes:        2 of 6"), std::string::npos);
+  EXPECT_NE(ok.out.find("success:              yes"), std::string::npos);
+
+  // Crashing every processor exceeds any epsilon: graceful degradation is
+  // a reported failure (exit 2), not an exception.
+  const CliResult dead =
+      run({"simulate", "--graph", graph_file_, "--algo", "ftsa", "--epsilon",
+           "1", "--procs", "4", "--failures", "bernoulli:p=1"});
+  EXPECT_EQ(dead.code, 2);
+  EXPECT_NE(dead.out.find("success:              NO"), std::string::npos);
+
+  const CliResult both =
+      run({"simulate", "--graph", graph_file_, "--failures", "eps",
+           "--crashes", "0@0"});
+  EXPECT_EQ(both.code, 1);
+  EXPECT_NE(both.err.find("mutually exclusive"), std::string::npos);
+
+  const CliResult bogus =
+      run({"simulate", "--graph", graph_file_, "--failures", "meteor"});
+  EXPECT_EQ(bogus.code, 1);
+  EXPECT_NE(bogus.err.find("unknown failure model"), std::string::npos);
+}
+
+TEST_F(CliTest, ListFailureLawsShowsModelsAndCrashLaws) {
+  const CliResult r = run({"list-failure-laws"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* name : {"eps", "fixed", "bernoulli", "domain"}) {
+    EXPECT_NE(r.out.find("\n  " + std::string(name) + "\n"),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(r.out.find("success fraction"), std::string::npos);
+  EXPECT_NE(r.out.find("crash-time laws"), std::string::npos);
+  EXPECT_NE(r.out.find("frac:f=F"), std::string::npos);
+}
+
 TEST_F(CliTest, SimulateReportsFailureExitCode) {
   ASSERT_EQ(run({"generate", "--family", "chain", "--tasks", "5", "--out",
                  graph_file_})
@@ -322,6 +387,68 @@ TEST_F(CliTest, ShardedSweepMergesByteIdenticalToUnshardedCsv) {
   ASSERT_FALSE(full.empty());
   EXPECT_EQ(full, read_file(merged_csv))
       << "merged CSV is not byte-identical to the unsharded sweep";
+}
+
+TEST_F(CliTest, SweepRangesOverFailureModelCellsAndMergesByteIdentical) {
+  // The ISSUE-4 acceptance criterion: a failure-model grid runs end to
+  // end, and a 3-shard merge of it is byte-identical to the unsharded CSV.
+  const std::vector<std::string> grid{
+      "--granularities", "0.8",  "--graphs", "3",        "--procs", "6",
+      "--epsilon",       "1",    "--seed",   "17",       "--workload",
+      "paper:tmin=15,tmax=18",   "--failures",
+      "eps;bernoulli:p=0.1;domain:size=4"};
+  auto with = [&](std::vector<std::string> args,
+                  std::vector<std::string> extra) {
+    for (const auto& a : grid) args.push_back(a);
+    for (auto& a : extra) args.push_back(std::move(a));
+    return args;
+  };
+
+  const std::string full_csv = (dir_ / "failures_full.csv").string();
+  const CliResult full = run(with({"sweep"}, {"--out", full_csv}));
+  ASSERT_EQ(full.code, 0) << full.err;
+  EXPECT_NE(full.out.find("cells=1x1x3"), std::string::npos);
+  const std::string csv = read_file(full_csv);
+  // Decorated with the failure label, including the degradation series.
+  EXPECT_NE(csv.find("FTSA-1Crash[paper:tmin=15,tmax=18|t0|eps]"),
+            std::string::npos);
+  EXPECT_NE(
+      csv.find("FTSA-Success[paper:tmin=15,tmax=18|t0|bernoulli:p=0.1]"),
+      std::string::npos);
+  EXPECT_NE(
+      csv.find("DrawnCrashes[paper:tmin=15,tmax=18|t0|domain:size=4]"),
+      std::string::npos);
+
+  std::string shard_list;
+  for (int i = 0; i < 3; ++i) {
+    const std::string part =
+        (dir_ / ("fpart" + std::to_string(i) + ".jsonl")).string();
+    ASSERT_EQ(run(with({"sweep"}, {"--shard", std::to_string(i) + "/3",
+                                   "--out", part}))
+                  .code,
+              0);
+    if (i) shard_list += ";";
+    shard_list += part;
+  }
+  const std::string merged_csv = (dir_ / "failures_merged.csv").string();
+  ASSERT_EQ(run({"merge", "--in", shard_list, "--out", merged_csv}).code, 0);
+  EXPECT_EQ(csv, read_file(merged_csv))
+      << "merged failure-model CSV is not byte-identical";
+
+  const CliResult bad = run({"sweep", "--failures", "meteor"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("unknown failure model"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanShowsTheFailureDimension) {
+  const CliResult r = run(
+      {"plan", "--granularities", "0.8", "--graphs", "2", "--failures",
+       "eps;bernoulli:p=0.2", "--limit", "0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 workload(s) x 1 scenario(s) x 2 failure model(s)"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("failures=eps;bernoulli:p=0.2"), std::string::npos);
+  EXPECT_NE(r.out.find("bernoulli:p=0.2"), std::string::npos);
 }
 
 TEST_F(CliTest, ShardedSweepWritesJsonlToStdout) {

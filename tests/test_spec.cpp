@@ -1,15 +1,19 @@
 // Tests for the shared spec-string utility (util/spec.hpp): option parsing
 // edge cases — factored into one place and tested once for every consumer
-// (SchedulerRegistry, WorkloadRegistry, CrashTimeLaw) — plus the generic
-// SpecRegistry error contract across both registries.
+// (SchedulerRegistry, WorkloadRegistry, CrashTimeLaw, FailureModel) — plus
+// the generic SpecRegistry error contract across both registries and the
+// locale-independence contract of the numeric parse/render helpers.
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <locale>
 #include <string>
 
 #include "ftsched/core/scheduler.hpp"
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/spec.hpp"
+#include "ftsched/util/stats.hpp"
 #include "ftsched/workload/workload_registry.hpp"
 
 namespace ftsched {
@@ -161,6 +165,105 @@ TEST(CrashTimeLaw, RejectsUnknownLawsAndOptions) {
   EXPECT_THROW((void)CrashTimeLaw::parse("frac:f=-1"), InvalidArgument);
   EXPECT_THROW((void)CrashTimeLaw::parse("exp:mean=0"), InvalidArgument);
   EXPECT_THROW((void)CrashTimeLaw::parse("frac:f=fast"), InvalidArgument);
+}
+
+TEST(CrashTimeLaw, RejectsDegenerateParametersWithSpecStyleMessages) {
+  // NaN/inf parameters would otherwise surface only as NaN crash times
+  // deep inside a sweep; the parse must reject them like unknown keys —
+  // naming the law, the option and the constraint.
+  for (const char* spec : {"frac:f=-1", "frac:f=nan", "frac:f=inf",
+                           "uniform:hi=-2", "uniform:hi=nan", "exp:mean=0",
+                           "exp:mean=-0.5", "exp:mean=inf"}) {
+    try {
+      (void)CrashTimeLaw::parse(spec);
+      FAIL() << "expected InvalidArgument for " << spec;
+    } catch (const InvalidArgument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("crash law"), std::string::npos) << spec;
+      EXPECT_NE(what.find("must be"), std::string::npos) << spec;
+    }
+  }
+}
+
+// ------------------------------------------------------ locale independence
+
+/// Runs `body` under the de_DE.UTF-8 locale (',' radix) when the host has
+/// it, restoring the global C and C++ locales afterwards.  Returns false
+/// when the locale is unavailable (the caller skips).
+template <typename Body>
+bool with_german_locale(Body&& body) {
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  const std::locale old_cpp;
+  bool available = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8"}) {
+    try {
+      // Sets the C++ global locale AND the C locale (std::stod reads the
+      // latter) — exactly the environment the bug corrupted specs under.
+      std::locale::global(std::locale(name));
+      available = true;
+      break;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  if (available) body();
+  std::locale::global(old_cpp);
+  std::setlocale(LC_ALL, old_c.c_str());
+  return available;
+}
+
+/// A comma-radix numpunct facet: lets the render-side guard run even on
+/// hosts without the de_DE locale installed (stream-based rendering would
+/// pick the facet up; to_chars must not).
+struct CommaPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+};
+
+TEST(SpecLocale, RenderIgnoresTheImbuedCppLocale) {
+  const std::locale old_cpp;
+  std::locale::global(std::locale(std::locale(), new CommaPunct));
+  EXPECT_EQ(spec_detail::render_double(0.5), "0.5");
+  EXPECT_EQ(spec_detail::render_double(-12.375), "-12.375");
+  EXPECT_EQ(CrashTimeLaw::parse("frac:f=0.5").to_string(), "frac:f=0.5");
+  EXPECT_EQ(FailureModel::parse("bernoulli:p=0.25").to_string(),
+            "bernoulli:p=0.25");
+  std::locale::global(old_cpp);
+}
+
+TEST(SpecLocale, NumericParsingIsLocaleIndependent) {
+  const bool ran = with_german_locale([] {
+    // Sanity: the locale really is comma-radix here (otherwise this test
+    // silently stops guarding anything).
+    ASSERT_EQ(std::localeconv()->decimal_point[0], ',');
+    EXPECT_DOUBLE_EQ(spec_detail::parse_double("f", "0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(spec_detail::parse_double("f", "-1.25e2"), -125.0);
+    EXPECT_THROW((void)spec_detail::parse_double("f", "0,5"),
+                 InvalidArgument);
+    EXPECT_EQ(spec_detail::render_double(0.5), "0.5");
+    EXPECT_EQ(spec_detail::render_double(1234.75), "1234.75");
+  });
+  if (!ran) GTEST_SKIP() << "de_DE locale not installed on this host";
+}
+
+TEST(SpecLocale, CanonicalSpecsRoundTripUnderCommaRadix) {
+  const bool ran = with_german_locale([] {
+    // The full consumer chain: law/model specs parse, canonicalize and
+    // re-parse identically whatever the host locale.
+    for (const char* spec : {"frac:f=0.5", "uniform:hi=1.5", "exp:mean=0.25"}) {
+      const CrashTimeLaw law = CrashTimeLaw::parse(spec);
+      EXPECT_EQ(law.to_string(), spec);
+      EXPECT_EQ(CrashTimeLaw::parse(law.to_string()).to_string(), spec);
+    }
+    for (const char* spec : {"bernoulli:p=0.1", "bernoulli:p=0.25,domain=4"}) {
+      const FailureModel model = FailureModel::parse(spec);
+      EXPECT_EQ(model.to_string(), spec);
+    }
+    // The shard protocol's hex-float pair is the other fingerprint
+    // ingredient; it must stay exact too.
+    for (double x : {0.2, -1.5, 1e-300, 3.14159}) {
+      EXPECT_EQ(hex_to_double(double_to_hex(x)), x);
+    }
+  });
+  if (!ran) GTEST_SKIP() << "de_DE locale not installed on this host";
 }
 
 TEST(CrashTimeLaw, SamplingContracts) {

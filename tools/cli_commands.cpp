@@ -112,6 +112,10 @@ constexpr const char* kAlgoHelp =
     "registry spec, e.g. ftsa or mc-ftsa:selector=matching (see list-algos)";
 
 /// Parses "0@0,3@12.5" into a failure scenario (proc@time pairs).
+///
+/// Strict: stoul-style parsing would read "3x@1" as processor 3 with the
+/// "x" silently dropped, and wrap "-1" to a huge id before the narrowing
+/// cast; parse_u64/parse_double reject trailing junk and signs loudly.
 FailureScenario parse_crashes(const std::string& spec) {
   FailureScenario scenario;
   if (spec.empty()) return scenario;
@@ -124,10 +128,14 @@ FailureScenario parse_crashes(const std::string& spec) {
     const std::string time_part =
         at == std::string::npos ? "0" : item.substr(at + 1);
     try {
-      scenario.add(ProcId{static_cast<std::uint32_t>(std::stoul(proc_part))},
-                   std::stod(time_part));
-    } catch (const std::logic_error&) {
-      throw InvalidArgument("malformed crash spec item: " + item);
+      const std::uint64_t proc = spec_detail::parse_u64("proc", proc_part);
+      FTSCHED_REQUIRE(proc < ProcId::kInvalid,
+                      "processor id out of range: " + proc_part);
+      const double time = spec_detail::parse_double("time", time_part);
+      scenario.add(ProcId{static_cast<std::size_t>(proc)}, time);
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument("malformed crash spec item '" + item +
+                            "' (expected proc@time): " + e.what());
     }
   }
   return scenario;
@@ -237,6 +245,10 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   cli.add_option("granularity", "1.0", "target granularity g(G,P)");
   cli.add_option("seed", "1", "platform/cost/tie-break seed");
   cli.add_option("crashes", "", "crash spec, e.g. \"0@0,3@12.5\"");
+  cli.add_option("failures", "",
+                 "draw the crash scenario from a FailureModel spec instead "
+                 "of --crashes, e.g. bernoulli:p=0.2 (victims crash at t=0; "
+                 "see list-failure-laws)");
   cli.add_option("comm", "free", "free|oneport|multiport communication model");
   cli.add_option("ports", "2", "ports for the multiport model");
   cli.add_flag("gantt", "print the execution Gantt chart");
@@ -250,7 +262,24 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   const ReplicatedSchedule s =
       run_algorithm(cli.get("algo"), workload->costs(), epsilon,
                     static_cast<std::uint64_t>(cli.get_int("seed")));
-  const FailureScenario scenario = parse_crashes(cli.get("crashes"));
+  FailureScenario scenario;
+  if (!cli.get("failures").empty()) {
+    FTSCHED_REQUIRE(cli.get("crashes").empty(),
+                    "--crashes and --failures are mutually exclusive");
+    const FailureModel model = FailureModel::parse(cli.get("failures"));
+    // A derived stream so the draw is independent of the generator draws
+    // the workload consumed from the same seed.
+    Rng rng = Rng(static_cast<std::uint64_t>(cli.get_int("seed"))).derive(1);
+    const std::vector<std::size_t> victims =
+        model.draw(rng, workload->platform().proc_count(), epsilon);
+    for (std::size_t v : victims) scenario.add(ProcId{v}, 0.0);
+    out << "failure model:        " << model.describe() << '\n';
+    out << "drawn crashes:        " << victims.size() << " of "
+        << workload->platform().proc_count() << " processors (epsilon "
+        << epsilon << ")\n";
+  } else {
+    scenario = parse_crashes(cli.get("crashes"));
+  }
   SimulationOptions options;
   const std::string comm = cli.get("comm");
   if (comm == "oneport") {
@@ -323,6 +352,42 @@ int cmd_list_workloads(const std::vector<std::string>& args,
   return 0;
 }
 
+int cmd_list_failure_laws(const std::vector<std::string>& args,
+                          std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli list-failure-laws: failure-model laws (--failures) and "
+      "crash-time laws (--scenario) of the sweep engine");
+  std::vector<const char*> argv{"list-failure-laws"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  out << "failure models (sweep/simulate --failures): count law x victim "
+         "law\n";
+  for (const std::string& name : FailureModel::known()) {
+    // Describe each law at its defaults.
+    out << "  " << name << "\n      "
+        << FailureModel::parse(name).describe() << '\n';
+  }
+  out << "  options: fixed takes k=<count>, bernoulli takes "
+         "p=<probability>,\n"
+         "  domain takes size=<rack width>; fixed/bernoulli accept "
+         "domain=<rack\n"
+         "  width> to draw correlated whole-domain victims, e.g. "
+         "\"bernoulli:p=0.1,domain=4\"\n"
+         "  counts above epsilon are simulated without the Theorem-4.1 "
+         "guarantee;\n"
+         "  sweeps then report per-cell success fractions (<algo>-Success "
+         "series)\n\n";
+  out << "crash-time laws (sweep --scenario): when the victims crash\n";
+  for (const std::string& name : CrashTimeLaw::known()) {
+    out << "  " << name << "\n      "
+        << CrashTimeLaw::parse(name).describe() << '\n';
+  }
+  out << "  options: frac:f=F | uniform:hi=H | exp:mean=M, unit times "
+         "anchored to M*\n";
+  return 0;
+}
+
 /// Declares the sweep-grid options shared by the plan and sweep commands.
 void add_sweep_grid_options(CliParser& cli) {
   cli.add_option("figure", "1", "base config: paper figure 1..4");
@@ -331,6 +396,9 @@ void add_sweep_grid_options(CliParser& cli) {
                  "§6 generator)");
   cli.add_option("scenario", "",
                  "';'-separated crash-law specs (empty = t0)");
+  cli.add_option("failures", "",
+                 "';'-separated failure-model specs (empty = eps; see "
+                 "list-failure-laws)");
   cli.add_option("granularities", "",
                  "';'-separated granularity values (empty = the 0.2..2.0 "
                  "paper grid)");
@@ -363,6 +431,7 @@ FigureConfig sweep_config_from_cli(const CliParser& cli) {
                 [&](std::size_t k) { return k > config.epsilon; });
   config.workloads = split_list(cli.get("workload"));
   config.scenarios = split_list(cli.get("scenario"));
+  config.failure_models = split_list(cli.get("failures"));
   const std::vector<std::string> grans = split_list(cli.get("granularities"));
   if (!grans.empty()) {
     config.granularities.clear();
@@ -401,7 +470,8 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       << ", m=" << config.proc_count << ", graphs/point="
       << config.graphs_per_point << ", seed=" << config.seed << ") ===\n";
   out << "cells:        " << plan.workloads().size() << " workload(s) x "
-      << plan.scenarios().size() << " scenario(s)\n";
+      << plan.scenarios().size() << " scenario(s) x "
+      << plan.failures().size() << " failure model(s)\n";
   out << "grid:         " << plan.grid_size() << " instances ("
       << plan.granularities().size() << " granularities x "
       << plan.repetitions() << " reps per cell)\n";
@@ -412,11 +482,12 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
   const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
   const std::size_t rows =
       limit == 0 ? plan.size() : std::min(plan.size(), limit);
-  TextTable table({"id", "workload", "scenario", "granularity", "rep"});
+  TextTable table({"id", "workload", "scenario", "failure", "granularity",
+                   "rep"});
   for (std::size_t k = 0; k < rows; ++k) {
     const InstanceCoord c = plan.coord(k);
     table.add_row({std::to_string(c.id), plan.workloads()[c.workload],
-                   plan.scenarios()[c.scenario],
+                   plan.scenarios()[c.scenario], plan.failures()[c.failure],
                    format_double(plan.granularities()[c.gran], 2),
                    std::to_string(c.rep)});
   }
@@ -468,7 +539,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
       << ", graphs/point=" << config.graphs_per_point << ", seed="
       << config.seed << ", cells=" << sweep.workloads.size() << "x"
-      << sweep.scenarios.size() << ") ===\n";
+      << sweep.scenarios.size() << "x" << sweep.failures.size()
+      << ") ===\n";
   write_or_print(cli.get("out"), sweep_to_csv(sweep), out);
   return 0;
 }
@@ -543,12 +615,13 @@ std::string usage() {
       "  generate        emit a task graph (layered, gnp, fft, cholesky, ...)\n"
       "  info            structural statistics of a graph file\n"
       "  list-algos      registered scheduling algorithms and their options\n"
+      "  list-failure-laws  failure-model and crash-time laws for sweeps\n"
       "  list-workloads  registered workload families and their options\n"
       "  plan            enumerate the sweep grid / a shard's slice of it\n"
       "  schedule        schedule a graph or workload (--algo, --workload)\n"
       "  simulate        execute a schedule under a crash scenario\n"
-      "  sweep           (workload x scenario x granularity) sweep to CSV;\n"
-      "                  --shard i/N emits a JSONL shard instead\n"
+      "  sweep           (workload x scenario x failure model x granularity)\n"
+      "                  sweep to CSV; --shard i/N emits a JSONL shard\n"
       "  merge           combine sweep shards into the unsharded CSV\n"
       "  validate        exhaustive Theorem-4.1 validation + kill-set "
       "analysis\n";
@@ -566,6 +639,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "generate") return cmd_generate(rest, out);
     if (command == "info") return cmd_info(rest, out);
     if (command == "list-algos") return cmd_list_algos(rest, out);
+    if (command == "list-failure-laws") {
+      return cmd_list_failure_laws(rest, out);
+    }
     if (command == "list-workloads") return cmd_list_workloads(rest, out);
     if (command == "merge") return cmd_merge(rest, out);
     if (command == "plan") return cmd_plan(rest, out);
