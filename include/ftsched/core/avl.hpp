@@ -5,12 +5,21 @@
 // erase and head extraction.  This is that structure: a self-balancing BST
 // storing keys in ascending order; the scheduler's head H(α) is max().
 //
+// Nodes live in a contiguous arena (index-linked, with a free list) instead
+// of one heap allocation per node, and insert/erase retrace the search path
+// iteratively through an explicit stack — so the scheduling loop's
+// insert/extract_max churn is allocation-free in steady state (freed slots
+// are recycled) and never risks deep recursion.  The multiset semantics are
+// unchanged from the pointer-based tree: equal keys go right on insert, and
+// erase_one removes some occurrence of an equal key.
+//
 // Header-only template so tests can instantiate it with simple key types.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "ftsched/util/error.hpp"
@@ -23,29 +32,60 @@ class AvlTree {
   AvlTree() = default;
   explicit AvlTree(Compare cmp) : cmp_(std::move(cmp)) {}
 
-  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] bool empty() const noexcept { return root_ == kNil; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   void insert(const Key& key) {
-    root_ = insert_node(std::move(root_), key);
+    const std::uint32_t node = allocate(key);
     ++size_;
+    if (root_ == kNil) {
+      root_ = node;
+      return;
+    }
+    path_.clear();
+    std::uint32_t cur = root_;
+    for (;;) {
+      // Equal keys go right: the multiset keeps duplicates.
+      const bool left = cmp_(key, pool_[cur].key);
+      path_.push_back(PathEntry{cur, left});
+      const std::uint32_t next = left ? pool_[cur].left : pool_[cur].right;
+      if (next == kNil) {
+        (left ? pool_[cur].left : pool_[cur].right) = node;
+        break;
+      }
+      cur = next;
+    }
+    retrace();
   }
 
   /// Removes one occurrence of `key`; returns false if absent.
   bool erase_one(const Key& key) {
-    bool erased = false;
-    root_ = erase_node(std::move(root_), key, erased);
-    if (erased) --size_;
-    return erased;
+    path_.clear();
+    std::uint32_t cur = root_;
+    while (cur != kNil) {
+      if (cmp_(key, pool_[cur].key)) {
+        path_.push_back(PathEntry{cur, true});
+        cur = pool_[cur].left;
+      } else if (cmp_(pool_[cur].key, key)) {
+        path_.push_back(PathEntry{cur, false});
+        cur = pool_[cur].right;
+      } else {
+        break;
+      }
+    }
+    if (cur == kNil) return false;
+    remove_node(cur);
+    --size_;
+    return true;
   }
 
   [[nodiscard]] bool contains(const Key& key) const {
-    const Node* n = root_.get();
-    while (n != nullptr) {
-      if (cmp_(key, n->key)) {
-        n = n->left.get();
-      } else if (cmp_(n->key, key)) {
-        n = n->right.get();
+    std::uint32_t n = root_;
+    while (n != kNil) {
+      if (cmp_(key, pool_[n].key)) {
+        n = pool_[n].left;
+      } else if (cmp_(pool_[n].key, key)) {
+        n = pool_[n].right;
       } else {
         return true;
       }
@@ -55,18 +95,18 @@ class AvlTree {
 
   /// Largest key. Precondition: !empty().
   [[nodiscard]] const Key& max() const {
-    FTSCHED_REQUIRE(root_ != nullptr, "max() on empty AVL tree");
-    const Node* n = root_.get();
-    while (n->right) n = n->right.get();
-    return n->key;
+    FTSCHED_REQUIRE(root_ != kNil, "max() on empty AVL tree");
+    std::uint32_t n = root_;
+    while (pool_[n].right != kNil) n = pool_[n].right;
+    return pool_[n].key;
   }
 
   /// Smallest key. Precondition: !empty().
   [[nodiscard]] const Key& min() const {
-    FTSCHED_REQUIRE(root_ != nullptr, "min() on empty AVL tree");
-    const Node* n = root_.get();
-    while (n->left) n = n->left.get();
-    return n->key;
+    FTSCHED_REQUIRE(root_ != kNil, "min() on empty AVL tree");
+    std::uint32_t n = root_;
+    while (pool_[n].left != kNil) n = pool_[n].left;
+    return pool_[n].key;
   }
 
   /// Removes and returns the largest key. Precondition: !empty().
@@ -76,154 +116,221 @@ class AvlTree {
     return k;
   }
 
+  /// Drops every key.  The arena (and its capacity) is retained, so a
+  /// cleared tree refills without allocating.
   void clear() noexcept {
-    // Iterative teardown: the default recursive unique_ptr destruction can
-    // overflow the stack on long chains.
-    std::vector<NodePtr> pending;
-    if (root_) pending.push_back(std::move(root_));
-    while (!pending.empty()) {
-      NodePtr n = std::move(pending.back());
-      pending.pop_back();
-      if (n->left) pending.push_back(std::move(n->left));
-      if (n->right) pending.push_back(std::move(n->right));
-    }
+    pool_.clear();
+    free_.clear();
+    root_ = kNil;
     size_ = 0;
   }
 
-  ~AvlTree() { clear(); }
+  ~AvlTree() = default;
   AvlTree(const AvlTree&) = delete;
   AvlTree& operator=(const AvlTree&) = delete;
-  AvlTree(AvlTree&&) noexcept = default;
-  AvlTree& operator=(AvlTree&&) noexcept = default;
+  // Hand-written moves: vector moves empty the arena, so the scalar
+  // root_/size_ must be reset too or the moved-from tree would index an
+  // empty pool (the pointer-based tree's moved-from state was a safe
+  // empty root; keep that contract).
+  AvlTree(AvlTree&& other) noexcept
+      : pool_(std::move(other.pool_)),
+        free_(std::move(other.free_)),
+        path_(std::move(other.path_)),
+        root_(other.root_),
+        size_(other.size_),
+        cmp_(std::move(other.cmp_)) {
+    other.root_ = kNil;
+    other.size_ = 0;
+  }
+  AvlTree& operator=(AvlTree&& other) noexcept {
+    if (this != &other) {
+      pool_ = std::move(other.pool_);
+      free_ = std::move(other.free_);
+      path_ = std::move(other.path_);
+      root_ = other.root_;
+      size_ = other.size_;
+      cmp_ = std::move(other.cmp_);
+      other.root_ = kNil;
+      other.size_ = 0;
+    }
+    return *this;
+  }
 
   /// Keys in ascending order (testing / debugging).
   [[nodiscard]] std::vector<Key> to_sorted_vector() const {
     std::vector<Key> out;
     out.reserve(size_);
-    in_order(root_.get(), out);
+    // Explicit-stack in-order traversal over node indices.
+    std::vector<std::uint32_t> stack;
+    std::uint32_t n = root_;
+    while (n != kNil || !stack.empty()) {
+      while (n != kNil) {
+        stack.push_back(n);
+        n = pool_[n].left;
+      }
+      n = stack.back();
+      stack.pop_back();
+      out.push_back(pool_[n].key);
+      n = pool_[n].right;
+    }
     return out;
   }
 
+  /// Arena slots currently allocated (live nodes + free-listed ones);
+  /// exposed so tests can assert steady-state slot recycling.
+  [[nodiscard]] std::size_t arena_size() const noexcept { return pool_.size(); }
+
   /// Validates BST ordering and the AVL balance invariant; throws on
   /// violation. Exposed for the test suite.
-  void validate() const { (void)validate_node(root_.get()); }
+  void validate() const { (void)validate_node(root_); }
 
  private:
-  struct Node;
-  using NodePtr = std::unique_ptr<Node>;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
 
   struct Node {
-    explicit Node(const Key& k) : key(k) {}
     Key key;
-    NodePtr left;
-    NodePtr right;
-    int height = 1;
+    std::uint32_t left = kNil;
+    std::uint32_t right = kNil;
+    std::int32_t height = 1;
   };
 
-  static int height(const Node* n) noexcept { return n ? n->height : 0; }
-  static int balance_factor(const Node* n) noexcept {
-    return n ? height(n->left.get()) - height(n->right.get()) : 0;
-  }
-  static void update_height(Node* n) noexcept {
-    const int hl = height(n->left.get());
-    const int hr = height(n->right.get());
-    n->height = 1 + (hl > hr ? hl : hr);
+  /// One step of a root-to-node search path: the node and the direction
+  /// taken out of it (true = left).  AVL height is < 1.45·log2(n), so the
+  /// reused path stack stays tiny.
+  struct PathEntry {
+    std::uint32_t node;
+    bool left;
+  };
+
+  [[nodiscard]] std::uint32_t allocate(const Key& key) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      pool_[slot].key = key;
+      pool_[slot].left = kNil;
+      pool_[slot].right = kNil;
+      pool_[slot].height = 1;
+      return slot;
+    }
+    FTSCHED_REQUIRE(pool_.size() < kNil, "AVL arena exhausted");
+    pool_.push_back(Node{key, kNil, kNil, 1});
+    return static_cast<std::uint32_t>(pool_.size() - 1);
   }
 
-  static NodePtr rotate_right(NodePtr y) noexcept {
-    NodePtr x = std::move(y->left);
-    y->left = std::move(x->right);
-    update_height(y.get());
-    x->right = std::move(y);
-    update_height(x.get());
+  [[nodiscard]] std::int32_t height(std::uint32_t n) const noexcept {
+    return n == kNil ? 0 : pool_[n].height;
+  }
+  [[nodiscard]] std::int32_t balance_factor(std::uint32_t n) const noexcept {
+    return n == kNil ? 0 : height(pool_[n].left) - height(pool_[n].right);
+  }
+  void update_height(std::uint32_t n) noexcept {
+    const std::int32_t hl = height(pool_[n].left);
+    const std::int32_t hr = height(pool_[n].right);
+    pool_[n].height = 1 + (hl > hr ? hl : hr);
+  }
+
+  [[nodiscard]] std::uint32_t rotate_right(std::uint32_t y) noexcept {
+    const std::uint32_t x = pool_[y].left;
+    pool_[y].left = pool_[x].right;
+    update_height(y);
+    pool_[x].right = y;
+    update_height(x);
     return x;
   }
 
-  static NodePtr rotate_left(NodePtr x) noexcept {
-    NodePtr y = std::move(x->right);
-    x->right = std::move(y->left);
-    update_height(x.get());
-    y->left = std::move(x);
-    update_height(y.get());
+  [[nodiscard]] std::uint32_t rotate_left(std::uint32_t x) noexcept {
+    const std::uint32_t y = pool_[x].right;
+    pool_[x].right = pool_[y].left;
+    update_height(x);
+    pool_[y].left = x;
+    update_height(y);
     return y;
   }
 
-  static NodePtr rebalance(NodePtr n) noexcept {
-    update_height(n.get());
-    const int bf = balance_factor(n.get());
+  [[nodiscard]] std::uint32_t rebalance(std::uint32_t n) noexcept {
+    update_height(n);
+    const std::int32_t bf = balance_factor(n);
     if (bf > 1) {
-      if (balance_factor(n->left.get()) < 0) {
-        n->left = rotate_left(std::move(n->left));
+      if (balance_factor(pool_[n].left) < 0) {
+        pool_[n].left = rotate_left(pool_[n].left);
       }
-      return rotate_right(std::move(n));
+      return rotate_right(n);
     }
     if (bf < -1) {
-      if (balance_factor(n->right.get()) > 0) {
-        n->right = rotate_right(std::move(n->right));
+      if (balance_factor(pool_[n].right) > 0) {
+        pool_[n].right = rotate_right(pool_[n].right);
       }
-      return rotate_left(std::move(n));
+      return rotate_left(n);
     }
     return n;
   }
 
-  NodePtr insert_node(NodePtr n, const Key& key) {
-    if (!n) return std::make_unique<Node>(key);
-    if (cmp_(key, n->key)) {
-      n->left = insert_node(std::move(n->left), key);
-    } else {
-      // Equal keys go right: the multiset keeps duplicates.
-      n->right = insert_node(std::move(n->right), key);
+  /// Walks path_ back to the root, rebalancing every node on it and
+  /// rewiring the parent (or root) link — the iterative equivalent of the
+  /// classic recursive return-path rebalance.
+  void retrace() noexcept {
+    for (std::size_t i = path_.size(); i-- > 0;) {
+      const std::uint32_t updated = rebalance(path_[i].node);
+      if (i == 0) {
+        root_ = updated;
+      } else {
+        Node& parent = pool_[path_[i - 1].node];
+        (path_[i - 1].left ? parent.left : parent.right) = updated;
+      }
     }
-    return rebalance(std::move(n));
   }
 
-  NodePtr erase_node(NodePtr n, const Key& key, bool& erased) {
-    if (!n) return nullptr;
-    if (cmp_(key, n->key)) {
-      n->left = erase_node(std::move(n->left), key, erased);
-    } else if (cmp_(n->key, key)) {
-      n->right = erase_node(std::move(n->right), key, erased);
-    } else {
-      erased = true;
-      if (!n->left) return std::move(n->right);
-      if (!n->right) return std::move(n->left);
-      // Two children: replace with the in-order successor's key.
-      Node* succ = n->right.get();
-      while (succ->left) succ = succ->left.get();
-      n->key = succ->key;
-      bool dummy = false;
-      n->right = erase_node(std::move(n->right), n->key, dummy);
+  /// Unlinks `cur` (whose ancestor path is in path_) and retraces.
+  void remove_node(std::uint32_t cur) {
+    if (pool_[cur].left != kNil && pool_[cur].right != kNil) {
+      // Two children: take the in-order successor's key, then unlink the
+      // successor (which has no left child) instead.
+      path_.push_back(PathEntry{cur, false});
+      std::uint32_t succ = pool_[cur].right;
+      while (pool_[succ].left != kNil) {
+        path_.push_back(PathEntry{succ, true});
+        succ = pool_[succ].left;
+      }
+      pool_[cur].key = pool_[succ].key;
+      cur = succ;
     }
-    return rebalance(std::move(n));
+    const std::uint32_t child =
+        pool_[cur].left != kNil ? pool_[cur].left : pool_[cur].right;
+    if (path_.empty()) {
+      root_ = child;
+    } else {
+      Node& parent = pool_[path_.back().node];
+      (path_.back().left ? parent.left : parent.right) = child;
+    }
+    free_.push_back(cur);
+    retrace();
   }
 
-  void in_order(const Node* n, std::vector<Key>& out) const {
-    if (!n) return;
-    in_order(n->left.get(), out);
-    out.push_back(n->key);
-    in_order(n->right.get(), out);
-  }
-
-  // Returns subtree height; throws if invariants are broken.
-  int validate_node(const Node* n) const {
-    if (!n) return 0;
-    const int hl = validate_node(n->left.get());
-    const int hr = validate_node(n->right.get());
-    FTSCHED_REQUIRE(n->height == 1 + (hl > hr ? hl : hr),
+  // Returns subtree height; throws if invariants are broken.  (Recursion
+  // depth is the tree height, which the AVL invariant keeps logarithmic.)
+  std::int32_t validate_node(std::uint32_t n) const {
+    if (n == kNil) return 0;
+    const std::int32_t hl = validate_node(pool_[n].left);
+    const std::int32_t hr = validate_node(pool_[n].right);
+    FTSCHED_REQUIRE(pool_[n].height == 1 + (hl > hr ? hl : hr),
                     "AVL node height is stale");
     FTSCHED_REQUIRE(hl - hr >= -1 && hl - hr <= 1,
                     "AVL balance factor out of range");
-    if (n->left) {
-      FTSCHED_REQUIRE(!cmp_(n->key, n->left->key), "BST order violated (left)");
+    if (pool_[n].left != kNil) {
+      FTSCHED_REQUIRE(!cmp_(pool_[n].key, pool_[pool_[n].left].key),
+                      "BST order violated (left)");
     }
-    if (n->right) {
-      FTSCHED_REQUIRE(!cmp_(n->right->key, n->key),
+    if (pool_[n].right != kNil) {
+      FTSCHED_REQUIRE(!cmp_(pool_[pool_[n].right].key, pool_[n].key),
                       "BST order violated (right)");
     }
-    return n->height;
+    return pool_[n].height;
   }
 
-  NodePtr root_;
+  std::vector<Node> pool_;          ///< arena: nodes linked by index
+  std::vector<std::uint32_t> free_; ///< recycled arena slots
+  std::vector<PathEntry> path_;     ///< reused retrace stack
+  std::uint32_t root_ = kNil;
   std::size_t size_ = 0;
   Compare cmp_;
 };

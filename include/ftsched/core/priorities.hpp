@@ -15,6 +15,11 @@ namespace ftsched {
 
 /// bℓ(t) for every task: bℓ(t) = E̅(t) if Γ⁺(t) = ∅, otherwise
 /// max over successors t* of { E̅(t) + W̅(t,t*) + bℓ(t*) }.
+///
+/// Memoised per thread on CostModel::revision(): repeated calls for the
+/// same (unmutated) cost model — e.g. the five scheduler passes of one
+/// instance evaluation — skip the graph traversal and return a copy of the
+/// cached vector.
 [[nodiscard]] std::vector<double> bottom_levels(const CostModel& costs);
 
 /// Static top level: tℓ̄(t) = 0 for entry tasks, otherwise

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,57 @@ struct InstanceOptions {
 /// is empty (exposed so callers can extend rather than replace it).
 [[nodiscard]] std::vector<InstanceAlgo> default_instance_algos(
     const InstanceOptions& options);
+
+/// The schedule phase of one instance: the fault-free references, every
+/// algorithm's schedule and all schedule-derived series, bundled for reuse.
+///
+/// A ReplicatedSchedule depends only on (costs, epsilon, seed) — never on
+/// the crash-time law or failure model — so one InstanceSchedules can be
+/// simulated under many (scenario, failure) cells.  This is the
+/// schedule-once/simulate-many seam the grouped sweep engine
+/// (experiments/sweep_plan.hpp) exploits: scheduling dominates the
+/// per-instance cost (FTBAR is cubic), so reusing it across S×F cells
+/// removes the hot path's redundant work.  `workload` must outlive the
+/// bundle (the schedules point into its cost model).
+struct InstanceSchedules {
+  struct Algo {
+    InstanceAlgo algo;
+    std::unique_ptr<ReplicatedSchedule> schedule;
+    /// Build-once/simulate-many engine over *schedule: its static structure
+    /// is reused by every crash simulation of every cell.  Reset per run —
+    /// one InstanceSchedules must not be simulated from two threads
+    /// concurrently.
+    std::unique_ptr<ScheduleSimulator> simulator;
+    /// algo.crash_counts, deduplicated and sorted.
+    std::vector<std::size_t> crash_counts;
+  };
+
+  const Workload* workload = nullptr;
+  std::size_t epsilon = 1;
+  double ftsa_star = 0.0;  ///< FTSA* reference anchoring overhead series
+  /// Schedule-derived series, identical for every cell: FaultFree-*,
+  /// <A>-LowerBound/-UpperBound, OH-<A>-LowerBound, Msg-<A>, repair rate.
+  SeriesSample schedule_series;
+  std::vector<Algo> algos;
+};
+
+/// Runs the schedule phase: fault-free references plus one schedule per
+/// algorithm (options.crash_law / options.failure_model are not consulted —
+/// the result is shared by every cell).  Draws nothing from any RNG: all
+/// scheduler randomness is keyed off options.seed.
+[[nodiscard]] InstanceSchedules build_instance_schedules(
+    const Workload& workload, const InstanceOptions& options);
+
+/// Runs the simulate phase of one (scenario, failure) cell on prebuilt
+/// schedules: draws the victim set and crash instants from `rng` and emits
+/// the cell-dependent series (crash latencies, overheads, graceful
+/// degradation) merged with the shared schedule-derived series.
+/// evaluate_instance(w, rng, o) ==
+/// simulate_instance_cell(build_instance_schedules(w, o), rng, o.crash_law,
+/// o.failure_model), double for double.
+[[nodiscard]] SeriesSample simulate_instance_cell(
+    const InstanceSchedules& schedules, Rng& rng, const CrashTimeLaw& crash_law,
+    const FailureModel& failure_model);
 
 /// Evaluates one instance.  Crash victims are drawn from `rng` once and
 /// shared across algorithms (and truncated for smaller crash counts), so

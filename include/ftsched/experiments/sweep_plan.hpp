@@ -138,8 +138,29 @@ class SweepPlan {
   [[nodiscard]] std::string fingerprint() const;
 
   /// Evaluates one instance on its own derived RNG stream; the result
-  /// depends only on (config, coord), never on what else ran.
+  /// depends only on (config, coord), never on what else ran.  This is the
+  /// legacy per-coordinate path — it reruns every scheduler pass per cell —
+  /// kept as the equivalence reference for the grouped path below.
   [[nodiscard]] SeriesSample evaluate(const InstanceCoord& coord) const;
+
+  /// Selected-instance indices (arguments for coord()) grouped by base key
+  /// (workload, granularity, repetition): every index of one group shares
+  /// the derived RNG stream, hence the workload instance and all schedules
+  /// — the groups differ only in their (scenario, failure) cell.  Groups
+  /// are ordered by their first selected index and members ascend, so a
+  /// shard's partial groups are exactly the selected subset of the full
+  /// plan's groups.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> group_selection() const;
+
+  /// Schedule-once/simulate-many evaluation of one group_selection() group:
+  /// generates the workload and runs the schedule phase once, then
+  /// simulates each member's (scenario, failure) cell off a snapshot of the
+  /// shared RNG stream.  Returns one sample per member, in order —
+  /// bit-identical to evaluate(coord(k)) for each member, because the
+  /// schedule phase draws nothing from the instance stream.  Throws if the
+  /// indices do not all share one base key.
+  [[nodiscard]] std::vector<SeriesSample> evaluate_group(
+      const std::vector<std::size_t>& members) const;
 
  private:
   struct Cell {
@@ -147,6 +168,11 @@ class SweepPlan {
     CrashTimeLaw law;
     FailureModel model;
   };
+
+  /// The (workload, granularity, repetition) key shared by all cells of one
+  /// instance: both the Rng::derive key and the schedule-reuse group key.
+  [[nodiscard]] std::uint64_t base_key(const InstanceCoord& coord) const noexcept;
+  [[nodiscard]] const Cell& cell(const InstanceCoord& coord) const;
 
   FigureConfig config_;
   /// workload-major: (workload * S + scenario) * F + failure
@@ -159,10 +185,33 @@ class SweepPlan {
   std::string shard_label_ = "full";
 };
 
+/// Execution options of run_plan (the grid identity — fingerprint, ids,
+/// sample values — never depends on them).
+struct RunPlanOptions {
+  /// Schedule-once/simulate-many: group the selected coordinates by their
+  /// (workload, granularity, repetition) base key and run the schedule
+  /// phase once per group, simulating every selected (scenario, failure)
+  /// cell off the shared schedules.  false = the legacy per-coordinate
+  /// path; both deliver bit-identical samples in the same order, the
+  /// grouped path just skips the redundant scheduler passes.
+  bool group = true;
+  /// Bounded reordering window, in jobs: a worker may start job j only
+  /// once fewer than `window` earlier jobs are still incomplete, and every
+  /// completed order-prefix is delivered to the sink while workers run —
+  /// so a large shard no longer materialises all its samples before the
+  /// first delivery.  0 = auto (max(16, 4 × worker count)); any value >= 1
+  /// is deadlock-free (the job at the window's base always proceeds).
+  std::size_t window = 0;
+};
+
 /// Evaluates the plan's selected instances on `plan.config().threads`
 /// workers (0 = hardware_concurrency) and streams the samples into `sink`
-/// serially in increasing-id order.  Bit-identical for every thread count.
-void run_plan(const SweepPlan& plan, SweepSink& sink);
+/// serially in increasing-id order.  Bit-identical for every thread count,
+/// shard partition and RunPlanOptions choice; samples are delivered as
+/// their order-prefix completes (so a sink may have consumed a prefix if
+/// run_plan later throws).
+void run_plan(const SweepPlan& plan, SweepSink& sink,
+              const RunPlanOptions& options = {});
 
 /// In-memory aggregation sink: accumulates every sample into per-series
 /// OnlineStats, reproducing the monolithic run_sweep's SweepResult —
@@ -181,6 +230,12 @@ class OnlineStatsSink final : public SweepSink {
  private:
   const SweepPlan* plan_;
   SweepResult result_;
+  /// Per-cell memo of undecorated series name → aggregated column, filled
+  /// on first sight: steady-state aggregation builds no decorated-label
+  /// strings and does no lookup in the decorated series map.  std::map
+  /// nodes are stable, so the cached pointers stay valid until take()
+  /// moves the result out (which drops the cache).
+  std::vector<std::map<std::string, std::vector<OnlineStats>*>> label_cache_;
 };
 
 }  // namespace ftsched

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ftsched/dag/graph.hpp"
@@ -80,6 +81,12 @@ class CostModel {
   /// generators to hit a target granularity exactly).
   void scale_exec(double factor);
 
+  /// Process-wide-unique identity of this cost model's *values*:
+  /// reassigned on construction and on every scale_exec.  Derived-quantity
+  /// memos (the bottom-level cache in core/priorities) key on it, so stale
+  /// reuse across mutation — or across address reuse — is impossible.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
  private:
   const TaskGraph* graph_;
   const Platform* platform_;
@@ -89,6 +96,7 @@ class CostModel {
   std::vector<double> max_exec_;
   std::vector<double> min_exec_;
   double mean_avg_exec_ = 0.0;
+  std::uint64_t revision_ = 0;
 
   void recompute_aggregates();
 };

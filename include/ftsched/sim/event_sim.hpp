@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "ftsched/core/schedule.hpp"
@@ -59,9 +60,52 @@ struct SimulationOptions {
   CommModelOptions comm;
 };
 
+/// Build-once/simulate-many event simulator for one schedule.
+///
+/// Construction precomputes everything that depends only on the schedule —
+/// flat replica arrays, channel fan-out lists, the sorted per-processor
+/// execution queues — and each run(failures) resets just the dynamic state,
+/// so simulating the same schedule under many failure scenarios (crash
+/// counts, sweep cells) skips the per-call rebuild the one-shot simulate()
+/// pays.  run() is bit-identical to simulate() with the same arguments.
+///
+/// The schedule must outlive the simulator.  run() mutates internal state:
+/// one simulator must not be run from two threads concurrently (use one
+/// per thread, or one per schedule per worker — they are cheap after the
+/// first run).
+class ScheduleSimulator {
+ public:
+  explicit ScheduleSimulator(const ReplicatedSchedule& schedule,
+                             const SimulationOptions& options = {});
+  ~ScheduleSimulator();
+  ScheduleSimulator(ScheduleSimulator&&) noexcept;
+  ScheduleSimulator& operator=(ScheduleSimulator&&) noexcept;
+  ScheduleSimulator(const ScheduleSimulator&) = delete;
+  ScheduleSimulator& operator=(const ScheduleSimulator&) = delete;
+
+  /// Executes the schedule under `failures` and returns the outcome.
+  [[nodiscard]] SimulationResult run(const FailureScenario& failures = {});
+
+  /// Success + achieved latency of one run, computed exactly like run()'s
+  /// (same event loop, same doubles) but without materialising the
+  /// per-replica outcome lists — the right call for tight simulate-many
+  /// loops that only chart latencies.
+  struct Summary {
+    bool success = false;
+    double latency = std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] Summary run_summary(const FailureScenario& failures = {});
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Executes `schedule` under `failures` and returns the outcome.
 /// The schedule is not modified; any number of crashes is allowed (with
-/// more than ε the run may legitimately fail).
+/// more than ε the run may legitimately fail).  One-shot convenience over
+/// ScheduleSimulator: callers simulating one schedule repeatedly should
+/// construct the simulator once instead.
 [[nodiscard]] SimulationResult simulate(const ReplicatedSchedule& schedule,
                                         const FailureScenario& failures = {},
                                         const SimulationOptions& options = {});

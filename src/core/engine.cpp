@@ -58,6 +58,11 @@ class KillSet {
   void add(ProcId p) noexcept {
     words_[p.index() / 64] |= std::uint64_t{1} << (p.index() % 64);
   }
+  /// Re-zeroes for `proc_count` processors, keeping the allocation (scratch
+  /// reuse across tasks).
+  void reset(std::size_t proc_count) {
+    words_.assign((proc_count + 63) / 64, 0);
+  }
   void merge(const KillSet& other) noexcept {
     for (std::size_t i = 0; i < words_.size(); ++i) {
       words_[i] |= other.words_[i];
@@ -241,37 +246,38 @@ class Engine {
 
   /// The ε+1 processors with the smallest F(t, Pj) (ties: processor
   /// index), or a uniformly random distinct set under random_placement.
-  std::vector<ProcId> choose_processors(const std::vector<double>& finish) {
+  /// Fills and returns the reused chosen_scratch_ member (valid until the
+  /// next call).
+  const std::vector<ProcId>& choose_processors(
+      const std::vector<double>& finish) {
+    chosen_scratch_.clear();
     if (options_.random_placement) {
-      std::vector<ProcId> chosen;
-      chosen.reserve(replica_count_);
       for (std::size_t j : rng_.sample_without_replacement(m_, replica_count_)) {
-        chosen.emplace_back(j);
+        chosen_scratch_.emplace_back(j);
       }
-      return chosen;
+      return chosen_scratch_;
     }
-    std::vector<std::size_t> idx(m_);
-    std::iota(idx.begin(), idx.end(), std::size_t{0});
-    std::stable_sort(idx.begin(), idx.end(),
+    order_scratch_.resize(m_);
+    std::iota(order_scratch_.begin(), order_scratch_.end(), std::size_t{0});
+    std::stable_sort(order_scratch_.begin(), order_scratch_.end(),
                      [&finish](std::size_t a, std::size_t b) {
                        return finish[a] < finish[b];
                      });
-    std::vector<ProcId> chosen;
-    chosen.reserve(replica_count_);
     for (std::size_t i = 0; i < replica_count_; ++i)
-      chosen.emplace_back(idx[i]);
-    return chosen;
+      chosen_scratch_.emplace_back(order_scratch_[i]);
+    return chosen_scratch_;
   }
 
   void schedule_task(TaskId t) {
-    std::vector<double> arrival;
+    std::vector<double>& arrival = arrival_scratch_;
     arrival_times(t, arrival);
-    std::vector<double> finish(m_);
+    std::vector<double>& finish = finish_scratch_;
+    finish.resize(m_);
     for (std::size_t j = 0; j < m_; ++j) {
       finish[j] = costs_.exec(t, ProcId{j}) +
                   std::max(arrival[j], ready_[j]);
     }
-    const std::vector<ProcId> chosen = choose_processors(finish);
+    const std::vector<ProcId>& chosen = choose_processors(finish);
 
     if (options_.deadlines != nullptr) {
       double worst = 0.0;
@@ -500,7 +506,8 @@ class Engine {
 
     // Union of all slot kill sets: a source conflicts with slot k iff its
     // kill set touches the union outside slot k's own part.
-    KillSet universe(m_);
+    KillSet& universe = universe_scratch_;
+    universe.reset(m_);
     for (const KillSet& k : slot_kills) universe.merge(k);
     auto compatible = [&](std::size_t l, std::size_t k) {
       if (!options_.repair_vulnerable) return true;
@@ -508,8 +515,9 @@ class Engine {
                                                             slot_kills[k]);
     };
 
-    // Candidate channels with §4.2 weights.
-    std::vector<ChannelCandidate> candidates;
+    // Candidate channels with §4.2 weights (reused scratch).
+    std::vector<ChannelCandidate>& candidates = candidate_scratch_;
+    candidates.clear();
     candidates.reserve(n * n);
     for (std::size_t l = 0; l < n; ++l) {
       const Replica& src = src_reps[l];
@@ -551,7 +559,8 @@ class Engine {
                          if (a.internal != b.internal) return a.internal;
                          return a.weight < b.weight;
                        });
-      std::vector<char> left_done(n, 0);
+      std::vector<char>& left_done = left_done_scratch_;
+      left_done.assign(n, 0);
       for (const ChannelCandidate& c : candidates) {
         if (left_done[c.left] || chosen_src[c.right] != kFullFallback) continue;
         left_done[c.left] = 1;
@@ -563,7 +572,8 @@ class Engine {
       // constraint a perfect matching may not exist; we then binary-search
       // the smallest T that achieves the maximum matching size and leave
       // the unmatched slots to the fallback.
-      std::vector<double> weights;
+      std::vector<double>& weights = weight_scratch_;
+      weights.clear();
       weights.reserve(candidates.size());
       for (const ChannelCandidate& c : candidates) weights.push_back(c.weight);
       std::sort(weights.begin(), weights.end());
@@ -638,6 +648,16 @@ class Engine {
   std::vector<double> ready_pess_;
   std::vector<std::vector<KillSet>> kills_;  // per task, per replica
   std::vector<TaskId> repaired_;
+  // Scratch reused across schedule_task calls (cleared, never shrunk):
+  // per-task vectors in the O(v) loop otherwise allocate v times per run.
+  std::vector<double> arrival_scratch_;
+  std::vector<double> finish_scratch_;
+  std::vector<std::size_t> order_scratch_;
+  std::vector<ProcId> chosen_scratch_;
+  std::vector<ChannelCandidate> candidate_scratch_;
+  std::vector<double> weight_scratch_;
+  std::vector<char> left_done_scratch_;
+  KillSet universe_scratch_;
   /// Per processor, per port lane: booked send intervals sorted by start
   /// (empty when the engine is communication-unaware; see
   /// core/comm_awareness.hpp).

@@ -1,10 +1,34 @@
 #include "ftsched/core/priorities.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace ftsched {
 
+namespace {
+
+/// Thread-local memo of the most recent bottom-level computation, keyed by
+/// CostModel::revision().  One instance evaluation runs five scheduler
+/// passes (ftsa:eps=0, ftbar:npf=0, FTSA, MC-FTSA, FTBAR) over the same
+/// cost model on the same worker thread, and every pass starts from bℓ —
+/// the memo turns four of the five traversals into a plain copy.  The
+/// revision key makes the memo immune to address reuse and to scale_exec
+/// mutation, and thread locality makes it lock-free.
+struct BottomLevelMemo {
+  std::uint64_t revision = 0;  // CostModel revisions start at 1
+  std::vector<double> levels;
+};
+
+BottomLevelMemo& bottom_level_memo() {
+  thread_local BottomLevelMemo memo;
+  return memo;
+}
+
+}  // namespace
+
 std::vector<double> bottom_levels(const CostModel& costs) {
+  BottomLevelMemo& memo = bottom_level_memo();
+  if (memo.revision == costs.revision()) return memo.levels;
   const TaskGraph& g = costs.graph();
   std::vector<double> bl(g.task_count(), 0.0);
   const auto order = g.topological_order();
@@ -17,6 +41,8 @@ std::vector<double> bottom_levels(const CostModel& costs) {
     }
     bl[t.index()] = costs.avg_exec(t) + best;
   }
+  memo.levels = bl;
+  memo.revision = costs.revision();
   return bl;
 }
 

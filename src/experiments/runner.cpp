@@ -12,31 +12,28 @@ namespace ftsched {
 
 namespace {
 
-/// Simulated latency of `schedule` with the first `count` victims of
-/// `victims` crashing at their unit time scaled by the schedule's
-/// failure-free lower bound (unit time 0 = the paper's t=0 worst case).
-/// Simulates `schedule` with the first `count` victims of `victims`
-/// crashing at their unit time scaled by the schedule's failure-free lower
-/// bound.  No success assertion: graceful-degradation draws exceed ε.
-SimulationResult simulate_crashes(const ReplicatedSchedule& schedule,
-                                  const std::vector<std::size_t>& victims,
-                                  const std::vector<double>& unit_times,
-                                  std::size_t count,
-                                  const SimulationOptions& sim) {
+/// Simulates one algorithm's schedule with the first `count` victims of
+/// `victims` crashing at their unit time scaled by `anchor` (the schedule's
+/// failure-free lower bound; unit time 0 = the paper's t=0 worst case).
+/// Runs on the algo's reusable build-once simulator.  No success
+/// assertion: graceful-degradation draws exceed ε.
+ScheduleSimulator::Summary simulate_crashes(
+    const InstanceSchedules::Algo& algo, double anchor,
+    const std::vector<std::size_t>& victims,
+    const std::vector<double>& unit_times, std::size_t count) {
   FailureScenario scenario;
-  const double anchor = schedule.lower_bound();
   for (std::size_t i = 0; i < count; ++i) {
     scenario.add(ProcId{victims[i]}, unit_times[i] * anchor);
   }
-  return simulate(schedule, scenario, sim);
+  return algo.simulator->run_summary(scenario);
 }
 
-double crash_latency(const ReplicatedSchedule& schedule,
+double crash_latency(const InstanceSchedules::Algo& algo, double anchor,
                      const std::vector<std::size_t>& victims,
-                     const std::vector<double>& unit_times, std::size_t count,
-                     const SimulationOptions& sim) {
-  const SimulationResult result =
-      simulate_crashes(schedule, victims, unit_times, count, sim);
+                     const std::vector<double>& unit_times,
+                     std::size_t count) {
+  const ScheduleSimulator::Summary result =
+      simulate_crashes(algo, anchor, victims, unit_times, count);
   FTSCHED_REQUIRE(result.success,
                   "simulation failed with <= epsilon crashes (Thm 4.1 bug)");
   return result.latency;
@@ -83,53 +80,53 @@ std::vector<InstanceAlgo> default_instance_algos(
   return {ftsa, mc, ftbar};
 }
 
-SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
-                               const InstanceOptions& options) {
+InstanceSchedules build_instance_schedules(const Workload& workload,
+                                           const InstanceOptions& options) {
   const CostModel& costs = workload.costs();
   const std::size_t m = workload.platform().proc_count();
   FTSCHED_REQUIRE(options.epsilon < m, "epsilon must be < proc count");
 
-  // Shared crash victims and unit crash instants for this instance: every
-  // algorithm's curve faces the same failures.  The default failure model
-  // draws exactly the legacy sample_without_replacement(m, ε), and the
-  // default t=0 law draws nothing, keeping legacy streams bit-identical.
-  const std::vector<std::size_t> victims =
-      options.failure_model.draw(rng, m, options.epsilon);
-  const std::size_t drawn = victims.size();
-  const std::vector<double> unit_times =
-      options.crash_law.sample(rng, drawn);
-  const bool default_model = options.failure_model.is_default();
+  InstanceSchedules out;
+  out.workload = &workload;
+  out.epsilon = options.epsilon;
+
+  auto norm = [&costs](double latency) {
+    return normalized_latency(latency, costs);
+  };
 
   // Fault-free reference schedules; FTSA* anchors every overhead series.
   const ReplicatedSchedule ff_ftsa =
       make_instance_scheduler("ftsa:eps=0", 0, options.seed)->run(costs);
   const ReplicatedSchedule ff_ftbar =
       make_instance_scheduler("ftbar:npf=0", 0, options.seed)->run(costs);
-  const double ftsa_star = ff_ftsa.lower_bound();  // FTSA* reference
-
-  SeriesSample sample;
-  auto norm = [&costs](double latency) {
-    return normalized_latency(latency, costs);
-  };
-  sample["FaultFree-FTSA"] = norm(ftsa_star);
-  sample["FaultFree-FTBAR"] = norm(ff_ftbar.lower_bound());
-  if (!default_model) {
-    // How many crashes the model actually drew (cell mean = the average
-    // injected failure count, for degradation plots against ε).
-    sample["DrawnCrashes"] = static_cast<double>(drawn);
-  }
+  out.ftsa_star = ff_ftsa.lower_bound();  // FTSA* reference
+  out.schedule_series["FaultFree-FTSA"] = norm(out.ftsa_star);
+  out.schedule_series["FaultFree-FTBAR"] = norm(ff_ftbar.lower_bound());
 
   const std::vector<InstanceAlgo> algos =
       options.algos.empty() ? default_instance_algos(options) : options.algos;
+  out.algos.reserve(algos.size());
   for (const InstanceAlgo& algo : algos) {
-    const ReplicatedSchedule schedule =
+    auto schedule = std::make_unique<ReplicatedSchedule>(
         make_instance_scheduler(algo.spec, options.epsilon, options.seed)
-            ->run(costs);
-    sample[algo.key + "-LowerBound"] = norm(schedule.lower_bound());
-    sample[algo.key + "-UpperBound"] = norm(schedule.upper_bound());
+            ->run(costs));
+    out.schedule_series[algo.key + "-LowerBound"] =
+        norm(schedule->lower_bound());
+    out.schedule_series[algo.key + "-UpperBound"] =
+        norm(schedule->upper_bound());
     if (algo.overhead_of_lower_bound) {
-      sample["OH-" + algo.key + "-LowerBound"] =
-          overhead_percent(schedule.lower_bound(), ftsa_star);
+      out.schedule_series["OH-" + algo.key + "-LowerBound"] =
+          overhead_percent(schedule->lower_bound(), out.ftsa_star);
+    }
+    // Communication accounting for the ablation tables.
+    out.schedule_series["Msg-" + algo.key] =
+        static_cast<double>(schedule->interproc_message_count());
+    if (!algo.repair_series.empty()) {
+      // Fraction of tasks whose channels the end-to-end repair touched
+      // (quantifies the cost of fixing the paper's Prop.-4.3 gap).
+      out.schedule_series[algo.repair_series] =
+          static_cast<double>(schedule->repaired_tasks().size()) /
+          static_cast<double>(costs.graph().task_count());
     }
 
     std::vector<std::size_t> counts = algo.crash_counts;
@@ -138,16 +135,53 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
     for (std::size_t k : counts) {
       FTSCHED_REQUIRE(k <= options.epsilon,
                       "crash count exceeds the tolerated epsilon");
+    }
+    auto simulator =
+        std::make_unique<ScheduleSimulator>(*schedule, options.sim);
+    out.algos.push_back(InstanceSchedules::Algo{
+        algo, std::move(schedule), std::move(simulator), std::move(counts)});
+  }
+  return out;
+}
+
+SeriesSample simulate_instance_cell(const InstanceSchedules& schedules,
+                                    Rng& rng, const CrashTimeLaw& crash_law,
+                                    const FailureModel& failure_model) {
+  const CostModel& costs = schedules.workload->costs();
+  const std::size_t m = schedules.workload->platform().proc_count();
+
+  // Shared crash victims and unit crash instants for this instance: every
+  // algorithm's curve faces the same failures.  The default failure model
+  // draws exactly the legacy sample_without_replacement(m, ε), and the
+  // default t=0 law draws nothing, keeping legacy streams bit-identical.
+  const std::vector<std::size_t> victims =
+      failure_model.draw(rng, m, schedules.epsilon);
+  const std::size_t drawn = victims.size();
+  const std::vector<double> unit_times = crash_law.sample(rng, drawn);
+  const bool default_model = failure_model.is_default();
+
+  SeriesSample sample = schedules.schedule_series;
+  auto norm = [&costs](double latency) {
+    return normalized_latency(latency, costs);
+  };
+  if (!default_model) {
+    // How many crashes the model actually drew (cell mean = the average
+    // injected failure count, for degradation plots against ε).
+    sample["DrawnCrashes"] = static_cast<double>(drawn);
+  }
+
+  for (const InstanceSchedules::Algo& a : schedules.algos) {
+    const double anchor = a.schedule->lower_bound();
+    for (std::size_t k : a.crash_counts) {
       // A probabilistic model may draw fewer victims than a fixed series
       // asks for; that instance simply doesn't sample the series (the
       // default model always draws ε, covering every legacy count).
       if (k > drawn) continue;
-      const double latency =
-          crash_latency(schedule, victims, unit_times, k, options.sim);
+      const double latency = crash_latency(a, anchor, victims, unit_times, k);
       const std::string series =
-          algo.key + "-" + std::to_string(k) + "Crash";
+          a.algo.key + "-" + std::to_string(k) + "Crash";
       sample[series] = norm(latency);
-      sample["OH-" + series] = overhead_percent(latency, ftsa_star);
+      sample["OH-" + series] = overhead_percent(latency, schedules.ftsa_star);
     }
 
     if (!default_model) {
@@ -156,31 +190,31 @@ SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
       // asserting we record a success indicator — its cell mean is the
       // graceful-degradation success fraction — and latency/overhead over
       // the surviving runs only.
-      const SimulationResult result = simulate_crashes(
-          schedule, victims, unit_times, drawn, options.sim);
-      FTSCHED_REQUIRE(result.success || drawn > options.epsilon,
+      const ScheduleSimulator::Summary result =
+          simulate_crashes(a, anchor, victims, unit_times, drawn);
+      FTSCHED_REQUIRE(result.success || drawn > schedules.epsilon,
                       "simulation failed with <= epsilon crashes (Thm 4.1 "
                       "bug)");
-      sample[algo.key + "-Success"] = result.success ? 1.0 : 0.0;
+      sample[a.algo.key + "-Success"] = result.success ? 1.0 : 0.0;
       if (result.success) {
-        sample[algo.key + "-DrawnCrash"] = norm(result.latency);
-        sample["OH-" + algo.key + "-DrawnCrash"] =
-            overhead_percent(result.latency, ftsa_star);
+        sample[a.algo.key + "-DrawnCrash"] = norm(result.latency);
+        sample["OH-" + a.algo.key + "-DrawnCrash"] =
+            overhead_percent(result.latency, schedules.ftsa_star);
       }
-    }
-
-    // Communication accounting for the ablation tables.
-    sample["Msg-" + algo.key] =
-        static_cast<double>(schedule.interproc_message_count());
-    if (!algo.repair_series.empty()) {
-      // Fraction of tasks whose channels the end-to-end repair touched
-      // (quantifies the cost of fixing the paper's Prop.-4.3 gap).
-      sample[algo.repair_series] =
-          static_cast<double>(schedule.repaired_tasks().size()) /
-          static_cast<double>(costs.graph().task_count());
     }
   }
   return sample;
+}
+
+SeriesSample evaluate_instance(const Workload& workload, Rng& rng,
+                               const InstanceOptions& options) {
+  // Schedule phase then simulate phase.  The schedule phase draws nothing
+  // from `rng`, so splitting here is stream-invariant: the victim and
+  // crash-instant draws land on exactly the pre-split state.
+  const InstanceSchedules schedules =
+      build_instance_schedules(workload, options);
+  return simulate_instance_cell(schedules, rng, options.crash_law,
+                                options.failure_model);
 }
 
 std::string decorate_series_name(const std::string& series,

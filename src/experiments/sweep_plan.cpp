@@ -1,6 +1,10 @@
 #include "ftsched/experiments/sweep_plan.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "ftsched/util/error.hpp"
@@ -119,6 +123,18 @@ std::string SweepPlan::series_label(const InstanceCoord& coord,
 // of the plan's shard header, so the grid identity has exactly one
 // renderer on both the write and the merge side.
 
+std::uint64_t SweepPlan::base_key(const InstanceCoord& coord) const noexcept {
+  const std::uint64_t points = config_.granularities.size();
+  const std::uint64_t reps = config_.graphs_per_point;
+  return (coord.workload * points + coord.gran) * reps + coord.rep;
+}
+
+const SweepPlan::Cell& SweepPlan::cell(const InstanceCoord& coord) const {
+  return cells_[(coord.workload * scenario_labels_.size() + coord.scenario) *
+                    failure_labels_.size() +
+                coord.failure];
+}
+
 SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
   // One RNG stream per (workload family, granularity, repetition), keyed
   // off the root seed via Rng::derive: every stream is reproducible in
@@ -130,42 +146,188 @@ SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
   // same way, the same crash victims — paired comparison), extending the
   // "every curve faces the same failures" contract of evaluate_instance to
   // the scenario and failure dimensions.
-  const std::size_t points = config_.granularities.size();
-  const std::size_t reps = config_.graphs_per_point;
-  Rng rng = root_.derive(static_cast<std::uint64_t>(
-      (coord.workload * points + coord.gran) * reps + coord.rep));
-  const Cell& cell =
-      cells_[(coord.workload * scenario_labels_.size() + coord.scenario) *
-                 failure_labels_.size() +
-             coord.failure];
+  Rng rng = root_.derive(base_key(coord));
+  const Cell& c = cell(coord);
   const SweepPoint point{config_.granularities[coord.gran],
                          config_.proc_count};
-  const auto workload = cell.family->generate(rng, point);
+  const auto workload = c.family->generate(rng, point);
   InstanceOptions options;
   options.epsilon = config_.epsilon;
   options.extra_crash_counts = config_.extra_crash_counts;
-  options.crash_law = cell.law;
-  options.failure_model = cell.model;
+  options.crash_law = c.law;
+  options.failure_model = c.model;
   options.seed = rng();
   return evaluate_instance(*workload, rng, options);
 }
 
-void run_plan(const SweepPlan& plan, SweepSink& sink) {
-  const std::size_t n = plan.size();
-  if (n == 0) return;
-  // Parallel evaluation into per-instance slots, then ordered delivery:
-  // sinks observe exactly the serial coordinate order whatever the thread
-  // count, so aggregation rounding is pinned.
-  std::vector<SeriesSample> samples(n);
-  ParallelExecutor executor(plan.config().threads);
-  executor.for_each(
-      n, [&](std::size_t k) { samples[k] = plan.evaluate(plan.coord(k)); });
-  for (std::size_t k = 0; k < n; ++k) {
-    sink.on_sample(plan.coord(k), samples[k]);
+std::vector<std::vector<std::size_t>> SweepPlan::group_selection() const {
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of_key;
+  group_of_key.reserve(selected_.size());
+  for (std::size_t k = 0; k < selected_.size(); ++k) {
+    const std::uint64_t key = base_key(coord_of_id(selected_[k]));
+    const auto [it, fresh] = group_of_key.try_emplace(key, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(k);
   }
+  return groups;
 }
 
-OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan) : plan_(&plan) {
+std::vector<SeriesSample> SweepPlan::evaluate_group(
+    const std::vector<std::size_t>& members) const {
+  FTSCHED_REQUIRE(!members.empty(), "evaluate_group needs a non-empty group");
+  const InstanceCoord first = coord(members.front());
+  const std::uint64_t key = base_key(first);
+
+  // Exactly the stream of evaluate(): derive, generate, draw the scheduler
+  // seed — then snapshot.  The schedule phase consumes nothing from `rng`,
+  // so each cell's victim/crash-instant draws start from the same state the
+  // per-coordinate path would have given them.
+  Rng rng = root_.derive(key);
+  const SweepPoint point{config_.granularities[first.gran],
+                         config_.proc_count};
+  const auto workload = cell(first).family->generate(rng, point);
+  InstanceOptions options;
+  options.epsilon = config_.epsilon;
+  options.extra_crash_counts = config_.extra_crash_counts;
+  options.seed = rng();
+  const InstanceSchedules schedules =
+      build_instance_schedules(*workload, options);
+
+  std::vector<SeriesSample> out;
+  out.reserve(members.size());
+  for (const std::size_t k : members) {
+    const InstanceCoord c = coord(k);
+    FTSCHED_REQUIRE(base_key(c) == key,
+                    "evaluate_group members must share one (workload, "
+                    "granularity, repetition) base key");
+    Rng cell_rng = rng;  // per-cell snapshot of the shared stream
+    out.push_back(
+        simulate_instance_cell(schedules, cell_rng, cell(c).law, cell(c).model));
+  }
+  return out;
+}
+
+void run_plan(const SweepPlan& plan, SweepSink& sink,
+              const RunPlanOptions& options) {
+  const std::size_t n = plan.size();
+  if (n == 0) return;
+
+  // One job per base-key group (schedule-once/simulate-many) or per
+  // coordinate (legacy reference path).  Either way, jobs are ordered by
+  // their first selected index and delivery is strictly in selected order,
+  // so sinks observe exactly the serial coordinate order whatever the
+  // thread count — aggregation rounding is pinned.
+  std::vector<std::vector<std::size_t>> jobs;
+  if (options.group) {
+    jobs = plan.group_selection();
+  } else {
+    jobs.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      jobs.push_back(std::vector<std::size_t>{k});
+    }
+  }
+  const std::size_t job_count = jobs.size();
+
+  // slot_of[k] = (job, position within the job) producing selected index k.
+  std::vector<std::pair<std::size_t, std::size_t>> slot_of(n);
+  for (std::size_t j = 0; j < job_count; ++j) {
+    for (std::size_t p = 0; p < jobs[j].size(); ++p) {
+      slot_of[jobs[j][p]] = {j, p};
+    }
+  }
+
+  ParallelExecutor executor(plan.config().threads);
+  const std::size_t window = std::max<std::size_t>(
+      options.window != 0 ? options.window
+                          : std::max<std::size_t>(16, 4 * executor.thread_count()),
+      1);
+
+  // Shared state (all under `mutex`).  state: 0 = pending, 1 = done,
+  // 2 = failed.  done_prefix counts the leading jobs no longer pending;
+  // delivered counts the leading selected indices already handed to the
+  // sink.  Completed samples are retained only until their delivery slot
+  // comes up (then freed), so a large single-cell shard streams through a
+  // bounded window instead of materialising everything; multi-cell grids
+  // retain each group's later-cell samples until the id order reaches
+  // them, which is still never more than the old all-n materialisation.
+  std::mutex mutex;
+  std::condition_variable window_cv;
+  std::vector<std::vector<SeriesSample>> results(job_count);
+  std::vector<char> state(job_count, 0);
+  std::size_t done_prefix = 0;
+  std::size_t delivered = 0;
+  bool delivering = false;
+  bool delivery_failed = false;
+
+  executor.for_each(job_count, [&](std::size_t j) {
+    {
+      // Bounded reordering window: don't run ahead of the slowest
+      // outstanding job by more than `window` jobs.  The job at the
+      // window's base always satisfies the predicate, so this cannot
+      // deadlock for any window >= 1.
+      std::unique_lock<std::mutex> lock(mutex);
+      window_cv.wait(lock, [&] { return j < done_prefix + window; });
+    }
+    std::vector<SeriesSample> samples;
+    try {
+      samples = options.group
+                    ? plan.evaluate_group(jobs[j])
+                    : std::vector<SeriesSample>{
+                          plan.evaluate(plan.coord(jobs[j].front()))};
+    } catch (...) {
+      // Record the failure before rethrowing so workers gated on the
+      // window can't wait forever on a prefix that will never complete;
+      // the executor propagates the exception to run_plan's caller.
+      const std::lock_guard<std::mutex> lock(mutex);
+      state[j] = 2;
+      while (done_prefix < job_count && state[done_prefix] != 0) ++done_prefix;
+      window_cv.notify_all();
+      throw;
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    results[j] = std::move(samples);
+    state[j] = 1;
+    while (done_prefix < job_count && state[done_prefix] != 0) ++done_prefix;
+    window_cv.notify_all();
+    // Deliver the order-prefix that just became complete.  One deliverer
+    // at a time (`delivering` flag) keeps the sink serial in selected
+    // order, but the sink itself runs with the mutex *released* so a slow
+    // sink (file I/O) never stalls the worker pool; the state re-check
+    // after re-locking picks up jobs that completed meanwhile, so nothing
+    // is stranded when the deliverer steps down.
+    if (delivering || delivery_failed) return;
+    delivering = true;
+    while (delivered < n && !delivery_failed) {
+      const auto [dj, dp] = slot_of[delivered];
+      if (state[dj] != 1) break;
+      SeriesSample sample = std::move(results[dj][dp]);
+      results[dj][dp] = SeriesSample();  // free the delivered sample
+      const std::size_t k = delivered;
+      lock.unlock();
+      try {
+        sink.on_sample(plan.coord(k), sample);
+      } catch (...) {
+        // A sink failure must not be retried by the next deliverer (the
+        // sink would observe a duplicate delivery).
+        const std::lock_guard<std::mutex> relock(mutex);
+        delivering = false;
+        delivery_failed = true;
+        throw;
+      }
+      lock.lock();
+      ++delivered;
+    }
+    delivering = false;
+  });
+  FTSCHED_REQUIRE(delivered == n,
+                  "run_plan did not deliver every selected instance");
+}
+
+OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan)
+    : plan_(&plan),
+      label_cache_(plan.workloads().size() * plan.scenarios().size() *
+                   plan.failures().size()) {
   result_.granularities = plan.granularities();
   result_.workloads = plan.workloads();
   result_.scenarios = plan.scenarios();
@@ -175,15 +337,26 @@ OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan) : plan_(&plan) {
 void OnlineStatsSink::on_sample(const InstanceCoord& coord,
                                 const SeriesSample& sample) {
   const std::size_t points = result_.granularities.size();
+  auto& cache =
+      label_cache_[(coord.workload * result_.scenarios.size() + coord.scenario) *
+                       result_.failures.size() +
+                   coord.failure];
   for (const auto& [name, value] : sample) {
-    auto& stats = result_.series[plan_->series_label(coord, name)];
-    if (stats.size() != points) {
-      stats.resize(points);
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      auto& stats = result_.series[plan_->series_label(coord, name)];
+      if (stats.size() != points) {
+        stats.resize(points);
+      }
+      it = cache.emplace(name, &stats).first;
     }
-    stats[coord.gran].add(value);
+    (*it->second)[coord.gran].add(value);
   }
 }
 
-SweepResult OnlineStatsSink::take() { return std::move(result_); }
+SweepResult OnlineStatsSink::take() {
+  label_cache_.clear();  // the cached pointers die with the moved-out result
+  return std::move(result_);
+}
 
 }  // namespace ftsched

@@ -1,11 +1,21 @@
 #include "ftsched/platform/cost_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "ftsched/util/error.hpp"
 
 namespace ftsched {
+
+namespace {
+/// Never-repeating revision source shared by every CostModel (cheap:
+/// one relaxed fetch_add per construction / scale_exec, never per query).
+std::uint64_t next_revision() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 CostModel::CostModel(const TaskGraph& graph, const Platform& platform,
                      std::vector<std::vector<double>> exec)
@@ -42,6 +52,7 @@ void CostModel::recompute_aggregates() {
     total += avg_exec_[t];
   }
   mean_avg_exec_ = v > 0 ? total / static_cast<double>(v) : 0.0;
+  revision_ = next_revision();
 }
 
 double CostModel::avg_exec_on(TaskId t,

@@ -46,19 +46,56 @@ struct OutChannel {
   bool interproc;
 };
 
-class Simulator {
- public:
-  Simulator(const ReplicatedSchedule& schedule, const FailureScenario& failures,
-            const SimulationOptions& options)
-      : schedule_(schedule),
-        failures_(failures),
-        g_(schedule.graph()),
-        platform_(schedule.platform()),
-        comm_(make_comm_model(platform_.proc_count(), options.comm)) {}
+}  // namespace
 
-  SimulationResult run() {
-    build();
-    seed();
+/// The simulator split along the static/dynamic line: everything derived
+/// from the schedule alone is computed once at construction; run() resets
+/// only the per-scenario state (assignments into retained buffers — no
+/// allocation in steady state) and replays the event loop.
+class ScheduleSimulator::Impl {
+ public:
+  Impl(const ReplicatedSchedule& schedule, const SimulationOptions& options)
+      : schedule_(schedule),
+        options_(options),
+        g_(schedule.graph()),
+        platform_(schedule.platform()) {
+    build_static();
+  }
+
+  SimulationResult run(const FailureScenario& failures) {
+    drive(failures);
+    return collect();
+  }
+
+  ScheduleSimulator::Summary run_summary(const FailureScenario& failures) {
+    drive(failures);
+    // The latency fold of collect(), straight off the flat state arrays.
+    ScheduleSimulator::Summary s;
+    s.success = true;
+    double latency = 0.0;
+    for (TaskId t : g_.exit_tasks()) {
+      double done = kInf;
+      for (std::size_t flat = offset_[t.index()];
+           flat < offset_[t.index() + 1]; ++flat) {
+        if (state_[flat] == State::kCompleted) {
+          done = std::min(done, actual_finish_[flat]);
+        }
+      }
+      if (done == kInf) {
+        s.success = false;
+        s.latency = kInf;
+        return s;
+      }
+      latency = std::max(latency, done);
+    }
+    s.latency = latency;
+    return s;
+  }
+
+ private:
+  void drive(const FailureScenario& failures) {
+    reset(failures);
+    seed(failures);
     while (!events_.empty()) {
       const Event ev = events_.top();
       events_.pop();
@@ -74,13 +111,11 @@ class Simulator {
           break;
       }
     }
-    return collect();
   }
 
- private:
-  // --- static structure -----------------------------------------------------
+  // --- static structure (depends only on the schedule) ----------------------
 
-  void build() {
+  void build_static() {
     const std::size_t v = g_.task_count();
     offset_.assign(v + 1, 0);
     for (std::size_t t = 0; t < v; ++t) {
@@ -91,9 +126,6 @@ class Simulator {
     proc_of_.resize(total);
     duration_.resize(total);
     sched_start_.resize(total);
-    state_.assign(total, State::kPending);
-    actual_start_.assign(total, 0.0);
-    actual_finish_.assign(total, 0.0);
     out_.assign(total, {});
 
     // In-edge slot bookkeeping: slot_of_edge_[e] is the position of edge e
@@ -112,10 +144,10 @@ class Simulator {
         duration_[flat] = reps[k].finish - reps[k].start;
         sched_start_[flat] = reps[k].start;
       }
-      unsatisfied_.insert(unsatisfied_.end(), reps.size(), in.size());
+      unsatisfied0_.insert(unsatisfied0_.end(), reps.size(), in.size());
       for (std::size_t k = 0; k < reps.size(); ++k) {
         satisfied_.emplace_back(in.size(), 0);
-        live_sources_.emplace_back(in.size(), 0);
+        live_sources0_.emplace_back(in.size(), 0);
       }
     }
     // Channels -> outgoing lists and live-source counts.
@@ -128,7 +160,7 @@ class Simulator {
         const double d = platform_.delay(proc_of_[src], proc_of_[dst]);
         out_[src].push_back(
             OutChannel{dst, slot, edge.volume * d, proc_of_[src] != proc_of_[dst]});
-        ++live_sources_[dst][slot];
+        ++live_sources0_[dst][slot];
       }
     }
     // Per-processor execution order: scheduled start, then finish, then id.
@@ -143,17 +175,39 @@ class Simulator {
         return a < b;
       });
     }
-    head_.assign(platform_.proc_count(), 0);
-    busy_.assign(platform_.proc_count(), 0);
-    crashed_.assign(platform_.proc_count(), 0);
-    crash_time_.assign(platform_.proc_count(), kInf);
-    for (const Crash& c : failures_.crashes()) {
-      crash_time_[c.proc.index()] = c.time;
-    }
   }
 
-  void seed() {
-    for (const Crash& c : failures_.crashes()) {
+  // --- per-run reset --------------------------------------------------------
+
+  void reset(const FailureScenario& failures) {
+    const std::size_t total = task_of_.size();
+    const std::size_t m = platform_.proc_count();
+    state_.assign(total, State::kPending);
+    actual_start_.assign(total, 0.0);
+    actual_finish_.assign(total, 0.0);
+    unsatisfied_ = unsatisfied0_;
+    for (auto& s : satisfied_) std::fill(s.begin(), s.end(), 0);
+    // Element-wise copy-assign: the inner vectors keep their allocations.
+    live_sources_ = live_sources0_;
+    head_.assign(m, 0);
+    busy_.assign(m, 0);
+    crashed_.assign(m, 0);
+    crash_time_.assign(m, kInf);
+    for (const Crash& c : failures.crashes()) {
+      crash_time_[c.proc.index()] = c.time;
+    }
+    // The event loop drains the queue before returning, but a defensive
+    // clear keeps a failed previous run from leaking events into this one.
+    while (!events_.empty()) events_.pop();
+    seq_ = 0;
+    messages_delivered_ = 0;
+    // Fresh communication model per run: contention-aware models are
+    // stateful (they book delivery lanes as messages flow).
+    comm_ = make_comm_model(m, options_.comm);
+  }
+
+  void seed(const FailureScenario& failures) {
+    for (const Crash& c : failures.crashes()) {
       push(Event{c.time, EventType::kCrash, seq_++, c.proc.index(), 0});
     }
     for (std::size_t p = 0; p < queue_.size(); ++p) {
@@ -301,25 +355,30 @@ class Simulator {
   }
 
   const ReplicatedSchedule& schedule_;
-  const FailureScenario& failures_;
+  SimulationOptions options_;
   const TaskGraph& g_;
   const Platform& platform_;
   std::unique_ptr<CommModel> comm_;
 
+  // Static (built once from the schedule).
   std::vector<std::size_t> offset_;
   std::vector<TaskId> task_of_;
   std::vector<ProcId> proc_of_;
   std::vector<double> duration_;
   std::vector<double> sched_start_;
+  std::vector<std::vector<OutChannel>> out_;
+  std::vector<std::size_t> slot_of_edge_;
+  std::vector<std::vector<std::size_t>> queue_;
+  std::vector<std::size_t> unsatisfied0_;
+  std::vector<std::vector<std::size_t>> live_sources0_;
+
+  // Dynamic (reset per run; buffers retained across runs).
   std::vector<State> state_;
   std::vector<double> actual_start_;
   std::vector<double> actual_finish_;
-  std::vector<std::vector<OutChannel>> out_;
-  std::vector<std::size_t> slot_of_edge_;
   std::vector<std::size_t> unsatisfied_;
   std::vector<std::vector<char>> satisfied_;
   std::vector<std::vector<std::size_t>> live_sources_;
-  std::vector<std::vector<std::size_t>> queue_;
   std::vector<std::size_t> head_;
   std::vector<char> busy_;
   std::vector<char> crashed_;
@@ -329,12 +388,28 @@ class Simulator {
   std::size_t messages_delivered_ = 0;
 };
 
-}  // namespace
+ScheduleSimulator::ScheduleSimulator(const ReplicatedSchedule& schedule,
+                                     const SimulationOptions& options)
+    : impl_(std::make_unique<Impl>(schedule, options)) {}
+
+ScheduleSimulator::~ScheduleSimulator() = default;
+ScheduleSimulator::ScheduleSimulator(ScheduleSimulator&&) noexcept = default;
+ScheduleSimulator& ScheduleSimulator::operator=(ScheduleSimulator&&) noexcept =
+    default;
+
+SimulationResult ScheduleSimulator::run(const FailureScenario& failures) {
+  return impl_->run(failures);
+}
+
+ScheduleSimulator::Summary ScheduleSimulator::run_summary(
+    const FailureScenario& failures) {
+  return impl_->run_summary(failures);
+}
 
 SimulationResult simulate(const ReplicatedSchedule& schedule,
                           const FailureScenario& failures,
                           const SimulationOptions& options) {
-  return Simulator(schedule, failures, options).run();
+  return ScheduleSimulator(schedule, options).run(failures);
 }
 
 }  // namespace ftsched

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "ftsched/core/avl.hpp"
@@ -108,6 +109,28 @@ TEST(Avl, MoveConstruction) {
   AvlTree<int> u = std::move(t);
   EXPECT_EQ(u.size(), 10u);
   u.validate();
+  // The moved-from tree is empty and reusable (its arena moved away, so
+  // its root/size must have been reset with it).
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  t.insert(5);
+  EXPECT_EQ(t.max(), 5);
+  t.validate();
+}
+
+TEST(Avl, MoveAssignmentResetsTheSource) {
+  AvlTree<int> t;
+  for (int i = 0; i < 10; ++i) t.insert(i);
+  AvlTree<int> u;
+  u.insert(42);
+  u = std::move(t);
+  EXPECT_EQ(u.size(), 10u);
+  EXPECT_EQ(u.max(), 9);
+  u.validate();
+  EXPECT_TRUE(t.empty());
+  t.insert(7);
+  EXPECT_EQ(t.min(), 7);
+  t.validate();
 }
 
 // Property sweep: random interleavings of insert/erase/extract keep the
@@ -146,6 +169,112 @@ TEST_P(AvlProperty, MatchesReferenceMultiset) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AvlProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// --- node-pool (arena) stress -----------------------------------------------
+// The tree stores nodes in an index-linked arena with a free list; these
+// tests pin the ordering contract of the old pointer-based tree under heavy
+// slot recycling.
+
+TEST(AvlArena, SteadyStateChurnRecyclesSlots) {
+  AvlTree<int> t;
+  Rng rng(99);
+  for (int i = 0; i < 512; ++i)
+    t.insert(static_cast<int>(rng.uniform_int(0, 100000)));
+  const std::size_t arena = t.arena_size();
+  EXPECT_EQ(arena, 512u);
+  // extract_max + insert churn: every freed slot must be reused, so the
+  // arena never grows — the scheduling loop's allocation-free steady state.
+  for (int step = 0; step < 5000; ++step) {
+    (void)t.extract_max();
+    t.insert(static_cast<int>(rng.uniform_int(0, 100000)));
+    ASSERT_EQ(t.arena_size(), arena);
+  }
+  t.validate();
+  EXPECT_EQ(t.size(), 512u);
+}
+
+TEST(AvlArena, ClearDropsSlotsAndRefillsCleanly) {
+  AvlTree<int> t;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 300; ++i) t.insert((i * 7919 + round) % 503);
+    t.validate();
+    EXPECT_EQ(t.size(), 300u);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.arena_size(), 0u);
+  }
+  t.insert(1);
+  EXPECT_EQ(t.max(), 1);
+}
+
+TEST(AvlArena, DuplicateHeavyEraseKeepsMultisetSemantics) {
+  // A narrow key range forces long runs of equal keys through the
+  // successor-replacement erase path.
+  AvlTree<int> t;
+  std::multiset<int> reference;
+  Rng rng(1234);
+  for (int step = 0; step < 6000; ++step) {
+    const int x = static_cast<int>(rng.uniform_int(0, 7));
+    if (rng.uniform() < 0.6 || reference.empty()) {
+      t.insert(x);
+      reference.insert(x);
+    } else {
+      const bool erased = t.erase_one(x);
+      const auto it = reference.find(x);
+      EXPECT_EQ(erased, it != reference.end());
+      if (it != reference.end()) reference.erase(it);
+    }
+    if (step % 500 == 0) t.validate();
+    ASSERT_EQ(t.size(), reference.size());
+  }
+  t.validate();
+  EXPECT_EQ(t.to_sorted_vector(),
+            (std::vector<int>(reference.begin(), reference.end())));
+}
+
+/// Long-run stress against std::multiset: random interleavings of insert,
+/// erase_one, extract_max and occasional clear over a large key range.
+class AvlArenaStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AvlArenaStress, MatchesReferenceMultisetUnderRecycling) {
+  Rng rng(GetParam());
+  AvlTree<int> t;
+  std::multiset<int> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.5 || reference.empty()) {
+      const int x = static_cast<int>(rng.uniform_int(-1000, 1000));
+      t.insert(x);
+      reference.insert(x);
+    } else if (action < 0.75) {
+      const int x = static_cast<int>(rng.uniform_int(-1000, 1000));
+      const bool erased = t.erase_one(x);
+      const auto it = reference.find(x);
+      EXPECT_EQ(erased, it != reference.end());
+      if (it != reference.end()) reference.erase(it);
+    } else if (action < 0.999) {
+      const int x = t.extract_max();
+      const auto last = std::prev(reference.end());
+      EXPECT_EQ(x, *last);
+      reference.erase(last);
+    } else {
+      t.clear();
+      reference.clear();
+    }
+    ASSERT_EQ(t.size(), reference.size());
+    if (step % 2500 == 0) {
+      t.validate();
+      ASSERT_EQ(t.to_sorted_vector(),
+                (std::vector<int>(reference.begin(), reference.end())));
+    }
+  }
+  t.validate();
+  EXPECT_EQ(t.to_sorted_vector(),
+            (std::vector<int>(reference.begin(), reference.end())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlArenaStress,
+                         ::testing::Values(11u, 22u, 33u, 44u));
 
 }  // namespace
 }  // namespace ftsched

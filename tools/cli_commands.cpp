@@ -509,11 +509,17 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   cli.add_option("out", "",
                  "write the CSV (or JSONL shard) to this file (stdout when "
                  "empty)");
+  cli.add_flag("ungrouped",
+               "evaluate per coordinate (legacy path: every cell reruns all "
+               "scheduler passes) instead of scheduling once per (workload, "
+               "granularity, rep) group; output is bit-identical either way");
   std::vector<const char*> argv{"sweep"};
   for (const auto& a : args) argv.push_back(a.c_str());
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
   const FigureConfig config = sweep_config_from_cli(cli);
+  RunPlanOptions run_options;
+  run_options.group = !cli.get_flag("ungrouped");
 
   if (!cli.get("shard").empty()) {
     const SweepPlan plan =
@@ -522,12 +528,12 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
     if (path.empty()) {
       // Pure JSONL on stdout so the shard can be piped.
       ShardWriterSink sink(out, plan);
-      run_plan(plan, sink);
+      run_plan(plan, sink, run_options);
     } else {
       std::ofstream file(path);
       FTSCHED_REQUIRE(file.good(), "cannot open output file: " + path);
       ShardWriterSink sink(file, plan);
-      run_plan(plan, sink);
+      run_plan(plan, sink, run_options);
       out << "=== sweep shard " << plan.shard_label() << " (" << plan.size()
           << " of " << plan.grid_size() << " instances) -> " << path
           << " ===\n";
@@ -535,7 +541,10 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
     return 0;
   }
 
-  const SweepResult sweep = run_sweep(config);
+  const SweepPlan plan(config);
+  OnlineStatsSink sink(plan);
+  run_plan(plan, sink, run_options);
+  const SweepResult sweep = sink.take();
   out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
       << ", graphs/point=" << config.graphs_per_point << ", seed="
       << config.seed << ", cells=" << sweep.workloads.size() << "x"
