@@ -29,10 +29,12 @@ using namespace ftsched;
 
 namespace {
 
-double timed_run(const SweepPlan& plan, bool group, SweepResult& out) {
+double timed_run(const SweepPlan& plan, bool group, SweepResult& out,
+                 RunPlanStats* stats = nullptr) {
   OnlineStatsSink sink(plan);
   RunPlanOptions options;
   options.group = group;
+  options.stats = stats;
   Stopwatch sw;
   run_plan(plan, sink, options);
   const double seconds = sw.seconds();
@@ -64,21 +66,31 @@ int main(int argc, char** argv) {
   SweepResult ungrouped;
   const double ungrouped_seconds = timed_run(plan, /*group=*/false, ungrouped);
   SweepResult grouped;
-  const double grouped_seconds = timed_run(plan, /*group=*/true, grouped);
+  RunPlanStats grouped_stats;
+  const double grouped_seconds =
+      timed_run(plan, /*group=*/true, grouped, &grouped_stats);
   const bool identical = sweep_results_identical(grouped, ungrouped);
   const double speedup =
       grouped_seconds > 0.0 ? ungrouped_seconds / grouped_seconds : 0.0;
+  const auto cells_per_sec = [&](double seconds) {
+    return seconds > 0.0 ? static_cast<double>(plan.size()) / seconds : 0.0;
+  };
 
-  TextTable table({"path", "schedule-phases", "wall-s", "speedup"});
+  TextTable table({"path", "schedule-phases", "wall-s", "cells/s", "speedup"});
   table.add_row({"ungrouped (legacy)",
                  std::to_string(plan.size() * 5),
-                 format_double(ungrouped_seconds, 3), "1.00"});
+                 format_double(ungrouped_seconds, 3),
+                 format_double(cells_per_sec(ungrouped_seconds), 1), "1.00"});
   table.add_row({"grouped",
                  std::to_string((plan.size() / cells) * 5),
                  format_double(grouped_seconds, 3),
+                 format_double(cells_per_sec(grouped_seconds), 1),
                  format_double(speedup, 2)});
   table.print(std::cout);
   std::cout << "bit-identical: " << (identical ? "yes" : "NO") << "\n";
+  std::cout << "grouped dedupe: " << grouped_stats.simulations_run
+            << " simulations run, " << grouped_stats.dedupe_hits
+            << " served from the per-group draw cache\n";
 
   // Machine-readable trajectory record (locale-proof number rendering).
   std::ofstream json(json_path);
@@ -100,6 +112,12 @@ int main(int argc, char** argv) {
        << ",\"grouped_seconds\":"
        << spec_detail::render_double(grouped_seconds)
        << ",\"speedup\":" << spec_detail::render_double(speedup)
+       << ",\"ungrouped_cells_per_sec\":"
+       << spec_detail::render_double(cells_per_sec(ungrouped_seconds))
+       << ",\"grouped_cells_per_sec\":"
+       << spec_detail::render_double(cells_per_sec(grouped_seconds))
+       << ",\"simulations_run\":" << grouped_stats.simulations_run
+       << ",\"dedupe_hits\":" << grouped_stats.dedupe_hits
        << ",\"identical\":" << (identical ? "true" : "false") << "}\n";
   json.close();
   std::cout << "wrote " << json_path << "\n";

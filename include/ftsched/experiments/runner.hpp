@@ -13,9 +13,11 @@
 // giving bit-identical results for every thread count.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ftsched/core/mc_ftsa.hpp"
@@ -105,6 +107,15 @@ struct InstanceSchedules {
     std::unique_ptr<ScheduleSimulator> simulator;
     /// algo.crash_counts, deduplicated and sorted.
     std::vector<std::size_t> crash_counts;
+    /// Series names for crash_counts[i]: {"<A>-<k>Crash", "OH-<A>-<k>Crash"}.
+    /// Built once with the schedules so the simulate phase never assembles
+    /// strings per cell.
+    std::vector<std::pair<std::string, std::string>> crash_series_names;
+    /// Graceful-degradation names: "<A>-Success", "<A>-DrawnCrash",
+    /// "OH-<A>-DrawnCrash" (used only under non-default failure models).
+    std::string success_series;
+    std::string drawn_series;
+    std::string oh_drawn_series;
   };
 
   const Workload* workload = nullptr;
@@ -123,13 +134,77 @@ struct InstanceSchedules {
 [[nodiscard]] InstanceSchedules build_instance_schedules(
     const Workload& workload, const InstanceOptions& options);
 
+/// The random half of one (scenario, failure) cell: the drawn victim set
+/// and per-victim unit crash instants, separated from the deterministic
+/// simulation so identical draws can be recognised across cells.
+struct CellDraw {
+  std::vector<std::size_t> victims;   ///< distinct processor indices
+  std::vector<double> unit_times;     ///< unit crash instants, one per victim
+  bool default_model = true;          ///< legacy ε-uniform model?
+};
+
+/// Draws one cell's randomness from `rng` — victims first, then unit
+/// times — consuming exactly the stream simulate_instance_cell consumes.
+[[nodiscard]] CellDraw draw_instance_cell(const InstanceSchedules& schedules,
+                                          Rng& rng,
+                                          const CrashTimeLaw& crash_law,
+                                          const FailureModel& failure_model);
+
+/// Memo of crash-simulation results shared by the cells of one group.
+///
+/// A simulation is keyed by everything that determines its outcome on a
+/// fixed InstanceSchedules: the algorithm index and the *content* of the
+/// (victims, unit-times) prefix actually simulated — bit patterns, not
+/// model labels — so any two cells whose draws coincide (the shared k = 0
+/// scenario, fixed:k=ε vs eps, coinciding Bernoulli draws, ...) run the
+/// event simulation once and fan the Summary out.  Single-threaded: one
+/// cache serves one group on one worker, mirroring the InstanceSchedules
+/// threading contract.
+class SimulationCache {
+ public:
+  struct Stats {
+    std::uint64_t simulations = 0;  ///< event simulations actually run
+    std::uint64_t hits = 0;         ///< simulations answered from the memo
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend SeriesSample simulate_drawn_cell(const InstanceSchedules& schedules,
+                                          const CellDraw& draw,
+                                          SimulationCache* cache);
+
+  struct Key {
+    std::size_t algo = 0;
+    std::vector<std::size_t> victims;
+    std::vector<std::uint64_t> times;  ///< unit-time bit patterns
+    [[nodiscard]] friend bool operator<(const Key& a, const Key& b) {
+      if (a.algo != b.algo) return a.algo < b.algo;
+      if (a.victims != b.victims) return a.victims < b.victims;
+      return a.times < b.times;
+    }
+  };
+
+  std::map<Key, ScheduleSimulator::Summary> memo_;
+  Stats stats_;
+};
+
+/// Runs the simulate phase of one cell on a fixed draw.  Misses are batched
+/// through ScheduleSimulator::run_batch (one batch per algorithm); with a
+/// cache, repeated draws are served from the memo.  The result is
+/// bit-identical with and without a cache.
+[[nodiscard]] SeriesSample simulate_drawn_cell(const InstanceSchedules& schedules,
+                                               const CellDraw& draw,
+                                               SimulationCache* cache);
+
 /// Runs the simulate phase of one (scenario, failure) cell on prebuilt
 /// schedules: draws the victim set and crash instants from `rng` and emits
 /// the cell-dependent series (crash latencies, overheads, graceful
 /// degradation) merged with the shared schedule-derived series.
 /// evaluate_instance(w, rng, o) ==
 /// simulate_instance_cell(build_instance_schedules(w, o), rng, o.crash_law,
-/// o.failure_model), double for double.
+/// o.failure_model), double for double.  Equivalent to draw_instance_cell
+/// followed by simulate_drawn_cell without a cache.
 [[nodiscard]] SeriesSample simulate_instance_cell(
     const InstanceSchedules& schedules, Rng& rng, const CrashTimeLaw& crash_law,
     const FailureModel& failure_model);

@@ -159,8 +159,15 @@ class SweepPlan {
   /// bit-identical to evaluate(coord(k)) for each member, because the
   /// schedule phase draws nothing from the instance stream.  Throws if the
   /// indices do not all share one base key.
+  ///
+  /// All members share one SimulationCache, so cells whose (victims,
+  /// instants) draws coincide run the event simulation once (cross-cell
+  /// draw dedupe — the shared schedules make cached Summaries valid across
+  /// the whole group).  When `stats` is non-null the cache counters are
+  /// accumulated into it.
   [[nodiscard]] std::vector<SeriesSample> evaluate_group(
-      const std::vector<std::size_t>& members) const;
+      const std::vector<std::size_t>& members,
+      SimulationCache::Stats* stats = nullptr) const;
 
  private:
   struct Cell {
@@ -185,6 +192,13 @@ class SweepPlan {
   std::string shard_label_ = "full";
 };
 
+/// Execution counters of one run_plan call (grouped path only — the legacy
+/// per-coordinate path runs without a cache and reports nothing).
+struct RunPlanStats {
+  std::uint64_t simulations_run = 0;  ///< event simulations actually run
+  std::uint64_t dedupe_hits = 0;      ///< simulations served from group caches
+};
+
 /// Execution options of run_plan (the grid identity — fingerprint, ids,
 /// sample values — never depends on them).
 struct RunPlanOptions {
@@ -202,6 +216,9 @@ struct RunPlanOptions {
   /// first delivery.  0 = auto (max(16, 4 × worker count)); any value >= 1
   /// is deadlock-free (the job at the window's base always proceeds).
   std::size_t window = 0;
+  /// Optional dedupe counters, accumulated across all groups under the
+  /// delivery lock (grouped path only).  Must outlive the run_plan call.
+  RunPlanStats* stats = nullptr;
 };
 
 /// Evaluates the plan's selected instances on `plan.config().threads`

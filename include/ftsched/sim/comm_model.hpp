@@ -30,6 +30,12 @@ class CommModel {
   virtual ~CommModel() = default;
   virtual double deliver(ProcId src, double ready, double duration) = 0;
   [[nodiscard]] virtual CommModelKind kind() const noexcept = 0;
+
+  /// Restores the freshly-constructed state so one instance can serve many
+  /// simulation runs without reallocating (contention-free models hold no
+  /// state; ported models rewind their port-free times).  After reset() the
+  /// model behaves exactly like a new make_comm_model product.
+  virtual void reset() {}
 };
 
 struct CommModelOptions {

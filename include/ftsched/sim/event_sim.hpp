@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ftsched/core/schedule.hpp"
@@ -63,11 +64,19 @@ struct SimulationOptions {
 /// Build-once/simulate-many event simulator for one schedule.
 ///
 /// Construction precomputes everything that depends only on the schedule —
-/// flat replica arrays, channel fan-out lists, the sorted per-processor
+/// flat replica arrays, CSR channel fan-out lists, the sorted per-processor
 /// execution queues — and each run(failures) resets just the dynamic state,
 /// so simulating the same schedule under many failure scenarios (crash
 /// counts, sweep cells) skips the per-call rebuild the one-shot simulate()
 /// pays.  run() is bit-identical to simulate() with the same arguments.
+///
+/// All dynamic state is structure-of-arrays: flat parallel arrays indexed
+/// by a build-once replica numbering (status bytes, in-edge satisfaction
+/// flags and live-source counts in one contiguous slot arena, start/finish
+/// times), so the per-run reset is a handful of fill/copy sweeps over
+/// contiguous memory instead of per-node touches, and the event queue is an
+/// arena-backed binary heap whose storage is retained across runs — steady
+/// state allocates nothing.
 ///
 /// The schedule must outlive the simulator.  run() mutates internal state:
 /// one simulator must not be run from two threads concurrently (use one
@@ -95,6 +104,14 @@ class ScheduleSimulator {
     double latency = std::numeric_limits<double>::infinity();
   };
   [[nodiscard]] Summary run_summary(const FailureScenario& failures = {});
+
+  /// Batch entry of the simulate-many loop: runs every scenario in order,
+  /// writing summaries[i] = run_summary(scenarios[i]).  One call amortises
+  /// the per-call plumbing and keeps the static structure and the dynamic
+  /// arenas hot in cache across all crash simulations of one schedule.
+  /// summaries must have at least scenarios.size() elements.
+  void run_batch(std::span<const FailureScenario> scenarios,
+                 std::span<Summary> summaries);
 
  private:
   class Impl;

@@ -1,8 +1,8 @@
 #include "ftsched/core/ftbar.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "ftsched/core/priorities.hpp"
@@ -37,6 +37,15 @@ class FtbarEngine {
     for (TaskId t : g_.tasks()) pending_[t.index()] = g_.in_degree(t);
     free_ = g_.entry_tasks();
     schedule_length_ = 0.0;  // R(0)
+    // Arrival-row memo (see select_most_urgent): one m-wide row per task,
+    // valid while no predecessor replica list has changed since it was
+    // computed.  rev 0 = "never computed"; list_rev_ starts at 1 so a fresh
+    // row is always stamped newer than every initial list.
+    arrival_rows_.assign(g_.task_count() * m_, 0.0);
+    row_stamp_.assign(g_.task_count(), 0);
+    list_rev_.assign(g_.task_count(), 1);
+    global_rev_ = 1;
+    sigma_.assign(m_, 0.0);
 
     while (!free_.empty()) {
       const auto [slot, procs] = select_most_urgent();
@@ -71,6 +80,43 @@ class FtbarEngine {
     return std::max(arrival, ready_[pj.index()]);
   }
 
+  /// The memoised message-arrival row of task t: arrival_rows_[t*m + j] =
+  /// max over in-edges of edge_arrival(e, pj), i.e. earliest_start without
+  /// the ready_ term.  The row depends only on the predecessors' replica
+  /// lists, so it stays valid across selection rounds until some
+  /// predecessor gains a replica (placement or MST duplication) — tracked
+  /// by stamping each replica list with the global revision at its last
+  /// change.  Recomputing lazily here turns the selection loop's
+  /// per-round replica × proc × in-edge walk into an O(in-degree) validity
+  /// check for the (common) unchanged tasks, which is what cuts FTBAR's
+  /// cubic inner loop.  The recomputation iterates exactly like the
+  /// original earliest_start fold, so every cached double is bit-identical
+  /// to the value the unmemoised loop would produce.
+  const double* arrival_row(TaskId t) {
+    const std::size_t ti = t.index();
+    bool valid = row_stamp_[ti] != 0;
+    if (valid) {
+      for (std::size_t e : g_.in_edges(t)) {
+        if (list_rev_[g_.edge(e).src.index()] > row_stamp_[ti]) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    double* row = arrival_rows_.data() + ti * m_;
+    if (!valid) {
+      for (std::size_t j = 0; j < m_; ++j) {
+        double arrival = 0.0;
+        for (std::size_t e : g_.in_edges(t)) {
+          arrival = std::max(arrival, edge_arrival(g_.edge(e), ProcId{j}));
+        }
+        row[j] = arrival;
+      }
+      row_stamp_[ti] = global_rev_;
+    }
+    return row;
+  }
+
   /// Evaluates schedule pressure for every free task; returns the index of
   /// the most urgent one and its Npf+1 minimum-pressure processors.
   std::pair<std::size_t, std::vector<ProcId>> select_most_urgent() {
@@ -78,36 +124,39 @@ class FtbarEngine {
     std::vector<ProcId> best_procs;
     double best_urgency = -kInf;
     std::uint64_t best_tie = 0;
+    // Partial selection scratch: the n_rep_ smallest (sigma, index) pairs
+    // in ascending lexicographic order — exactly the first n_rep_ entries
+    // a stable sort of the index range by sigma would produce.
+    kept_.reserve(n_rep_);
     for (std::size_t slot = 0; slot < free_.size(); ++slot) {
       const TaskId t = free_[slot];
       // σ(t, pj) = S(t, pj) + s(t) − R; the task-constant terms do not
       // change the per-task argmin but do enter the urgency comparison.
-      std::vector<double> sigma(m_);
+      const double* arrival = arrival_row(t);
+      const double shift = bl_[t.index()] - schedule_length_;
+      kept_.clear();
       for (std::size_t j = 0; j < m_; ++j) {
-        sigma[j] = earliest_start(t, ProcId{j}) + bl_[t.index()] -
-                   schedule_length_;
+        const double sigma = std::max(arrival[j], ready_[j]) + shift;
+        sigma_[j] = sigma;
+        // Insert into the kept set iff it beats the current worst (strict:
+        // on equal sigma the earlier index wins, matching stable sort).
+        if (kept_.size() == n_rep_ && sigma >= sigma_[kept_.back()]) continue;
+        std::size_t pos = kept_.size();
+        while (pos > 0 && sigma < sigma_[kept_[pos - 1]]) --pos;
+        if (kept_.size() == n_rep_) kept_.pop_back();
+        kept_.insert(kept_.begin() + static_cast<std::ptrdiff_t>(pos), j);
       }
-      std::vector<std::size_t> idx(m_);
-      std::iota(idx.begin(), idx.end(), std::size_t{0});
-      std::stable_sort(idx.begin(), idx.end(),
-                       [&sigma](std::size_t a, std::size_t b) {
-                         return sigma[a] < sigma[b];
-                       });
       // Urgency of t: the maximum pressure within its kept set.
-      double urgency = -kInf;
-      std::vector<ProcId> procs;
-      procs.reserve(n_rep_);
-      for (std::size_t i = 0; i < n_rep_; ++i) {
-        procs.emplace_back(idx[i]);
-        urgency = std::max(urgency, sigma[idx[i]]);
-      }
+      const double urgency = sigma_[kept_.back()];
       const std::uint64_t tie = rng_();
       if (urgency > best_urgency ||
           (urgency == best_urgency && tie > best_tie)) {
         best_urgency = urgency;
         best_tie = tie;
         best_slot = slot;
-        best_procs = std::move(procs);
+        best_procs.clear();
+        best_procs.reserve(n_rep_);
+        for (std::size_t j : kept_) best_procs.emplace_back(j);
       }
     }
     return {best_slot, std::move(best_procs)};
@@ -164,6 +213,7 @@ class FtbarEngine {
     ready_[pj.index()] = dup.finish;
     ready_pess_[pj.index()] = dup.pess_finish;
     replicas_[tc.index()].push_back(dup);
+    list_rev_[tc.index()] = ++global_rev_;  // invalidate successors' rows
   }
 
   /// Worst-case arrival (eq.-(3) style): max over predecessor replicas,
@@ -199,6 +249,7 @@ class FtbarEngine {
       schedule_length_ = std::max(schedule_length_, r.finish);
       replicas_[t.index()].push_back(r);
     }
+    list_rev_[t.index()] = ++global_rev_;  // t's successors must recompute
   }
 
   ReplicatedSchedule build_schedule() {
@@ -248,6 +299,15 @@ class FtbarEngine {
   std::vector<std::size_t> pending_;
   std::vector<TaskId> free_;
   double schedule_length_ = 0.0;
+  // Arrival-row memo (task × processor) with replica-list revisions; see
+  // arrival_row().  sigma_ and kept_ are per-round scratch hoisted out of
+  // the selection loop.
+  std::vector<double> arrival_rows_;
+  std::vector<std::uint64_t> row_stamp_;
+  std::vector<std::uint64_t> list_rev_;
+  std::uint64_t global_rev_ = 1;
+  std::vector<double> sigma_;
+  std::vector<std::size_t> kept_;
 };
 
 }  // namespace

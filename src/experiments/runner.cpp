@@ -1,7 +1,9 @@
 #include "ftsched/experiments/runner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
+#include <span>
 
 #include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/metrics/metrics.hpp"
@@ -12,31 +14,16 @@ namespace ftsched {
 
 namespace {
 
-/// Simulates one algorithm's schedule with the first `count` victims of
-/// `victims` crashing at their unit time scaled by `anchor` (the schedule's
-/// failure-free lower bound; unit time 0 = the paper's t=0 worst case).
-/// Runs on the algo's reusable build-once simulator.  No success
-/// assertion: graceful-degradation draws exceed ε.
-ScheduleSimulator::Summary simulate_crashes(
-    const InstanceSchedules::Algo& algo, double anchor,
-    const std::vector<std::size_t>& victims,
-    const std::vector<double>& unit_times, std::size_t count) {
+/// Builds the failure scenario of the first `count` victims of `draw`, each
+/// crashing at its unit time scaled by `anchor` (the schedule's failure-free
+/// lower bound; unit time 0 = the paper's t=0 worst case).
+FailureScenario make_scenario(const CellDraw& draw, double anchor,
+                              std::size_t count) {
   FailureScenario scenario;
   for (std::size_t i = 0; i < count; ++i) {
-    scenario.add(ProcId{victims[i]}, unit_times[i] * anchor);
+    scenario.add(ProcId{draw.victims[i]}, draw.unit_times[i] * anchor);
   }
-  return algo.simulator->run_summary(scenario);
-}
-
-double crash_latency(const InstanceSchedules::Algo& algo, double anchor,
-                     const std::vector<std::size_t>& victims,
-                     const std::vector<double>& unit_times,
-                     std::size_t count) {
-  const ScheduleSimulator::Summary result =
-      simulate_crashes(algo, anchor, victims, unit_times, count);
-  FTSCHED_REQUIRE(result.success,
-                  "simulation failed with <= epsilon crashes (Thm 4.1 bug)");
-  return result.latency;
+  return scenario;
 }
 
 /// Resolves a registry spec, injecting the instance's epsilon and seed as
@@ -138,72 +125,171 @@ InstanceSchedules build_instance_schedules(const Workload& workload,
     }
     auto simulator =
         std::make_unique<ScheduleSimulator>(*schedule, options.sim);
-    out.algos.push_back(InstanceSchedules::Algo{
-        algo, std::move(schedule), std::move(simulator), std::move(counts)});
+
+    InstanceSchedules::Algo entry;
+    entry.algo = algo;
+    entry.schedule = std::move(schedule);
+    entry.simulator = std::move(simulator);
+    entry.crash_counts = std::move(counts);
+    // Precompute every series name the simulate phase can emit, so cells
+    // never assemble strings on the hot path.
+    entry.crash_series_names.reserve(entry.crash_counts.size());
+    for (std::size_t k : entry.crash_counts) {
+      std::string series = algo.key + "-" + std::to_string(k) + "Crash";
+      entry.crash_series_names.emplace_back(series, "OH-" + series);
+    }
+    entry.success_series = algo.key + "-Success";
+    entry.drawn_series = algo.key + "-DrawnCrash";
+    entry.oh_drawn_series = "OH-" + algo.key + "-DrawnCrash";
+    out.algos.push_back(std::move(entry));
   }
   return out;
 }
 
-SeriesSample simulate_instance_cell(const InstanceSchedules& schedules,
-                                    Rng& rng, const CrashTimeLaw& crash_law,
-                                    const FailureModel& failure_model) {
-  const CostModel& costs = schedules.workload->costs();
+CellDraw draw_instance_cell(const InstanceSchedules& schedules, Rng& rng,
+                            const CrashTimeLaw& crash_law,
+                            const FailureModel& failure_model) {
   const std::size_t m = schedules.workload->platform().proc_count();
 
   // Shared crash victims and unit crash instants for this instance: every
   // algorithm's curve faces the same failures.  The default failure model
   // draws exactly the legacy sample_without_replacement(m, ε), and the
   // default t=0 law draws nothing, keeping legacy streams bit-identical.
-  const std::vector<std::size_t> victims =
-      failure_model.draw(rng, m, schedules.epsilon);
-  const std::size_t drawn = victims.size();
-  const std::vector<double> unit_times = crash_law.sample(rng, drawn);
-  const bool default_model = failure_model.is_default();
+  CellDraw draw;
+  draw.victims = failure_model.draw(rng, m, schedules.epsilon);
+  draw.unit_times = crash_law.sample(rng, draw.victims.size());
+  draw.default_model = failure_model.is_default();
+  return draw;
+}
+
+SeriesSample simulate_drawn_cell(const InstanceSchedules& schedules,
+                                 const CellDraw& draw,
+                                 SimulationCache* cache) {
+  const CostModel& costs = schedules.workload->costs();
+  const std::size_t drawn = draw.victims.size();
 
   SeriesSample sample = schedules.schedule_series;
   auto norm = [&costs](double latency) {
     return normalized_latency(latency, costs);
   };
-  if (!default_model) {
+  if (!draw.default_model) {
     // How many crashes the model actually drew (cell mean = the average
     // injected failure count, for degradation plots against ε).
     sample["DrawnCrashes"] = static_cast<double>(drawn);
   }
 
-  for (const InstanceSchedules::Algo& a : schedules.algos) {
+  // Per-algorithm scratch, reused across the loop.
+  std::vector<std::size_t> counts;
+  std::vector<ScheduleSimulator::Summary> summaries;
+  std::vector<SimulationCache::Key> miss_keys;
+  std::vector<std::size_t> miss_slots;
+  std::vector<FailureScenario> miss_scenarios;
+  std::vector<ScheduleSimulator::Summary> miss_summaries;
+
+  for (std::size_t ai = 0; ai < schedules.algos.size(); ++ai) {
+    const InstanceSchedules::Algo& a = schedules.algos[ai];
     const double anchor = a.schedule->lower_bound();
+
+    // Counts simulated for this cell: the legacy counts the draw covers (a
+    // prefix of the sorted crash_counts — a probabilistic model may draw
+    // fewer victims than a fixed series asks for, and then the instance
+    // simply doesn't sample that series; the default model always draws ε,
+    // covering every legacy count) plus, under a non-default model, the
+    // drawn scenario itself — all `drawn` victims, which may exceed ε.
+    counts.clear();
     for (std::size_t k : a.crash_counts) {
-      // A probabilistic model may draw fewer victims than a fixed series
-      // asks for; that instance simply doesn't sample the series (the
-      // default model always draws ε, covering every legacy count).
-      if (k > drawn) continue;
-      const double latency = crash_latency(a, anchor, victims, unit_times, k);
-      const std::string series =
-          a.algo.key + "-" + std::to_string(k) + "Crash";
-      sample[series] = norm(latency);
-      sample["OH-" + series] = overhead_percent(latency, schedules.ftsa_star);
+      if (k > drawn) break;
+      counts.push_back(k);
+    }
+    const std::size_t legacy = counts.size();
+    if (!draw.default_model) counts.push_back(drawn);
+    // When the drawn count coincides with the last legacy count the two
+    // slots are the same scenario: simulate once and alias.
+    const bool drawn_dup =
+        !draw.default_model && legacy > 0 && counts[legacy - 1] == drawn;
+    const std::size_t simulated = counts.size() - (drawn_dup ? 1 : 0);
+
+    summaries.assign(counts.size(), {});
+    miss_keys.clear();
+    miss_slots.clear();
+    miss_scenarios.clear();
+    for (std::size_t i = 0; i < simulated; ++i) {
+      if (cache != nullptr) {
+        SimulationCache::Key key;
+        key.algo = ai;
+        key.victims.assign(draw.victims.begin(),
+                           draw.victims.begin() +
+                               static_cast<std::ptrdiff_t>(counts[i]));
+        key.times.reserve(counts[i]);
+        for (std::size_t j = 0; j < counts[i]; ++j) {
+          key.times.push_back(std::bit_cast<std::uint64_t>(draw.unit_times[j]));
+        }
+        if (const auto it = cache->memo_.find(key);
+            it != cache->memo_.end()) {
+          summaries[i] = it->second;
+          ++cache->stats_.hits;
+          continue;
+        }
+        miss_keys.push_back(std::move(key));
+      }
+      miss_slots.push_back(i);
+      miss_scenarios.push_back(make_scenario(draw, anchor, counts[i]));
     }
 
-    if (!default_model) {
-      // The drawn scenario itself: all `drawn` victims, which may exceed
-      // the tolerated ε.  Past ε nothing is guaranteed, so instead of
-      // asserting we record a success indicator — its cell mean is the
-      // graceful-degradation success fraction — and latency/overhead over
-      // the surviving runs only.
-      const ScheduleSimulator::Summary result =
-          simulate_crashes(a, anchor, victims, unit_times, drawn);
+    if (!miss_scenarios.empty()) {
+      miss_summaries.assign(miss_scenarios.size(), {});
+      a.simulator->run_batch(miss_scenarios, miss_summaries);
+      for (std::size_t j = 0; j < miss_slots.size(); ++j) {
+        summaries[miss_slots[j]] = miss_summaries[j];
+        if (cache != nullptr) {
+          cache->memo_.emplace(std::move(miss_keys[j]), miss_summaries[j]);
+        }
+      }
+      if (cache != nullptr) {
+        cache->stats_.simulations += miss_scenarios.size();
+      }
+    }
+    if (drawn_dup) {
+      summaries.back() = summaries[legacy - 1];
+      if (cache != nullptr) ++cache->stats_.hits;
+    }
+
+    for (std::size_t i = 0; i < legacy; ++i) {
+      const ScheduleSimulator::Summary& result = summaries[i];
+      FTSCHED_REQUIRE(result.success,
+                      "simulation failed with <= epsilon crashes (Thm 4.1 "
+                      "bug)");
+      const auto& [series, oh_series] = a.crash_series_names[i];
+      sample[series] = norm(result.latency);
+      sample[oh_series] = overhead_percent(result.latency, schedules.ftsa_star);
+    }
+
+    if (!draw.default_model) {
+      // Past ε nothing is guaranteed, so instead of asserting we record a
+      // success indicator — its cell mean is the graceful-degradation
+      // success fraction — and latency/overhead over the surviving runs
+      // only.
+      const ScheduleSimulator::Summary& result = summaries[legacy];
       FTSCHED_REQUIRE(result.success || drawn > schedules.epsilon,
                       "simulation failed with <= epsilon crashes (Thm 4.1 "
                       "bug)");
-      sample[a.algo.key + "-Success"] = result.success ? 1.0 : 0.0;
+      sample[a.success_series] = result.success ? 1.0 : 0.0;
       if (result.success) {
-        sample[a.algo.key + "-DrawnCrash"] = norm(result.latency);
-        sample["OH-" + a.algo.key + "-DrawnCrash"] =
+        sample[a.drawn_series] = norm(result.latency);
+        sample[a.oh_drawn_series] =
             overhead_percent(result.latency, schedules.ftsa_star);
       }
     }
   }
   return sample;
+}
+
+SeriesSample simulate_instance_cell(const InstanceSchedules& schedules,
+                                    Rng& rng, const CrashTimeLaw& crash_law,
+                                    const FailureModel& failure_model) {
+  const CellDraw draw =
+      draw_instance_cell(schedules, rng, crash_law, failure_model);
+  return simulate_drawn_cell(schedules, draw, nullptr);
 }
 
 SeriesSample evaluate_instance(const Workload& workload, Rng& rng,

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -45,11 +44,12 @@ void skip_spaces(const std::string& s, std::size_t& i) {
   while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
 }
 
-std::string parse_json_string(const std::string& s, std::size_t& i,
-                              const std::string& where) {
+/// Parses one JSON string into `out` (cleared first, capacity retained).
+void parse_json_string(const std::string& s, std::size_t& i,
+                       const std::string& where, std::string& out) {
   if (i >= s.size() || s[i] != '"') malformed(where, "expected '\"'");
   ++i;
-  std::string out;
+  out.clear();
   while (i < s.size() && s[i] != '"') {
     if (s[i] == '\\') {
       ++i;
@@ -70,65 +70,93 @@ std::string parse_json_string(const std::string& s, std::size_t& i,
   }
   if (i >= s.size()) malformed(where, "unterminated string");
   ++i;  // closing quote
-  return out;
 }
 
-/// Parses one flat JSON object {"k":"v",...} (values: strings or bare
-/// tokens like the version integer) into a key → value map.
-std::map<std::string, std::string> parse_flat_json(const std::string& line,
-                                                   const std::string& where) {
-  std::map<std::string, std::string> out;
-  std::size_t i = 0;
-  skip_spaces(line, i);
-  if (i >= line.size() || line[i] != '{') malformed(where, "expected '{'");
-  ++i;
-  skip_spaces(line, i);
-  if (i < line.size() && line[i] == '}') return out;
-  while (true) {
+/// Reusable parse target for one flat JSON object {"k":"v",...} (values:
+/// strings or bare tokens like the version integer).  The field vector and
+/// its strings persist across parse() calls, so a million-record shard
+/// settles into zero allocations per line once capacities plateau —
+/// read_shard used to build a fresh std::map<string, string> (one node
+/// plus two strings per field) for every line.  Records hold a dozen-odd
+/// fields, so lookups scan linearly.
+class FlatObject {
+ public:
+  void parse(const std::string& line, const std::string& where) {
+    used_ = 0;
+    std::size_t i = 0;
     skip_spaces(line, i);
-    const std::string key = parse_json_string(line, i, where);
-    skip_spaces(line, i);
-    if (i >= line.size() || line[i] != ':') malformed(where, "expected ':'");
+    if (i >= line.size() || line[i] != '{') malformed(where, "expected '{'");
     ++i;
     skip_spaces(line, i);
-    std::string value;
-    if (i < line.size() && line[i] == '"') {
-      value = parse_json_string(line, i, where);
-    } else {
-      while (i < line.size() && line[i] != ',' && line[i] != '}') {
-        value.push_back(line[i]);
-        ++i;
+    if (i < line.size() && line[i] == '}') return;
+    while (true) {
+      if (used_ == fields_.size()) fields_.emplace_back();
+      Field& f = fields_[used_];
+      skip_spaces(line, i);
+      parse_json_string(line, i, where, f.key);
+      for (std::size_t j = 0; j < used_; ++j) {
+        if (fields_[j].key == f.key) {
+          malformed(where, "duplicate key '" + f.key + "'");
+        }
       }
-      while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
-        value.pop_back();
+      skip_spaces(line, i);
+      if (i >= line.size() || line[i] != ':') malformed(where, "expected ':'");
+      ++i;
+      skip_spaces(line, i);
+      if (i < line.size() && line[i] == '"') {
+        parse_json_string(line, i, where, f.value);
+      } else {
+        f.value.clear();
+        while (i < line.size() && line[i] != ',' && line[i] != '}') {
+          f.value.push_back(line[i]);
+          ++i;
+        }
+        while (!f.value.empty() &&
+               (f.value.back() == ' ' || f.value.back() == '\t')) {
+          f.value.pop_back();
+        }
       }
+      ++used_;
+      skip_spaces(line, i);
+      if (i >= line.size()) malformed(where, "unterminated object");
+      if (line[i] == '}') break;
+      if (line[i] != ',') malformed(where, "expected ',' or '}'");
+      ++i;
     }
-    if (!out.emplace(key, value).second) {
-      malformed(where, "duplicate key '" + key + "'");
-    }
-    skip_spaces(line, i);
-    if (i >= line.size()) malformed(where, "unterminated object");
-    if (line[i] == '}') break;
-    if (line[i] != ',') malformed(where, "expected ',' or '}'");
-    ++i;
   }
-  return out;
-}
 
-const std::string& field(const std::map<std::string, std::string>& object,
-                         const char* key, const std::string& where) {
-  const auto it = object.find(key);
-  if (it == object.end()) malformed(where, std::string("missing key '") + key + "'");
-  return it->second;
-}
+  [[nodiscard]] const std::string* find(const char* key) const {
+    for (std::size_t j = 0; j < used_; ++j) {
+      if (fields_[j].key == key) return &fields_[j].value;
+    }
+    return nullptr;
+  }
 
-/// Like field(), but absent keys fall back — for fields added to the
-/// protocol after version 1 shipped (old shards must stay mergeable).
-std::string field_or(const std::map<std::string, std::string>& object,
-                     const char* key, const char* fallback) {
-  const auto it = object.find(key);
-  return it == object.end() ? std::string(fallback) : it->second;
-}
+  [[nodiscard]] const std::string& field(const char* key,
+                                         const std::string& where) const {
+    const std::string* value = find(key);
+    if (value == nullptr) {
+      malformed(where, std::string("missing key '") + key + "'");
+    }
+    return *value;
+  }
+
+  /// Like field(), but absent keys fall back — for fields added to the
+  /// protocol after version 1 shipped (old shards must stay mergeable).
+  [[nodiscard]] std::string field_or(const char* key,
+                                     const char* fallback) const {
+    const std::string* value = find(key);
+    return value == nullptr ? std::string(fallback) : *value;
+  }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;
+  };
+  std::vector<Field> fields_;  ///< fields_[0..used_) valid after parse()
+  std::size_t used_ = 0;
+};
 
 std::vector<std::string> split_semicolons(const std::string& text) {
   std::vector<std::string> out;
@@ -279,58 +307,64 @@ void ShardWriterSink::on_sample(const InstanceCoord& coord,
 
 ShardFile read_shard(std::istream& in, const std::string& name) {
   ShardFile shard;
+  // Per-line scratch, allocated once: getline reuses `line`'s capacity,
+  // `object` reuses its field strings, and `where` its buffer.
   std::string line;
+  std::string where;
+  FlatObject object;
   std::size_t line_no = 0;
   bool have_header = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const std::string where = name + ":" + std::to_string(line_no);
-    const auto object = parse_flat_json(line, where);
+    where.assign(name);
+    where += ':';
+    where += std::to_string(line_no);
+    object.parse(line, where);
     if (!have_header) {
-      FTSCHED_REQUIRE(object.count("ftsched_sweep_shard") != 0,
+      FTSCHED_REQUIRE(object.find("ftsched_sweep_shard") != nullptr,
                       where + ": not a ftsched sweep shard file");
-      FTSCHED_REQUIRE(field(object, "ftsched_sweep_shard", where) == "1",
+      FTSCHED_REQUIRE(object.field("ftsched_sweep_shard", where) == "1",
                       where + ": unsupported shard protocol version");
       ShardHeader& h = shard.header;
-      h.seed = spec_detail::parse_u64("seed", field(object, "seed", where));
-      h.epsilon = parse_size("epsilon", field(object, "epsilon", where));
-      h.procs = parse_size("m", field(object, "m", where));
-      h.reps = parse_size("reps", field(object, "reps", where));
+      h.seed = spec_detail::parse_u64("seed", object.field("seed", where));
+      h.epsilon = parse_size("epsilon", object.field("epsilon", where));
+      h.procs = parse_size("m", object.field("m", where));
+      h.reps = parse_size("reps", object.field("reps", where));
       for (const std::string& k :
-           split_semicolons(field(object, "extra", where))) {
+           split_semicolons(object.field("extra", where))) {
         h.extra_crash_counts.push_back(parse_size("extra", k));
       }
       for (const std::string& g :
-           split_semicolons(field(object, "granularities", where))) {
+           split_semicolons(object.field("granularities", where))) {
         h.granularities.push_back(hex_to_double(g));
       }
-      h.workloads = split_semicolons(field(object, "workloads", where));
-      h.scenarios = split_semicolons(field(object, "scenarios", where));
+      h.workloads = split_semicolons(object.field("workloads", where));
+      h.scenarios = split_semicolons(object.field("scenarios", where));
       // Pre-failure-dimension shards carry the implicit single eps cell.
-      h.failures = split_semicolons(field_or(object, "failures", "eps"));
-      h.paper_params = field(object, "paper", where);
-      h.grid = spec_detail::parse_u64("grid", field(object, "grid", where));
+      h.failures = split_semicolons(object.field_or("failures", "eps"));
+      h.paper_params = object.field("paper", where);
+      h.grid = spec_detail::parse_u64("grid", object.field("grid", where));
       h.selected =
-          spec_detail::parse_u64("selected", field(object, "selected", where));
-      h.shard = field(object, "shard", where);
+          spec_detail::parse_u64("selected", object.field("selected", where));
+      h.shard = object.field("shard", where);
       have_header = true;
       continue;
     }
     ShardRecord record;
-    record.coord.id = spec_detail::parse_u64("id", field(object, "id", where));
-    record.coord.workload = parse_size("w", field(object, "w", where));
-    record.coord.scenario = parse_size("s", field(object, "s", where));
-    record.coord.failure = parse_size("f", field_or(object, "f", "0"));
-    record.coord.gran = parse_size("g", field(object, "g", where));
-    record.coord.rep = parse_size("r", field(object, "r", where));
-    record.series = field(object, "series", where);
+    record.coord.id = spec_detail::parse_u64("id", object.field("id", where));
+    record.coord.workload = parse_size("w", object.field("w", where));
+    record.coord.scenario = parse_size("s", object.field("s", where));
+    record.coord.failure = parse_size("f", object.field_or("f", "0"));
+    record.coord.gran = parse_size("g", object.field("g", where));
+    record.coord.rep = parse_size("r", object.field("r", where));
+    record.series = object.field("series", where);
     record.stats = OnlineStats::from_parts(
-        parse_size("n", field(object, "n", where)),
-        hex_to_double(field(object, "mean", where)),
-        hex_to_double(field(object, "m2", where)),
-        hex_to_double(field(object, "min", where)),
-        hex_to_double(field(object, "max", where)));
+        parse_size("n", object.field("n", where)),
+        hex_to_double(object.field("mean", where)),
+        hex_to_double(object.field("m2", where)),
+        hex_to_double(object.field("min", where)),
+        hex_to_double(object.field("max", where)));
     shard.records.push_back(std::move(record));
   }
   FTSCHED_REQUIRE(have_header, name + ": empty shard file (missing header)");
@@ -384,6 +418,9 @@ SweepResult merge_shards(const std::vector<ShardFile>& shards) {
   // reference series, so record coverage equals instance coverage).
   std::vector<int> owner(static_cast<std::size_t>(head.grid), -1);
   std::vector<const ShardRecord*> records;
+  std::size_t total_records = 0;
+  for (const ShardFile& s : shards) total_records += s.records.size();
+  records.reserve(total_records);
   for (std::size_t si = 0; si < shards.size(); ++si) {
     for (const ShardRecord& r : shards[si].records) {
       FTSCHED_REQUIRE(r.coord.id < head.grid,

@@ -174,7 +174,8 @@ std::vector<std::vector<std::size_t>> SweepPlan::group_selection() const {
 }
 
 std::vector<SeriesSample> SweepPlan::evaluate_group(
-    const std::vector<std::size_t>& members) const {
+    const std::vector<std::size_t>& members,
+    SimulationCache::Stats* stats) const {
   FTSCHED_REQUIRE(!members.empty(), "evaluate_group needs a non-empty group");
   const InstanceCoord first = coord(members.front());
   const std::uint64_t key = base_key(first);
@@ -194,6 +195,10 @@ std::vector<SeriesSample> SweepPlan::evaluate_group(
   const InstanceSchedules schedules =
       build_instance_schedules(*workload, options);
 
+  // One cache across the group's cells: identical (victims, instants)
+  // draws — shared k = 0 scenarios, coinciding model draws — run the event
+  // simulation once and fan the cached Summary out to every requester.
+  SimulationCache sim_cache;
   std::vector<SeriesSample> out;
   out.reserve(members.size());
   for (const std::size_t k : members) {
@@ -202,8 +207,13 @@ std::vector<SeriesSample> SweepPlan::evaluate_group(
                     "evaluate_group members must share one (workload, "
                     "granularity, repetition) base key");
     Rng cell_rng = rng;  // per-cell snapshot of the shared stream
-    out.push_back(
-        simulate_instance_cell(schedules, cell_rng, cell(c).law, cell(c).model));
+    const CellDraw draw =
+        draw_instance_cell(schedules, cell_rng, cell(c).law, cell(c).model);
+    out.push_back(simulate_drawn_cell(schedules, draw, &sim_cache));
+  }
+  if (stats != nullptr) {
+    stats->simulations += sim_cache.stats().simulations;
+    stats->hits += sim_cache.stats().hits;
   }
   return out;
 }
@@ -270,9 +280,10 @@ void run_plan(const SweepPlan& plan, SweepSink& sink,
       window_cv.wait(lock, [&] { return j < done_prefix + window; });
     }
     std::vector<SeriesSample> samples;
+    SimulationCache::Stats job_stats;
     try {
       samples = options.group
-                    ? plan.evaluate_group(jobs[j])
+                    ? plan.evaluate_group(jobs[j], &job_stats)
                     : std::vector<SeriesSample>{
                           plan.evaluate(plan.coord(jobs[j].front()))};
     } catch (...) {
@@ -288,6 +299,10 @@ void run_plan(const SweepPlan& plan, SweepSink& sink,
     std::unique_lock<std::mutex> lock(mutex);
     results[j] = std::move(samples);
     state[j] = 1;
+    if (options.stats != nullptr) {
+      options.stats->simulations_run += job_stats.simulations;
+      options.stats->dedupe_hits += job_stats.hits;
+    }
     while (done_prefix < job_count && state[done_prefix] != 0) ++done_prefix;
     window_cv.notify_all();
     // Deliver the order-prefix that just became complete.  One deliverer

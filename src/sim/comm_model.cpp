@@ -45,6 +45,11 @@ class PortedModel final : public CommModel {
 
   [[nodiscard]] CommModelKind kind() const noexcept override { return kind_; }
 
+  void reset() override {
+    // All ports free at t = 0 again; a heap of equal keys is trivially valid.
+    for (auto& heap : ports_) std::fill(heap.begin(), heap.end(), 0.0);
+  }
+
  private:
   CommModelKind kind_;
   std::vector<std::vector<double>> ports_;  // min-heaps of port-free times

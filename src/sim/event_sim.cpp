@@ -1,7 +1,7 @@
 #include "ftsched/sim/event_sim.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cstdint>
 
 #include "ftsched/util/error.hpp"
 
@@ -19,29 +19,38 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-enum class EventType : int { kFinish = 0, kMessage = 1, kCrash = 2 };
+enum class EventType : std::uint8_t { kFinish = 0, kMessage = 1, kCrash = 2 };
 
 struct Event {
   double time;
+  std::uint32_t seq;  // FIFO tie-break for full determinism
+  std::uint32_t a;    // finish: replica; message: dst replica; crash: proc
+  std::uint32_t b;    // message: flat in-slot of dst
   EventType type;
-  std::uint64_t seq;   // FIFO tie-break for full determinism
-  std::size_t a = 0;   // finish: replica; message: dst replica; crash: proc
-  std::size_t b = 0;   // message: in-edge slot of dst
 };
 
+// Min-queue order: earlier time, then finish < message < crash, then FIFO.
+// The order is total (seq is unique), so any heap implementation pops the
+// exact same event sequence — the bit-identity anchor of this rewrite.
 struct EventLater {
   bool operator()(const Event& x, const Event& y) const {
     if (x.time != y.time) return x.time > y.time;
-    if (x.type != y.type) return static_cast<int>(x.type) > static_cast<int>(y.type);
+    if (x.type != y.type) return x.type > y.type;
     return x.seq > y.seq;
   }
 };
 
-enum class State { kPending, kRunning, kCompleted, kDead, kCancelled };
+enum class State : std::uint8_t {
+  kPending,
+  kRunning,
+  kCompleted,
+  kDead,
+  kCancelled
+};
 
 struct OutChannel {
-  std::size_t dst;       // flat destination replica
-  std::size_t slot;      // in-edge slot within the destination
+  std::uint32_t dst;     // flat destination replica
+  std::uint32_t slot;    // flat in-slot of the destination (slot arena index)
   double comm_duration;  // volume * delay (0 for intra-processor)
   bool interproc;
 };
@@ -49,16 +58,21 @@ struct OutChannel {
 }  // namespace
 
 /// The simulator split along the static/dynamic line: everything derived
-/// from the schedule alone is computed once at construction; run() resets
-/// only the per-scenario state (assignments into retained buffers — no
-/// allocation in steady state) and replays the event loop.
+/// from the schedule alone is computed once at construction (flat replica
+/// arrays, CSR out-channel and per-processor queues, pristine copies of the
+/// countdown arrays); run() resets only the per-scenario state with
+/// fill/copy sweeps over flat arrays — structure-of-arrays, no per-node
+/// touches, no allocation in steady state — and replays the event loop on
+/// an arena-backed binary heap whose storage is retained across runs.
 class ScheduleSimulator::Impl {
  public:
   Impl(const ReplicatedSchedule& schedule, const SimulationOptions& options)
       : schedule_(schedule),
         options_(options),
         g_(schedule.graph()),
-        platform_(schedule.platform()) {
+        platform_(schedule.platform()),
+        contention_free_(options.comm.kind == CommModelKind::kContentionFree),
+        comm_(make_comm_model(schedule.platform().proc_count(), options.comm)) {
     build_static();
   }
 
@@ -69,36 +83,25 @@ class ScheduleSimulator::Impl {
 
   ScheduleSimulator::Summary run_summary(const FailureScenario& failures) {
     drive(failures);
-    // The latency fold of collect(), straight off the flat state arrays.
-    ScheduleSimulator::Summary s;
-    s.success = true;
-    double latency = 0.0;
-    for (TaskId t : g_.exit_tasks()) {
-      double done = kInf;
-      for (std::size_t flat = offset_[t.index()];
-           flat < offset_[t.index() + 1]; ++flat) {
-        if (state_[flat] == State::kCompleted) {
-          done = std::min(done, actual_finish_[flat]);
-        }
-      }
-      if (done == kInf) {
-        s.success = false;
-        s.latency = kInf;
-        return s;
-      }
-      latency = std::max(latency, done);
+    return summarize();
+  }
+
+  void run_batch(std::span<const FailureScenario> scenarios,
+                 std::span<ScheduleSimulator::Summary> summaries) {
+    FTSCHED_REQUIRE(summaries.size() >= scenarios.size(),
+                    "run_batch: summary span shorter than the scenario span");
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      drive(scenarios[i]);
+      summaries[i] = summarize();
     }
-    s.latency = latency;
-    return s;
   }
 
  private:
   void drive(const FailureScenario& failures) {
-    reset(failures);
+    reset();
     seed(failures);
     while (!events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
+      const Event ev = pop();
       switch (ev.type) {
         case EventType::kFinish:
           on_finish(ev.a, ev.time);
@@ -122,108 +125,170 @@ class ScheduleSimulator::Impl {
       offset_[t + 1] = offset_[t] + schedule_.replicas(TaskId{t}).size();
     }
     const std::size_t total = offset_[v];
-    task_of_.resize(total);
     proc_of_.resize(total);
     duration_.resize(total);
     sched_start_.resize(total);
-    out_.assign(total, {});
 
-    // In-edge slot bookkeeping: slot_of_edge_[e] is the position of edge e
-    // within its destination's in-edge list.
-    slot_of_edge_.assign(g_.edge_count(), 0);
+    // In-edge slots live in one arena: replica `flat` owns the contiguous
+    // range [in_offset_[flat], in_offset_[flat + 1]), one slot per in-edge
+    // of its task, in in-edge-list order.  slot_of_edge[e] is the position
+    // of edge e within its destination's in-edge list.
+    std::vector<std::size_t> slot_of_edge(g_.edge_count(), 0);
+    in_offset_.assign(total + 1, 0);
+    unsatisfied0_.assign(total, 0);
     for (TaskId t : g_.tasks()) {
       const auto in = g_.in_edges(t);
       for (std::size_t pos = 0; pos < in.size(); ++pos) {
-        slot_of_edge_[in[pos]] = pos;
+        slot_of_edge[in[pos]] = pos;
       }
       const auto& reps = schedule_.replicas(t);
       for (std::size_t k = 0; k < reps.size(); ++k) {
         const std::size_t flat = offset_[t.index()] + k;
-        task_of_[flat] = t;
-        proc_of_[flat] = reps[k].proc;
+        proc_of_[flat] = static_cast<std::uint32_t>(reps[k].proc.index());
         duration_[flat] = reps[k].finish - reps[k].start;
         sched_start_[flat] = reps[k].start;
-      }
-      unsatisfied0_.insert(unsatisfied0_.end(), reps.size(), in.size());
-      for (std::size_t k = 0; k < reps.size(); ++k) {
-        satisfied_.emplace_back(in.size(), 0);
-        live_sources0_.emplace_back(in.size(), 0);
+        in_offset_[flat + 1] = in.size();
+        unsatisfied0_[flat] = static_cast<std::uint32_t>(in.size());
       }
     }
-    // Channels -> outgoing lists and live-source counts.
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      in_offset_[flat + 1] += in_offset_[flat];
+    }
+    const std::size_t total_slots = in_offset_[total];
+    live_sources0_.assign(total_slots, 0);
+
+    // Channels -> CSR outgoing lists and live-source counts.  Two passes:
+    // count, then fill, preserving the per-source channel order of the
+    // schedule (edge-major, channel order within the edge).
+    out_offset_.assign(total + 1, 0);
+    for (std::size_t e = 0; e < g_.edge_count(); ++e) {
+      const Edge& edge = g_.edge(e);
+      for (const Channel& c : schedule_.channels(e)) {
+        ++out_offset_[offset_[edge.src.index()] + c.src_replica + 1];
+      }
+    }
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      out_offset_[flat + 1] += out_offset_[flat];
+    }
+    out_.resize(out_offset_[total]);
+    std::vector<std::size_t> fill(total, 0);
     for (std::size_t e = 0; e < g_.edge_count(); ++e) {
       const Edge& edge = g_.edge(e);
       for (const Channel& c : schedule_.channels(e)) {
         const std::size_t src = offset_[edge.src.index()] + c.src_replica;
         const std::size_t dst = offset_[edge.dst.index()] + c.dst_replica;
-        const std::size_t slot = slot_of_edge_[e];
-        const double d = platform_.delay(proc_of_[src], proc_of_[dst]);
-        out_[src].push_back(
-            OutChannel{dst, slot, edge.volume * d, proc_of_[src] != proc_of_[dst]});
-        ++live_sources0_[dst][slot];
+        const std::size_t slot = in_offset_[dst] + slot_of_edge[e];
+        const double d = platform_.delay(ProcId{proc_of_[src]}, ProcId{proc_of_[dst]});
+        out_[out_offset_[src] + fill[src]++] =
+            OutChannel{static_cast<std::uint32_t>(dst),
+                       static_cast<std::uint32_t>(slot), edge.volume * d,
+                       proc_of_[src] != proc_of_[dst]};
+        ++live_sources0_[slot];
       }
     }
-    // Per-processor execution order: scheduled start, then finish, then id.
-    queue_.assign(platform_.proc_count(), {});
-    for (std::size_t flat = 0; flat < total; ++flat) {
-      queue_[proc_of_[flat].index()].push_back(flat);
-    }
-    for (auto& q : queue_) {
-      std::sort(q.begin(), q.end(), [this](std::size_t a, std::size_t b) {
-        if (sched_start_[a] != sched_start_[b])
-          return sched_start_[a] < sched_start_[b];
-        return a < b;
-      });
-    }
-  }
 
-  // --- per-run reset --------------------------------------------------------
-
-  void reset(const FailureScenario& failures) {
-    const std::size_t total = task_of_.size();
+    // Per-processor execution order (CSR): scheduled start, then flat id.
     const std::size_t m = platform_.proc_count();
+    queue_offset_.assign(m + 1, 0);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      ++queue_offset_[proc_of_[flat] + 1];
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      queue_offset_[p + 1] += queue_offset_[p];
+    }
+    queue_.resize(total);
+    std::vector<std::size_t> qfill(m, 0);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      const std::size_t p = proc_of_[flat];
+      queue_[queue_offset_[p] + qfill[p]++] = static_cast<std::uint32_t>(flat);
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      std::sort(queue_.begin() + static_cast<std::ptrdiff_t>(queue_offset_[p]),
+                queue_.begin() + static_cast<std::ptrdiff_t>(queue_offset_[p + 1]),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  if (sched_start_[a] != sched_start_[b])
+                    return sched_start_[a] < sched_start_[b];
+                  return a < b;
+                });
+    }
+
+    // Exit-task replica ranges, for the summary fold.
+    for (TaskId t : g_.exit_tasks()) {
+      exit_ranges_.emplace_back(offset_[t.index()], offset_[t.index() + 1]);
+    }
+
+    // Size the dynamic arrays once; reset() only overwrites them.
     state_.assign(total, State::kPending);
     actual_start_.assign(total, 0.0);
     actual_finish_.assign(total, 0.0);
     unsatisfied_ = unsatisfied0_;
-    for (auto& s : satisfied_) std::fill(s.begin(), s.end(), 0);
-    // Element-wise copy-assign: the inner vectors keep their allocations.
+    satisfied_.assign(total_slots, 0);
     live_sources_ = live_sources0_;
     head_.assign(m, 0);
     busy_.assign(m, 0);
     crashed_.assign(m, 0);
-    crash_time_.assign(m, kInf);
-    for (const Crash& c : failures.crashes()) {
-      crash_time_[c.proc.index()] = c.time;
-    }
-    // The event loop drains the queue before returning, but a defensive
-    // clear keeps a failed previous run from leaking events into this one.
-    while (!events_.empty()) events_.pop();
+    // Worst-case live events: one finish per replica + one message per
+    // channel in flight + the crashes; reserving the replica+channel part
+    // up front makes the heap allocation-free for every scenario whose
+    // crash count fits the slack of the round-up.
+    events_.reserve(total + out_.size() + 16);
+  }
+
+  // --- per-run reset --------------------------------------------------------
+
+  void reset() {
+    // Contiguous fill/copy sweeps over the flat arrays — this is the whole
+    // per-run cost of the build-once split, so it must stay memset-shaped.
+    std::fill(state_.begin(), state_.end(), State::kPending);
+    std::fill(actual_start_.begin(), actual_start_.end(), 0.0);
+    std::fill(actual_finish_.begin(), actual_finish_.end(), 0.0);
+    std::copy(unsatisfied0_.begin(), unsatisfied0_.end(), unsatisfied_.begin());
+    std::fill(satisfied_.begin(), satisfied_.end(), std::uint8_t{0});
+    std::copy(live_sources0_.begin(), live_sources0_.end(),
+              live_sources_.begin());
+    std::fill(head_.begin(), head_.end(), 0u);
+    std::fill(busy_.begin(), busy_.end(), std::uint8_t{0});
+    std::fill(crashed_.begin(), crashed_.end(), std::uint8_t{0});
+    events_.clear();  // storage retained
     seq_ = 0;
     messages_delivered_ = 0;
-    // Fresh communication model per run: contention-aware models are
-    // stateful (they book delivery lanes as messages flow).
-    comm_ = make_comm_model(m, options_.comm);
+    // Contention-aware models are stateful (they book delivery lanes as
+    // messages flow); rewind instead of reallocating.  The contention-free
+    // default is stateless and bypassed entirely in on_finish.
+    if (!contention_free_) comm_->reset();
   }
 
   void seed(const FailureScenario& failures) {
     for (const Crash& c : failures.crashes()) {
-      push(Event{c.time, EventType::kCrash, seq_++, c.proc.index(), 0});
+      push(Event{c.time, seq_++, static_cast<std::uint32_t>(c.proc.index()), 0,
+                 EventType::kCrash});
     }
-    for (std::size_t p = 0; p < queue_.size(); ++p) {
+    const std::size_t m = platform_.proc_count();
+    for (std::size_t p = 0; p < m; ++p) {
       try_start(p, 0.0);
     }
   }
 
-  void push(Event ev) { events_.push(ev); }
+  void push(const Event& ev) {
+    events_.push_back(ev);
+    std::push_heap(events_.begin(), events_.end(), EventLater{});
+  }
 
-  // --- event handlers ---------------------------------------------------------
+  Event pop() {
+    std::pop_heap(events_.begin(), events_.end(), EventLater{});
+    const Event ev = events_.back();
+    events_.pop_back();
+    return ev;
+  }
+
+  // --- event handlers -------------------------------------------------------
 
   void try_start(std::size_t p, double now) {
     if (crashed_[p] || busy_[p]) return;
-    auto& q = queue_[p];
-    while (head_[p] < q.size()) {
-      const std::size_t flat = q[head_[p]];
+    const std::size_t end = queue_offset_[p + 1];
+    std::size_t cursor = queue_offset_[p] + head_[p];
+    for (; cursor < end; ++cursor) {
+      const std::uint32_t flat = queue_[cursor];
       const State s = state_[flat];
       if (s == State::kCancelled || s == State::kDead) {
         ++head_[p];  // skip provably-never-ready / lost replicas
@@ -234,49 +299,57 @@ class ScheduleSimulator::Impl {
       busy_[p] = 1;
       actual_start_[flat] = now;
       const double finish = now + duration_[flat];
-      push(Event{finish, EventType::kFinish, seq_++, flat, 0});
+      push(Event{finish, seq_++, flat, 0, EventType::kFinish});
       return;
     }
   }
 
-  void on_finish(std::size_t flat, double now) {
+  void on_finish(std::uint32_t flat, double now) {
     if (state_[flat] != State::kRunning) return;  // killed by a crash
     state_[flat] = State::kCompleted;
     actual_finish_[flat] = now;
-    const std::size_t p = proc_of_[flat].index();
+    const std::size_t p = proc_of_[flat];
     busy_[p] = 0;
     ++head_[p];
     // Emit all outgoing messages (active replication: send unconditionally).
-    for (const OutChannel& ch : out_[flat]) {
+    const std::size_t out_end = out_offset_[flat + 1];
+    for (std::size_t i = out_offset_[flat]; i < out_end; ++i) {
+      const OutChannel& ch = out_[i];
       if (ch.interproc) {
-        const double arrival = comm_->deliver(proc_of_[flat], now, ch.comm_duration);
+        // Contention-free arrival is ready + duration exactly; skipping the
+        // virtual dispatch changes no double.
+        const double arrival =
+            contention_free_
+                ? now + ch.comm_duration
+                : comm_->deliver(ProcId{proc_of_[flat]}, now, ch.comm_duration);
         ++messages_delivered_;
-        push(Event{arrival, EventType::kMessage, seq_++, ch.dst, ch.slot});
+        push(Event{arrival, seq_++, ch.dst, ch.slot, EventType::kMessage});
       } else {
-        push(Event{now, EventType::kMessage, seq_++, ch.dst, ch.slot});
+        push(Event{now, seq_++, ch.dst, ch.slot, EventType::kMessage});
       }
     }
     try_start(p, now);
   }
 
-  void on_message(std::size_t dst, std::size_t slot, double now) {
-    if (satisfied_[dst][slot]) return;  // first input wins; ignore the rest
-    satisfied_[dst][slot] = 1;
+  void on_message(std::uint32_t dst, std::uint32_t slot, double now) {
+    if (satisfied_[slot]) return;  // first input wins; ignore the rest
+    satisfied_[slot] = 1;
     FTSCHED_ASSERT(unsatisfied_[dst] > 0, "satisfied count underflow");
     --unsatisfied_[dst];
     if (state_[dst] == State::kPending && unsatisfied_[dst] == 0) {
-      try_start(proc_of_[dst].index(), now);
+      try_start(proc_of_[dst], now);
     }
   }
 
-  void on_crash(std::size_t p, double now) {
+  void on_crash(std::uint32_t p, double now) {
     if (crashed_[p]) return;
     crashed_[p] = 1;
     // Kill everything on p that has not completed by `now`.  A replica
     // finishing exactly at the crash instant counts as completed (its
     // finish event sorts before the crash event at equal time).
-    for (std::size_t i = head_[p]; i < queue_[p].size(); ++i) {
-      const std::size_t flat = queue_[p][i];
+    const std::size_t end = queue_offset_[p + 1];
+    for (std::size_t i = queue_offset_[p] + head_[p]; i < end; ++i) {
+      const std::uint32_t flat = queue_[i];
       if (state_[flat] == State::kPending || state_[flat] == State::kRunning) {
         mark_lost(flat, State::kDead, now);
       }
@@ -286,17 +359,18 @@ class ScheduleSimulator::Impl {
 
   /// Marks a replica dead/cancelled and propagates doomed-input
   /// cancellations downstream.
-  void mark_lost(std::size_t flat, State lost_state, double now) {
+  void mark_lost(std::uint32_t flat, State lost_state, double now) {
     FTSCHED_ASSERT(state_[flat] == State::kPending ||
                        state_[flat] == State::kRunning,
                    "losing a replica twice");
     state_[flat] = lost_state;
-    for (const OutChannel& ch : out_[flat]) {
-      FTSCHED_ASSERT(live_sources_[ch.dst][ch.slot] > 0,
-                     "live source count underflow");
-      if (--live_sources_[ch.dst][ch.slot] == 0 && !satisfied_[ch.dst][ch.slot] &&
+    const std::size_t out_end = out_offset_[flat + 1];
+    for (std::size_t i = out_offset_[flat]; i < out_end; ++i) {
+      const OutChannel& ch = out_[i];
+      FTSCHED_ASSERT(live_sources_[ch.slot] > 0, "live source count underflow");
+      if (--live_sources_[ch.slot] == 0 && !satisfied_[ch.slot] &&
           state_[ch.dst] == State::kPending) {
-        const std::size_t dp = proc_of_[ch.dst].index();
+        const std::size_t dp = proc_of_[ch.dst];
         mark_lost(ch.dst, State::kCancelled, now);
         // Skipping the cancelled head may unblock the processor.
         if (!crashed_[dp]) try_start(dp, now);
@@ -304,7 +378,31 @@ class ScheduleSimulator::Impl {
     }
   }
 
-  // --- results -----------------------------------------------------------------
+  // --- results --------------------------------------------------------------
+
+  /// Success + achieved latency straight off the flat state arrays: the
+  /// latency fold of collect() without materialising per-replica outcomes.
+  ScheduleSimulator::Summary summarize() const {
+    ScheduleSimulator::Summary s;
+    s.success = true;
+    double latency = 0.0;
+    for (const auto& [begin, end] : exit_ranges_) {
+      double done = kInf;
+      for (std::size_t flat = begin; flat < end; ++flat) {
+        if (state_[flat] == State::kCompleted) {
+          done = std::min(done, actual_finish_[flat]);
+        }
+      }
+      if (done == kInf) {
+        s.success = false;
+        s.latency = kInf;
+        return s;
+      }
+      latency = std::max(latency, done);
+    }
+    s.latency = latency;
+    return s;
+  }
 
   SimulationResult collect() const {
     SimulationResult r;
@@ -358,33 +456,35 @@ class ScheduleSimulator::Impl {
   SimulationOptions options_;
   const TaskGraph& g_;
   const Platform& platform_;
-  std::unique_ptr<CommModel> comm_;
+  bool contention_free_;
+  std::unique_ptr<CommModel> comm_;  ///< built once, reset per run
 
   // Static (built once from the schedule).
-  std::vector<std::size_t> offset_;
-  std::vector<TaskId> task_of_;
-  std::vector<ProcId> proc_of_;
+  std::vector<std::size_t> offset_;       ///< task -> flat replica range
+  std::vector<std::uint32_t> proc_of_;    ///< flat replica -> processor
   std::vector<double> duration_;
   std::vector<double> sched_start_;
-  std::vector<std::vector<OutChannel>> out_;
-  std::vector<std::size_t> slot_of_edge_;
-  std::vector<std::vector<std::size_t>> queue_;
-  std::vector<std::size_t> unsatisfied0_;
-  std::vector<std::vector<std::size_t>> live_sources0_;
+  std::vector<std::size_t> out_offset_;   ///< flat replica -> out_ CSR range
+  std::vector<OutChannel> out_;
+  std::vector<std::size_t> in_offset_;    ///< flat replica -> slot arena range
+  std::vector<std::uint32_t> unsatisfied0_;
+  std::vector<std::uint32_t> live_sources0_;
+  std::vector<std::size_t> queue_offset_;  ///< processor -> queue_ CSR range
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::pair<std::size_t, std::size_t>> exit_ranges_;
 
-  // Dynamic (reset per run; buffers retained across runs).
+  // Dynamic (overwritten by reset(); all flat, nothing nested).
   std::vector<State> state_;
   std::vector<double> actual_start_;
   std::vector<double> actual_finish_;
-  std::vector<std::size_t> unsatisfied_;
-  std::vector<std::vector<char>> satisfied_;
-  std::vector<std::vector<std::size_t>> live_sources_;
-  std::vector<std::size_t> head_;
-  std::vector<char> busy_;
-  std::vector<char> crashed_;
-  std::vector<double> crash_time_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::uint64_t seq_ = 0;
+  std::vector<std::uint32_t> unsatisfied_;   ///< copied from unsatisfied0_
+  std::vector<std::uint8_t> satisfied_;      ///< slot arena, zero-filled
+  std::vector<std::uint32_t> live_sources_;  ///< copied from live_sources0_
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint8_t> busy_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<Event> events_;  ///< binary min-heap, storage retained
+  std::uint32_t seq_ = 0;
   std::size_t messages_delivered_ = 0;
 };
 
@@ -404,6 +504,11 @@ SimulationResult ScheduleSimulator::run(const FailureScenario& failures) {
 ScheduleSimulator::Summary ScheduleSimulator::run_summary(
     const FailureScenario& failures) {
   return impl_->run_summary(failures);
+}
+
+void ScheduleSimulator::run_batch(std::span<const FailureScenario> scenarios,
+                                  std::span<Summary> summaries) {
+  impl_->run_batch(scenarios, summaries);
 }
 
 SimulationResult simulate(const ReplicatedSchedule& schedule,

@@ -1,0 +1,241 @@
+// Batch/SoA simulation engine equivalence (PR 6 tentpole): the reusable
+// ScheduleSimulator — run(), run_summary(), run_batch() — must be bit-exact
+// with a fresh one-shot simulate() for every scenario, in every order, on
+// every comm model; and the cross-cell draw dedupe (SimulationCache /
+// simulate_drawn_cell) must fan cached Summaries out without changing a
+// single double, including graceful-degradation cells whose draws exceed ε.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/experiments/runner.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+#include "proptest.hpp"
+
+namespace ftsched {
+namespace {
+
+/// Uniform draw from {0, ..., n-1}.
+std::size_t below(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::unique_ptr<Workload> random_workload(Rng& rng, std::size_t procs,
+                                          std::size_t tasks) {
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  return make_paper_workload(rng, params);
+}
+
+/// A scenario of `count` random victims at random instants — beyond the
+/// tolerated ε half the time, so failure paths are exercised too.
+FailureScenario random_scenario(Rng& rng, std::size_t procs, double anchor) {
+  const std::size_t count = below(rng, procs);
+  const auto victims = rng.sample_without_replacement(procs, count);
+  FailureScenario scenario;
+  for (const std::size_t v : victims) {
+    scenario.add(ProcId{v}, rng.uniform(0.0, 1.5) * anchor);
+  }
+  return scenario;
+}
+
+/// Bit-exact Summary equality: same flag, same latency double (infinities
+/// compare equal to themselves, which is what failed runs produce).
+void expect_same(const ScheduleSimulator::Summary& got,
+                 const SimulationResult& want) {
+  EXPECT_EQ(got.success, want.success);
+  if (std::isinf(want.latency)) {
+    EXPECT_TRUE(std::isinf(got.latency));
+  } else {
+    EXPECT_EQ(got.latency, want.latency);
+  }
+}
+
+TEST(BatchSim, RunBatchMatchesFreshSimulatePerScenario) {
+  proptest::check(
+      "run_batch / run_summary / run == fresh simulate(), bit for bit",
+      [](Rng& rng, std::uint64_t) {
+        const std::size_t procs = 4 + below(rng, 4);
+        const auto w = random_workload(rng, procs, 12 + below(rng, 20));
+        const std::size_t eps = 1 + below(rng, 2);
+        const auto s = ftsa_schedule(w->costs(), FtsaOptions{eps, 0});
+
+        std::vector<FailureScenario> scenarios;
+        for (std::size_t i = 0; i < 8; ++i) {
+          scenarios.push_back(random_scenario(rng, procs, s.lower_bound()));
+        }
+
+        // Reference: a brand-new engine per scenario (the one-shot path).
+        std::vector<SimulationResult> fresh;
+        fresh.reserve(scenarios.size());
+        for (const FailureScenario& scenario : scenarios) {
+          fresh.push_back(simulate(s, scenario));
+        }
+
+        // One reused simulator, batch call.
+        ScheduleSimulator sim(s);
+        std::vector<ScheduleSimulator::Summary> batch(scenarios.size());
+        sim.run_batch(scenarios, batch);
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+          expect_same(batch[i], fresh[i]);
+        }
+
+        // Same engine again, per-call and in *reverse* order: results must
+        // not depend on what ran before (the reset contract).
+        for (std::size_t i = scenarios.size(); i-- > 0;) {
+          expect_same(sim.run_summary(scenarios[i]), fresh[i]);
+          const SimulationResult rerun = sim.run(scenarios[i]);
+          EXPECT_EQ(rerun.success, fresh[i].success);
+          EXPECT_EQ(rerun.completed_replicas, fresh[i].completed_replicas);
+          EXPECT_EQ(rerun.dead_replicas, fresh[i].dead_replicas);
+          EXPECT_EQ(rerun.cancelled_replicas, fresh[i].cancelled_replicas);
+        }
+      },
+      {.iterations = 10});
+}
+
+TEST(BatchSim, RunBatchMatchesFreshSimulateUnderPortedComm) {
+  // The ported comm model carries per-run heap state; its reset() must make
+  // a reused simulator indistinguishable from a fresh one.
+  proptest::check(
+      "run_batch == fresh simulate() under the one-port model",
+      [](Rng& rng, std::uint64_t) {
+        const std::size_t procs = 4 + below(rng, 3);
+        const auto w = random_workload(rng, procs, 12 + below(rng, 12));
+        const auto s = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+        SimulationOptions options;
+        options.comm.kind = CommModelKind::kOnePort;
+
+        std::vector<FailureScenario> scenarios;
+        for (std::size_t i = 0; i < 6; ++i) {
+          scenarios.push_back(random_scenario(rng, procs, s.lower_bound()));
+        }
+        ScheduleSimulator sim(s, options);
+        std::vector<ScheduleSimulator::Summary> batch(scenarios.size());
+        sim.run_batch(scenarios, batch);
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+          expect_same(batch[i], simulate(s, scenarios[i], options));
+        }
+      },
+      {.iterations = 8});
+}
+
+TEST(BatchSim, DrawnCellWithCacheMatchesUncachedCell) {
+  // simulate_drawn_cell must be bit-identical with and without a shared
+  // SimulationCache, for default and non-default failure models (the latter
+  // drawing past ε into the graceful-degradation series).
+  proptest::check(
+      "simulate_drawn_cell(cache) == simulate_instance_cell, bit for bit",
+      [](Rng& rng, std::uint64_t) {
+        const std::size_t procs = 5 + below(rng, 3);
+        const auto w = random_workload(rng, procs, 14 + below(rng, 12));
+        InstanceOptions options;
+        options.epsilon = 1 + below(rng, 2);
+        options.seed = rng();
+        const InstanceSchedules schedules =
+            build_instance_schedules(*w, options);
+
+        const std::vector<CrashTimeLaw> laws = {
+            CrashTimeLaw::parse("t0"), CrashTimeLaw::parse("uniform:hi=1")};
+        // bernoulli:p=0.7 draws more than ε victims often, exercising the
+        // >ε degradation path (success indicator, possibly failed runs).
+        const std::vector<FailureModel> models = {
+            FailureModel::parse("eps"), FailureModel::parse("bernoulli:p=0.7"),
+            FailureModel::parse("fixed:k=" + std::to_string(options.epsilon))};
+
+        SimulationCache cache;
+        for (const CrashTimeLaw& law : laws) {
+          for (const FailureModel& model : models) {
+            Rng cell_rng = rng;  // each cell re-reads the shared stream
+            Rng check_rng = rng;
+            const CellDraw draw =
+                draw_instance_cell(schedules, cell_rng, law, model);
+            const SeriesSample with_cache =
+                simulate_drawn_cell(schedules, draw, &cache);
+            const SeriesSample reference =
+                simulate_instance_cell(schedules, check_rng, law, model);
+            EXPECT_EQ(with_cache, reference);
+          }
+        }
+        // eps and fixed:k=ε consume identical draws per law, and the shared
+        // k = 0 scenario repeats across all six cells: the cache must have
+        // fanned out at least those.
+        EXPECT_GT(cache.stats().hits, 0u);
+        EXPECT_GT(cache.stats().simulations, 0u);
+
+        // Replaying any cell against the warm cache is pure fan-out: the
+        // hit counter grows, the simulation counter must not.
+        Rng replay_rng = rng;
+        const CellDraw replay = draw_instance_cell(schedules, replay_rng,
+                                                   laws[0], models[0]);
+        const std::uint64_t sims_before = cache.stats().simulations;
+        const std::uint64_t hits_before = cache.stats().hits;
+        const SeriesSample again = simulate_drawn_cell(schedules, replay, &cache);
+        Rng ref_rng = rng;
+        EXPECT_EQ(again, simulate_instance_cell(schedules, ref_rng, laws[0],
+                                                models[0]));
+        EXPECT_EQ(cache.stats().simulations, sims_before);
+        EXPECT_GT(cache.stats().hits, hits_before);
+      },
+      {.iterations = 6});
+}
+
+TEST(BatchSim, EvaluateGroupStatsCountDedupedSimulations) {
+  // A grid whose failure cells draw identical (victims, instants) tuples —
+  // eps vs fixed:k=ε — plus the always-shared k = 0 scenario: the grouped
+  // path must report cache hits while staying bit-identical to the
+  // per-coordinate reference.
+  FigureConfig config = figure_config(1);
+  config.granularities = {0.5, 1.0};
+  config.graphs_per_point = 2;
+  config.proc_count = 6;
+  config.workload.proc_count = 6;
+  config.seed = 23;
+  config.threads = 1;
+  config.scenarios = {"t0", "uniform:hi=1"};
+  config.failure_models = {"eps", "fixed:k=" + std::to_string(config.epsilon),
+                           "bernoulli:p=0.5"};
+  const SweepPlan plan(config);
+
+  SimulationCache::Stats stats;
+  for (const auto& group : plan.group_selection()) {
+    const std::vector<SeriesSample> grouped =
+        plan.evaluate_group(group, &stats);
+    ASSERT_EQ(grouped.size(), group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(grouped[i], plan.evaluate(plan.coord(group[i])))
+          << "member " << i << " diverged from the per-coordinate path";
+    }
+  }
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_GT(stats.hits, 0u);
+
+  // The same counters surface through run_plan's options.
+  RunPlanStats run_stats;
+  OnlineStatsSink grouped_sink(plan);
+  RunPlanOptions run_options;
+  run_options.stats = &run_stats;
+  run_plan(plan, grouped_sink, run_options);
+  SweepResult grouped = grouped_sink.take();
+
+  OnlineStatsSink ungrouped_sink(plan);
+  RunPlanOptions ungrouped_options;
+  ungrouped_options.group = false;
+  run_plan(plan, ungrouped_sink, ungrouped_options);
+  SweepResult ungrouped = ungrouped_sink.take();
+
+  EXPECT_TRUE(sweep_results_identical(grouped, ungrouped));
+  EXPECT_EQ(run_stats.simulations_run, stats.simulations);
+  EXPECT_EQ(run_stats.dedupe_hits, stats.hits);
+}
+
+}  // namespace
+}  // namespace ftsched
