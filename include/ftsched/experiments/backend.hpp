@@ -1,0 +1,111 @@
+// Pluggable sweep execution backends.
+//
+// `run_plan` is the in-process engine; a `SweepBackend` decides *where*
+// the plan's shards execute while keeping the exact same contract: samples
+// are delivered to the SweepSink serially in increasing-id order, and the
+// delivered doubles are bit-identical whatever backend ran them.  Backends
+// are selected by spec string through the same SpecRegistry seam as
+// schedulers, workload families and failure models:
+//
+//   inproc[:threads=N]                  the current ParallelExecutor path
+//   subprocess[:workers=K,retries=R]    fork/exec `ftsched_cli sweep
+//                                       --shard j/K` children speaking the
+//                                       JSONL shard protocol
+//   socket                              reserved for the sweep-coordinator
+//                                       service (registered, unimplemented)
+//
+// The subprocess backend dogfoods the repo's own robustness story: a dead
+// child (nonzero exit, signal), a truncated or corrupt shard file, and a
+// grid mismatch are all detected per shard; failed shards are retried up
+// to R times and an exhausted shard surfaces a SweepBackendError naming
+// the shard and the cause.  Because every child speaks the bit-exact shard
+// protocol and delivery re-imposes id order, a subprocess run is
+// byte-identical to the in-process run by construction — the CI
+// byte-compare extends the threads=N≡1 and grouped≡ungrouped guarantees
+// across the process boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/spec.hpp"
+
+namespace ftsched {
+
+/// Structured failure of a backend run: which shard died and why.  The
+/// what() string carries both; the accessors keep them separable for
+/// callers that want to reschedule rather than print.
+class SweepBackendError : public Error {
+ public:
+  SweepBackendError(const std::string& backend, const std::string& shard,
+                    const std::string& cause)
+      : Error("sweep backend '" + backend + "': shard " + shard + ": " +
+              cause),
+        backend_(backend),
+        shard_(shard),
+        cause_(cause) {}
+
+  [[nodiscard]] const std::string& backend() const noexcept {
+    return backend_;
+  }
+  /// Shard chain label of the failed shard, e.g. "1/3" or "0/3,1/2".
+  [[nodiscard]] const std::string& shard() const noexcept { return shard_; }
+  [[nodiscard]] const std::string& cause() const noexcept { return cause_; }
+
+ private:
+  std::string backend_;
+  std::string shard_;
+  std::string cause_;
+};
+
+/// Where a sweep plan executes.  Implementations must deliver samples to
+/// the sink exactly like run_plan does — serially, in increasing-id order,
+/// bit-identical doubles — so every sink (OnlineStatsSink, ShardWriterSink)
+/// works under every backend unchanged.
+class SweepBackend {
+ public:
+  virtual ~SweepBackend() = default;
+
+  /// One-line human description ("in-process (threads=4)", ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Executes the plan's selected instances and streams the samples into
+  /// `sink`.  Throws SweepBackendError when a shard cannot be completed.
+  virtual void run(const SweepPlan& plan, SweepSink& sink,
+                   const RunPlanOptions& options = {}) const = 0;
+};
+
+using SweepBackendPtr = std::unique_ptr<SweepBackend>;
+
+/// Backend registry ("name:key=value" specs, like every other registry).
+class SweepBackendRegistry : public SpecRegistry<SweepBackendPtr> {
+ public:
+  SweepBackendRegistry() : SpecRegistry<SweepBackendPtr>("sweep backend") {}
+
+  /// The global registry with the built-in backends (inproc, subprocess,
+  /// and the reserved socket entry) pre-registered.
+  [[nodiscard]] static const SweepBackendRegistry& global();
+};
+
+/// Resolves a backend spec through the global registry, filling `defaults`
+/// for supported keys the spec leaves unset (the CLI injects its own
+/// binary path as the `bin` default this way).
+[[nodiscard]] SweepBackendPtr make_sweep_backend(
+    const std::string& spec,
+    const std::vector<std::pair<std::string, std::string>>& defaults = {});
+
+/// Renders the `ftsched_cli sweep` flags that rebuild `config`'s grid in a
+/// child process: figure base plus every dimension the CLI can express
+/// (granularities round-trip exactly via the canonical double rendition).
+/// Programmatic tweaks the CLI grammar cannot carry (custom
+/// PaperWorkloadParams, hand-edited extra crash counts) are *not* rendered;
+/// the subprocess backend detects the resulting grid drift by comparing
+/// the child's shard fingerprint against the plan's and fails loudly.
+[[nodiscard]] std::vector<std::string> sweep_cli_args(
+    const FigureConfig& config);
+
+}  // namespace ftsched

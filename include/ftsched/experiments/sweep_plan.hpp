@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -219,6 +220,12 @@ struct RunPlanOptions {
   /// Optional dedupe counters, accumulated across all groups under the
   /// delivery lock (grouped path only).  Must outlive the run_plan call.
   RunPlanStats* stats = nullptr;
+  /// Worker-thread override for the in-process executor; unset = use
+  /// plan.config().threads (where 0 = hardware concurrency).  Execution
+  /// backends (experiments/backend.hpp) route their `threads` spec option
+  /// through this, so one plan can be re-run under different worker counts
+  /// without rebuilding its FigureConfig.
+  std::optional<std::size_t> threads;
 };
 
 /// Evaluates the plan's selected instances on `plan.config().threads`

@@ -14,6 +14,7 @@
 #include "ftsched/util/rng.hpp"
 #include "ftsched/util/spec.hpp"
 #include "ftsched/util/stats.hpp"
+#include "ftsched/util/subprocess.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/util/timer.hpp"
 
@@ -59,6 +60,7 @@
 #include "ftsched/sim/validator.hpp"
 
 // metrics + experiments.
+#include "ftsched/experiments/backend.hpp"
 #include "ftsched/experiments/config.hpp"
 #include "ftsched/experiments/figures.hpp"
 #include "ftsched/experiments/runner.hpp"

@@ -1,0 +1,62 @@
+// Minimal POSIX child-process spawning for the subprocess sweep backend.
+//
+// `ChildProcess::spawn` fork/execs one command with stdout/stderr
+// redirected to files, `wait()` reaps it into a `ChildOutcome` that
+// distinguishes the three failure shapes a dead worker can take — nonzero
+// exit, termination by signal, unrunnable binary — so callers can name the
+// cause instead of reporting a generic failure.  Spawning is deliberately
+// synchronous and file-based (no pipes to drain): the sweep protocol
+// already streams through shard files, and a worker fleet is managed as
+// "spawn K, wait K" waves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftsched {
+
+/// How one child terminated.
+struct ChildOutcome {
+  bool exited = false;   ///< normal exit (vs. killed by a signal)
+  int exit_code = -1;    ///< valid when `exited`
+  int signal_number = 0; ///< valid when not `exited`
+
+  [[nodiscard]] bool success() const noexcept {
+    return exited && exit_code == 0;
+  }
+  /// "exited with status 3" / "killed by signal 9 (Killed)"; exec failures
+  /// inside the child surface as status 127.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One spawned child.  Move-only handle; the destructor does NOT reap —
+/// call wait() exactly once per spawned child (the backend always does, so
+/// no zombie is left even on the error paths).
+class ChildProcess {
+ public:
+  /// Fork/execs `argv` (argv[0] is the executable path, resolved via PATH
+  /// when it contains no '/').  Non-empty `stdout_path`/`stderr_path`
+  /// redirect the respective stream to that file (created/truncated);
+  /// empty inherits the parent's stream.  Throws Error when the process
+  /// cannot be created; a failed exec *inside* the child is reported by
+  /// wait() as exit status 127 (the shell convention), with the reason on
+  /// the child's stderr.
+  [[nodiscard]] static ChildProcess spawn(const std::vector<std::string>& argv,
+                                          const std::string& stdout_path,
+                                          const std::string& stderr_path);
+
+  /// Blocks until the child terminates and reports how.
+  [[nodiscard]] ChildOutcome wait();
+
+  [[nodiscard]] long pid() const noexcept { return pid_; }
+
+ private:
+  long pid_ = -1;
+};
+
+/// Absolute path of the running executable (/proc/self/exe); empty when it
+/// cannot be resolved.  This is how ftsched_cli finds itself when spawning
+/// subprocess-backend workers.
+[[nodiscard]] std::string self_executable_path();
+
+}  // namespace ftsched

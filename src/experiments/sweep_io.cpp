@@ -316,6 +316,10 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
   bool have_header = false;
   while (std::getline(in, line)) {
     ++line_no;
+    // Shard files that travelled through a Windows checkout or an editor
+    // arrive with CRLF endings; the protocol is the JSON object per line,
+    // so a trailing '\r' is transport noise, not content.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     where.assign(name);
     where += ':';

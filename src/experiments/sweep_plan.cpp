@@ -247,7 +247,7 @@ void run_plan(const SweepPlan& plan, SweepSink& sink,
     }
   }
 
-  ParallelExecutor executor(plan.config().threads);
+  ParallelExecutor executor(options.threads.value_or(plan.config().threads));
   const std::size_t window = std::max<std::size_t>(
       options.window != 0 ? options.window
                           : std::max<std::size_t>(16, 4 * executor.thread_count()),

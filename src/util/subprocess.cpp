@@ -1,0 +1,123 @@
+#include "ftsched/util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Opens `path` for the child's stdout/stderr; -1 = inherit.
+int open_redirect(const std::string& path) {
+  if (path.empty()) return -1;
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open redirect file '" + path +
+                "': " + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string ChildOutcome::describe() const {
+  if (exited) {
+    std::string out = "exited with status " + std::to_string(exit_code);
+    // 127 is the shell's (and our child stub's) cannot-exec convention.
+    if (exit_code == 127) out += " (could not execute the binary?)";
+    return out;
+  }
+  std::string out = "killed by signal " + std::to_string(signal_number);
+  const char* name = ::strsignal(signal_number);
+  if (name != nullptr) out += std::string(" (") + name + ")";
+  return out;
+}
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string>& argv,
+                                 const std::string& stdout_path,
+                                 const std::string& stderr_path) {
+  FTSCHED_REQUIRE(!argv.empty(), "ChildProcess::spawn needs argv[0]");
+  const int out_fd = open_redirect(stdout_path);
+  const int err_fd = open_redirect(stderr_path);
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    if (out_fd >= 0) ::close(out_fd);
+    if (err_fd >= 0) ::close(err_fd);
+    throw Error("fork failed: " + std::string(std::strerror(err)));
+  }
+  if (pid == 0) {
+    // Child.  Only async-signal-safe calls from here on.
+    if (out_fd >= 0 && ::dup2(out_fd, STDOUT_FILENO) < 0) ::_exit(127);
+    if (err_fd >= 0 && ::dup2(err_fd, STDERR_FILENO) < 0) ::_exit(127);
+    if (argv[0].find('/') == std::string::npos) {
+      ::execvp(cargv[0], cargv.data());
+    } else {
+      ::execv(cargv[0], cargv.data());
+    }
+    // exec only returns on failure; explain on (the redirected) stderr.
+    const char* prefix = "exec failed: ";
+    const char* reason = std::strerror(errno);
+    (void)!::write(STDERR_FILENO, prefix, std::strlen(prefix));
+    (void)!::write(STDERR_FILENO, cargv[0], std::strlen(cargv[0]));
+    (void)!::write(STDERR_FILENO, ": ", 2);
+    (void)!::write(STDERR_FILENO, reason, std::strlen(reason));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+  // Parent.
+  if (out_fd >= 0) ::close(out_fd);
+  if (err_fd >= 0) ::close(err_fd);
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+ChildOutcome ChildProcess::wait() {
+  FTSCHED_REQUIRE(pid_ > 0, "ChildProcess::wait called on an empty handle");
+  int status = 0;
+  pid_t reaped = -1;
+  do {
+    reaped = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  pid_ = -1;
+  if (reaped < 0) {
+    throw Error("waitpid failed: " + std::string(std::strerror(errno)));
+  }
+  ChildOutcome outcome;
+  if (WIFEXITED(status)) {
+    outcome.exited = true;
+    outcome.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    outcome.exited = false;
+    outcome.signal_number = WTERMSIG(status);
+  } else {
+    // Neither exit nor signal (stopped?) — report as an odd exit.
+    outcome.exited = true;
+    outcome.exit_code = -1;
+  }
+  return outcome;
+}
+
+std::string self_executable_path() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return {};
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+}  // namespace ftsched

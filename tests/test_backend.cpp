@@ -1,0 +1,384 @@
+// Tests of the pluggable sweep execution backends (experiments/backend.hpp)
+// and the POSIX subprocess helper underneath them.
+//
+// The load-bearing property is backend equivalence: whatever executes the
+// plan — the in-process executor or fork/exec'd CLI children — the sink
+// sees the same samples in the same order, bit-identical, so CSV and JSONL
+// output never depend on the backend choice.  Fault injection (killed
+// workers, truncated shard files, always-failing binaries) goes through
+// wrapper shell scripts around the real CLI binary, whose path CMake hands
+// us as FTSCHED_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ftsched/experiments/backend.hpp"
+#include "ftsched/experiments/figures.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/util/subprocess.hpp"
+
+namespace ftsched {
+namespace {
+
+/// Small but fully multi-cell grid: 2 workloads x 2 scenarios x 2
+/// granularities x 2 reps = 16 instances.
+FigureConfig small_config() {
+  FigureConfig config = figure_config(1);
+  config.graphs_per_point = 2;
+  config.granularities = {0.6, 1.4};
+  config.proc_count = 5;
+  config.workload.proc_count = 5;
+  config.seed = 13;
+  config.threads = 1;
+  config.workloads = {"paper", "chain:size=10"};
+  config.scenarios = {"t0", "frac:f=0.5"};
+  return config;
+}
+
+/// Records every delivered sample for exact (bitwise) comparison.
+class RecordSink final : public SweepSink {
+ public:
+  void on_sample(const InstanceCoord& coord,
+                 const SeriesSample& sample) override {
+    ids.push_back(coord.id);
+    samples.push_back(sample);
+  }
+
+  std::vector<std::uint64_t> ids;
+  std::vector<SeriesSample> samples;
+};
+
+RecordSink record(const SweepBackend& backend, const SweepPlan& plan,
+                  bool group = true) {
+  RecordSink sink;
+  RunPlanOptions options;
+  options.group = group;
+  backend.run(plan, sink, options);
+  return sink;
+}
+
+std::string csv_via(const SweepBackend& backend, const SweepPlan& plan,
+                    bool group = true) {
+  OnlineStatsSink sink(plan);
+  RunPlanOptions options;
+  options.group = group;
+  backend.run(plan, sink, options);
+  return sweep_to_csv(sink.take());
+}
+
+std::string jsonl_via(const SweepBackend& backend, const SweepPlan& plan) {
+  std::ostringstream os;
+  ShardWriterSink sink(os, plan);
+  backend.run(plan, sink);
+  return os.str();
+}
+
+std::string cli_path() { return FTSCHED_CLI_PATH; }
+
+/// Temp dir per test, removed afterwards.
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ftsched_backend_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes an executable wrapper script around the real CLI.  `body` runs
+  /// with $@ = the CLI arguments and the helper variables shard (the
+  /// --shard value), outfile (the --out value) and marker (a per-shard
+  /// scratch path that survives across attempts) already bound.
+  std::string write_wrapper(const std::string& name, const std::string& body) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream script(path);
+    script << "#!/bin/sh\n"
+           << "shard=''\noutfile=''\nprev=''\n"
+           << "for a in \"$@\"; do\n"
+           << "  [ \"$prev\" = '--shard' ] && shard=\"$a\"\n"
+           << "  [ \"$prev\" = '--out' ] && outfile=\"$a\"\n"
+           << "  prev=\"$a\"\n"
+           << "done\n"
+           << "marker='" << (dir_ / "marker").string()
+           << "'_$(echo \"$shard\" | tr '/,' '__')\n"
+           << "CLI='" << cli_path() << "'\n"
+           << body;
+    script.close();
+    ::chmod(path.c_str(), 0755);
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ------------------------------------------------------------- registry
+
+TEST_F(BackendTest, RegistryListsAllBackends) {
+  const std::vector<std::string> names = SweepBackendRegistry::global().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "inproc"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "subprocess"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "socket"), names.end());
+}
+
+TEST_F(BackendTest, UnknownBackendAndOptionFailLoudly) {
+  EXPECT_THROW((void)make_sweep_backend("teleport"), InvalidArgument);
+  try {
+    (void)make_sweep_backend("teleport");
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("inproc"), std::string::npos);
+  }
+  EXPECT_THROW((void)make_sweep_backend("inproc:workers=2"), InvalidArgument);
+}
+
+TEST_F(BackendTest, SocketBackendIsReserved) {
+  try {
+    (void)make_sweep_backend("socket");
+    FAIL() << "socket spec should not construct";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("reserved"), std::string::npos);
+  }
+}
+
+TEST_F(BackendTest, SubprocessNeedsABinary) {
+  ::unsetenv("FTSCHED_CLI");
+  try {
+    (void)make_sweep_backend("subprocess");
+    FAIL() << "subprocess without bin should not construct";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bin="), std::string::npos);
+  }
+  // The FTSCHED_CLI environment fallback and the defaults seam both work.
+  ::setenv("FTSCHED_CLI", cli_path().c_str(), 1);
+  EXPECT_NE(make_sweep_backend("subprocess"), nullptr);
+  ::unsetenv("FTSCHED_CLI");
+  EXPECT_NE(make_sweep_backend("subprocess", {{"bin", cli_path()}}), nullptr);
+}
+
+// ------------------------------------------------- subprocess primitives
+
+TEST_F(BackendTest, ChildProcessReportsExitsSignalsAndExecFailures) {
+  ChildProcess ok = ChildProcess::spawn({"/bin/sh", "-c", "exit 5"}, "", "");
+  const ChildOutcome exit5 = ok.wait();
+  EXPECT_TRUE(exit5.exited);
+  EXPECT_EQ(exit5.exit_code, 5);
+  EXPECT_NE(exit5.describe().find("status 5"), std::string::npos);
+
+  ChildProcess killed =
+      ChildProcess::spawn({"/bin/sh", "-c", "kill -9 $$"}, "", "");
+  const ChildOutcome sig = killed.wait();
+  EXPECT_FALSE(sig.exited);
+  EXPECT_EQ(sig.signal_number, 9);
+  EXPECT_NE(sig.describe().find("signal 9"), std::string::npos);
+
+  const std::string err_file = (dir_ / "exec.err").string();
+  ChildProcess missing =
+      ChildProcess::spawn({(dir_ / "no_such_binary").string()}, "", err_file);
+  const ChildOutcome exec_fail = missing.wait();
+  EXPECT_TRUE(exec_fail.exited);
+  EXPECT_EQ(exec_fail.exit_code, 127);
+  EXPECT_NE(exec_fail.describe().find("could not execute"), std::string::npos);
+  std::ifstream err(err_file);
+  std::stringstream ss;
+  ss << err.rdbuf();
+  EXPECT_NE(ss.str().find("exec failed"), std::string::npos);
+}
+
+TEST_F(BackendTest, SelfExecutablePathPointsAtTheTestBinary) {
+  const std::string self = self_executable_path();
+  ASSERT_FALSE(self.empty());
+  EXPECT_NE(self.find("test_backend"), std::string::npos);
+}
+
+// --------------------------------------------------------- equivalence
+
+TEST_F(BackendTest, InprocBackendMatchesRunPlanExactly) {
+  const SweepPlan plan(small_config());
+  RecordSink direct;
+  run_plan(plan, direct);
+
+  for (const char* spec : {"inproc", "inproc:threads=2"}) {
+    const SweepBackendPtr backend = make_sweep_backend(spec);
+    const RecordSink via = record(*backend, plan);
+    EXPECT_EQ(via.ids, direct.ids) << spec;
+    EXPECT_EQ(via.samples, direct.samples) << spec;
+  }
+}
+
+TEST_F(BackendTest, SubprocessByteIdenticalAcrossWorkersAndGrouping) {
+  const SweepPlan plan(small_config());
+  const SweepBackendPtr inproc = make_sweep_backend("inproc");
+  const std::string reference = csv_via(*inproc, plan);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, csv_via(*inproc, plan, /*group=*/false));
+
+  for (const std::size_t workers : {1u, 2u, 3u}) {
+    for (const bool group : {true, false}) {
+      const SweepBackendPtr backend = make_sweep_backend(
+          "subprocess:workers=" + std::to_string(workers),
+          {{"bin", cli_path()}, {"dir", dir_.string()}});
+      EXPECT_EQ(reference, csv_via(*backend, plan, group))
+          << "workers=" << workers << " group=" << group;
+    }
+  }
+}
+
+TEST_F(BackendTest, SubprocessShardJsonlMatchesInproc) {
+  const SweepPlan plan(small_config());
+  const SweepBackendPtr inproc = make_sweep_backend("inproc");
+  const SweepBackendPtr subprocess = make_sweep_backend(
+      "subprocess:workers=2", {{"bin", cli_path()}, {"dir", dir_.string()}});
+  EXPECT_EQ(jsonl_via(*inproc, plan), jsonl_via(*subprocess, plan));
+}
+
+TEST_F(BackendTest, SubprocessHandlesNestedShardsOfAShardedPlan) {
+  const SweepPlan plan = SweepPlan(small_config()).shard(1, 2);
+  const SweepBackendPtr inproc = make_sweep_backend("inproc");
+  const SweepBackendPtr subprocess = make_sweep_backend(
+      "subprocess:workers=3", {{"bin", cli_path()}, {"dir", dir_.string()}});
+  const RecordSink direct = record(*inproc, plan);
+  const RecordSink via = record(*subprocess, plan);
+  EXPECT_EQ(via.ids, direct.ids);
+  EXPECT_EQ(via.samples, direct.samples);
+  // The shard really was a strict subset executed under a nested chain.
+  EXPECT_EQ(direct.ids.size(), plan.size());
+  EXPECT_LT(plan.size(), plan.grid_size());
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST_F(BackendTest, KilledWorkerIsRetriedAndStaysByteIdentical) {
+  // First attempt of every shard: die by SIGKILL before doing anything.
+  const std::string wrapper = write_wrapper(
+      "kill_first.sh",
+      "if [ ! -e \"$marker\" ]; then\n"
+      "  : > \"$marker\"\n"
+      "  kill -9 $$\n"
+      "fi\n"
+      "exec \"$CLI\" \"$@\"\n");
+  const SweepPlan plan(small_config());
+  const std::string reference =
+      csv_via(*make_sweep_backend("inproc"), plan);
+  const SweepBackendPtr backend = make_sweep_backend(
+      "subprocess:workers=2,retries=1",
+      {{"bin", wrapper}, {"dir", dir_.string()}});
+  EXPECT_EQ(reference, csv_via(*backend, plan));
+}
+
+TEST_F(BackendTest, TruncatedShardFileIsRetriedAndStaysByteIdentical) {
+  // First attempt: run the real CLI, then truncate its shard file and
+  // exit 0 — the success-looking child with a corrupt file.
+  const std::string wrapper = write_wrapper(
+      "truncate_first.sh",
+      "if [ ! -e \"$marker\" ]; then\n"
+      "  : > \"$marker\"\n"
+      "  \"$CLI\" \"$@\" || exit $?\n"
+      "  head -c 60 \"$outfile\" > \"$outfile.tmp\"\n"
+      "  mv \"$outfile.tmp\" \"$outfile\"\n"
+      "  exit 0\n"
+      "fi\n"
+      "exec \"$CLI\" \"$@\"\n");
+  const SweepPlan plan(small_config());
+  const std::string reference =
+      csv_via(*make_sweep_backend("inproc"), plan);
+  const SweepBackendPtr backend = make_sweep_backend(
+      "subprocess:workers=2,retries=1",
+      {{"bin", wrapper}, {"dir", dir_.string()}});
+  EXPECT_EQ(reference, csv_via(*backend, plan));
+}
+
+TEST_F(BackendTest, ExhaustedRetriesSurfaceAStructuredError) {
+  const std::string wrapper = write_wrapper(
+      "always_fail.sh", "echo 'synthetic shard failure' >&2\nexit 3\n");
+  const SweepPlan plan(small_config());
+  const SweepBackendPtr backend = make_sweep_backend(
+      "subprocess:workers=2,retries=1",
+      {{"bin", wrapper}, {"dir", dir_.string()}});
+  RecordSink sink;
+  try {
+    backend->run(plan, sink);
+    FAIL() << "an always-failing child must not produce a result";
+  } catch (const SweepBackendError& e) {
+    EXPECT_EQ(e.backend(), "subprocess");
+    EXPECT_NE(e.shard().find('/'), std::string::npos);
+    EXPECT_NE(e.cause().find("exited with status 3"), std::string::npos);
+    EXPECT_NE(e.cause().find("attempt 2 of 2"), std::string::npos);
+    EXPECT_NE(e.cause().find("synthetic shard failure"), std::string::npos)
+        << "child stderr should be quoted in the cause";
+    EXPECT_NE(std::string(e.what()).find("sweep backend 'subprocess'"),
+              std::string::npos);
+  }
+}
+
+TEST_F(BackendTest, MissingBinarySurfacesExecFailure) {
+  const SweepPlan plan(small_config());
+  const SweepBackendPtr backend = make_sweep_backend(
+      "subprocess:workers=1,retries=0",
+      {{"bin", (dir_ / "no_such_cli").string()}, {"dir", dir_.string()}});
+  RecordSink sink;
+  try {
+    backend->run(plan, sink);
+    FAIL() << "a missing binary must not produce a result";
+  } catch (const SweepBackendError& e) {
+    EXPECT_NE(e.cause().find("could not execute"), std::string::npos);
+  }
+}
+
+TEST_F(BackendTest, UnrepresentableConfigFailsFastOnFingerprint) {
+  // A programmatic tweak the CLI flag grammar cannot express: the child
+  // rebuilds the default paper workload, its fingerprint disagrees, and
+  // the backend must fail immediately (retrying is pointless) with a
+  // cause that names the mismatch.
+  FigureConfig config = small_config();
+  config.workloads.clear();  // paper-configured cell => params are identity
+  config.scenarios.clear();
+  config.workload.task_min = 17;
+  const SweepPlan plan(config);
+  const SweepBackendPtr backend = make_sweep_backend(
+      "subprocess:workers=1,retries=2",
+      {{"bin", cli_path()}, {"dir", dir_.string()}});
+  RecordSink sink;
+  try {
+    backend->run(plan, sink);
+    FAIL() << "a fingerprint mismatch must not produce a result";
+  } catch (const SweepBackendError& e) {
+    EXPECT_NE(e.cause().find("fingerprint mismatch"), std::string::npos);
+    // Fail-fast: attempt 1, not retries exhausted.
+    EXPECT_NE(e.cause().find("attempt 1 of 3"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ shard I/O
+
+TEST_F(BackendTest, ReadShardAcceptsCrlfLineEndings) {
+  const SweepPlan plan(small_config());
+  const std::string jsonl = jsonl_via(*make_sweep_backend("inproc"), plan);
+  ASSERT_FALSE(jsonl.empty());
+
+  std::string crlf;
+  crlf.reserve(jsonl.size() + 64);
+  for (const char c : jsonl) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::istringstream unix_in(jsonl);
+  std::istringstream dos_in(crlf);
+  const ShardFile a = read_shard(unix_in, "unix");
+  const ShardFile b = read_shard(dos_in, "dos");
+  EXPECT_EQ(a.header.fingerprint(), b.header.fingerprint());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].series, b.records[i].series);
+    EXPECT_EQ(a.records[i].coord.id, b.records[i].coord.id);
+    EXPECT_EQ(a.records[i].stats.mean(), b.records[i].stats.mean());
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -471,6 +471,117 @@ TEST_F(CliTest, MergeRejectsIncompleteShardSet) {
   EXPECT_EQ(none.code, 1);
 }
 
+// ----------------------------------------------------- execution backends
+
+TEST_F(CliTest, ListBackendsShowsRegistryEntries) {
+  const CliResult r = run({"list-backends"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("inproc"), std::string::npos);
+  EXPECT_NE(r.out.find("subprocess"), std::string::npos);
+  EXPECT_NE(r.out.find("socket"), std::string::npos);
+  EXPECT_NE(r.out.find("retries="), std::string::npos);
+}
+
+TEST_F(CliTest, SweepSubprocessBackendMatchesDefaultCsv) {
+  // run_cli executes in-process here, so /proc/self/exe is the *test*
+  // binary — the spec must name the real CLI explicitly, exactly like a
+  // library embedder would.
+  const std::string base_csv = (dir_ / "backend_base.csv").string();
+  const std::string sub_csv = (dir_ / "backend_sub.csv").string();
+  ASSERT_EQ(run(with_grid({"sweep"}, {"--out", base_csv})).code, 0);
+  const CliResult r = run(with_grid(
+      {"sweep"},
+      {"--backend",
+       "subprocess:workers=3,bin=" FTSCHED_CLI_PATH ",dir=" + dir_.string(),
+       "--out", sub_csv}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(read_file(base_csv), read_file(sub_csv))
+      << "subprocess-backend CSV is not byte-identical to the default";
+}
+
+TEST_F(CliTest, SweepRejectsBogusBackendSpecs) {
+  const CliResult unknown = run(with_grid({"sweep"}, {"--backend", "warp"}));
+  EXPECT_EQ(unknown.code, 1);
+  EXPECT_NE(unknown.err.find("unknown sweep backend"), std::string::npos);
+
+  const CliResult socket = run(with_grid({"sweep"}, {"--backend", "socket"}));
+  EXPECT_EQ(socket.code, 1);
+  EXPECT_NE(socket.err.find("reserved"), std::string::npos);
+
+  const CliResult badopt =
+      run(with_grid({"sweep"}, {"--backend", "inproc:retries=1"}));
+  EXPECT_EQ(badopt.code, 1);
+  EXPECT_NE(badopt.err.find("does not accept option"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanPrintsTheBackendLine) {
+  const CliResult r = run(with_grid(
+      {"plan"}, {"--backend", "subprocess:workers=2,bin=" FTSCHED_CLI_PATH}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("backend:      fork/exec shard workers (workers=2"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ShardChainsNestLikeTheBackendDoes) {
+  // 0/3,1/2 must equal shard(0,3).shard(1,2): the odd positions of the
+  // stride-3 selection 0,3,...,21 — ids 3,9,15,21 on the 24-instance grid.
+  const CliResult r = run(
+      with_grid({"plan"}, {"--shard", "0/3,1/2", "--limit", "0"}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[shard 0/3,1/2]"), std::string::npos);
+  EXPECT_NE(r.out.find("selected:     4 "), std::string::npos);
+
+  const CliResult bad = run(with_grid({"plan"}, {"--shard", "0/3,,1/2"}));
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("--shard expects i/N"), std::string::npos);
+}
+
+// ------------------------------------------------------ hardened file I/O
+
+TEST_F(CliTest, MergeTrimsListItemsAndRejectsAllEmptyLists) {
+  std::string shard_list;
+  for (int i = 0; i < 2; ++i) {
+    const std::string part =
+        (dir_ / ("trim" + std::to_string(i) + ".jsonl")).string();
+    ASSERT_EQ(
+        run(with_grid({"sweep"}, {"--shard", std::to_string(i) + "/2",
+                                  "--out", part}))
+            .code,
+        0);
+    if (i) shard_list += " ; ";  // spaces + a trailing ';' below
+    shard_list += part;
+  }
+  const CliResult ok = run({"merge", "--in", shard_list + ";"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("2 shards"), std::string::npos);
+
+  const CliResult empty = run({"merge", "--in", " ; ;"});
+  EXPECT_EQ(empty.code, 1);
+  EXPECT_NE(empty.err.find("at least one non-empty path"), std::string::npos);
+}
+
+TEST_F(CliTest, WriteFailureAfterOpenExitsNonzeroNamingThePath) {
+  // /dev/full opens fine and fails on flush with ENOSPC — exactly the
+  // failure mode a file.good() check at open time misses.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const CliResult gen = run({"generate", "--family", "chain", "--tasks",
+                             "200", "--out", "/dev/full"});
+  EXPECT_EQ(gen.code, 1);
+  EXPECT_NE(gen.err.find("disk full"), std::string::npos);
+  EXPECT_NE(gen.err.find("/dev/full"), std::string::npos);
+
+  const CliResult sweep = run(with_grid({"sweep"}, {"--out", "/dev/full"}));
+  EXPECT_EQ(sweep.code, 1);
+  EXPECT_NE(sweep.err.find("/dev/full"), std::string::npos);
+
+  const CliResult shard =
+      run(with_grid({"sweep"}, {"--shard", "0/3", "--out", "/dev/full"}));
+  EXPECT_EQ(shard.code, 1);
+  EXPECT_NE(shard.err.find("/dev/full"), std::string::npos);
+}
+
 // ------------------------------------------------------------ CSV golden
 
 const char* kSweepCsvGoldenPath =

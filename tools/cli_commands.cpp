@@ -16,10 +16,12 @@
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/trace.hpp"
 #include "ftsched/sim/validator.hpp"
+#include "ftsched/experiments/backend.hpp"
 #include "ftsched/experiments/figures.hpp"
 #include "ftsched/experiments/sweep_io.hpp"
 #include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/util/cli.hpp"
+#include "ftsched/util/subprocess.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/table.hpp"
 #include "ftsched/workload/classic.hpp"
@@ -84,14 +86,19 @@ constexpr const char* kWorkloadHelp =
     "WorkloadRegistry spec instead of --graph, e.g. paper or fft:size=16 "
     "(see list-workloads)";
 
-/// Splits a ';'-separated list (specs already use ',' and ':').
+/// Splits a ';'-separated list (specs already use ',' and ':').  Items are
+/// whitespace-trimmed and empty items are skipped, so "a; b;" means {a, b}
+/// — a stray space after a ';' must not turn into a filename " b".
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;
   if (text.empty()) return out;
   std::istringstream ss(text);
   std::string item;
   while (std::getline(ss, item, ';')) {
-    if (!item.empty()) out.push_back(item);
+    const auto begin = item.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = item.find_last_not_of(" \t");
+    out.push_back(item.substr(begin, end - begin + 1));
   }
   return out;
 }
@@ -141,6 +148,18 @@ FailureScenario parse_crashes(const std::string& spec) {
   return scenario;
 }
 
+/// Flush + close an output file and fail loudly if *anything* went wrong.
+/// Checking only at open time misses ENOSPC/EIO that strikes mid-write:
+/// the stream would swallow the error and the CLI would exit 0 leaving a
+/// silently truncated file.
+void finish_output_file(std::ofstream& file, const std::string& path) {
+  file.flush();
+  FTSCHED_REQUIRE(file.good(),
+                  "writing output file failed (disk full?): " + path);
+  file.close();
+  FTSCHED_REQUIRE(file.good(), "closing output file failed: " + path);
+}
+
 void write_or_print(const std::string& path, const std::string& content,
                     std::ostream& out) {
   if (path.empty()) {
@@ -149,6 +168,7 @@ void write_or_print(const std::string& path, const std::string& content,
     std::ofstream file(path);
     FTSCHED_REQUIRE(file.good(), "cannot open output file: " + path);
     file << content;
+    finish_output_file(file, path);
   }
 }
 
@@ -408,8 +428,19 @@ void add_sweep_grid_options(CliParser& cli) {
   cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
   cli.add_option("seed", "42", "root seed");
   cli.add_option("shard", "",
-                 "run only shard i/N of the grid, e.g. 0/3 (empty = full "
+                 "run only shard i/N of the grid, e.g. 0/3; chains nest "
+                 "shards, e.g. 0/3,1/2 = half of shard 0/3 (empty = full "
                  "grid)");
+  cli.add_option("backend", "inproc",
+                 "execution backend spec, e.g. inproc or "
+                 "subprocess:workers=3 (see list-backends)");
+}
+
+/// Resolves the --backend spec; the CLI injects its own binary as the
+/// subprocess backend's default `bin`, so `--backend subprocess` just works.
+SweepBackendPtr backend_from_cli(const CliParser& cli) {
+  return make_sweep_backend(cli.get("backend"),
+                            {{"bin", self_executable_path()}});
 }
 
 /// Builds the FigureConfig the declared sweep-grid options describe.
@@ -442,15 +473,24 @@ FigureConfig sweep_config_from_cli(const CliParser& cli) {
   return config;
 }
 
-/// Applies the --shard option ("i/N", empty = full plan).
+/// Applies the --shard option: a comma chain of "i/N" steps applied left
+/// to right ("0/3,1/2" = the second half of shard 0/3 — the nested form
+/// the subprocess backend uses to sub-shard an already-sharded plan).
+/// Empty = full plan.
 SweepPlan apply_shard_option(SweepPlan plan, const std::string& spec) {
   if (spec.empty()) return plan;
-  const auto slash = spec.find('/');
-  FTSCHED_REQUIRE(slash != std::string::npos && slash > 0 &&
-                      slash + 1 < spec.size(),
-                  "--shard expects i/N, e.g. 0/3; got '" + spec + "'");
-  return plan.shard(spec_detail::parse_u64("shard", spec.substr(0, slash)),
-                    spec_detail::parse_u64("shard", spec.substr(slash + 1)));
+  std::istringstream ss(spec);
+  std::string step;
+  while (std::getline(ss, step, ',')) {
+    const auto slash = step.find('/');
+    FTSCHED_REQUIRE(slash != std::string::npos && slash > 0 &&
+                        slash + 1 < step.size(),
+                    "--shard expects i/N steps, e.g. 0/3 or 0/3,1/2; got '" +
+                        spec + "'");
+    plan = plan.shard(spec_detail::parse_u64("shard", step.substr(0, slash)),
+                      spec_detail::parse_u64("shard", step.substr(slash + 1)));
+  }
+  return plan;
 }
 
 int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
@@ -466,6 +506,7 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
   const FigureConfig config = sweep_config_from_cli(cli);
   const SweepPlan plan =
       apply_shard_option(SweepPlan(config), cli.get("shard"));
+  const SweepBackendPtr backend = backend_from_cli(cli);
   out << "=== sweep plan (epsilon=" << config.epsilon
       << ", m=" << config.proc_count << ", graphs/point="
       << config.graphs_per_point << ", seed=" << config.seed << ") ===\n";
@@ -477,6 +518,7 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       << plan.repetitions() << " reps per cell)\n";
   out << "selected:     " << plan.size() << " [shard " << plan.shard_label()
       << "]\n";
+  out << "backend:      " << backend->describe() << '\n';
   out << "fingerprint:  " << plan.fingerprint() << "\n\n";
 
   const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
@@ -518,6 +560,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
   const FigureConfig config = sweep_config_from_cli(cli);
+  const SweepBackendPtr backend = backend_from_cli(cli);
   RunPlanOptions run_options;
   run_options.group = !cli.get_flag("ungrouped");
 
@@ -528,12 +571,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
     if (path.empty()) {
       // Pure JSONL on stdout so the shard can be piped.
       ShardWriterSink sink(out, plan);
-      run_plan(plan, sink, run_options);
+      backend->run(plan, sink, run_options);
     } else {
       std::ofstream file(path);
       FTSCHED_REQUIRE(file.good(), "cannot open output file: " + path);
       ShardWriterSink sink(file, plan);
-      run_plan(plan, sink, run_options);
+      backend->run(plan, sink, run_options);
+      finish_output_file(file, path);
       out << "=== sweep shard " << plan.shard_label() << " (" << plan.size()
           << " of " << plan.grid_size() << " instances) -> " << path
           << " ===\n";
@@ -543,7 +587,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
 
   const SweepPlan plan(config);
   OnlineStatsSink sink(plan);
-  run_plan(plan, sink, run_options);
+  backend->run(plan, sink, run_options);
   const SweepResult sweep = sink.take();
   out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
       << ", graphs/point=" << config.graphs_per_point << ", seed="
@@ -566,7 +610,9 @@ int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
   if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
   const std::vector<std::string> paths = split_list(cli.get("in"));
-  FTSCHED_REQUIRE(!paths.empty(), "merge needs --in \"a.jsonl;b.jsonl;...\"");
+  FTSCHED_REQUIRE(!paths.empty(),
+                  "merge needs --in \"a.jsonl;b.jsonl;...\" with at least "
+                  "one non-empty path (got '" + cli.get("in") + "')");
   std::vector<ShardFile> shards;
   shards.reserve(paths.size());
   std::uint64_t covered = 0;
@@ -578,6 +624,32 @@ int cmd_merge(const std::vector<std::string>& args, std::ostream& out) {
   out << "=== merge (" << shards.size() << " shards, " << covered << " of "
       << shards.front().header.grid << " instances) ===\n";
   write_or_print(cli.get("out"), sweep_to_csv(merged), out);
+  return 0;
+}
+
+int cmd_list_backends(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli list-backends: sweep execution backends (sweep/plan "
+      "--backend) and their option keys");
+  std::vector<const char*> argv{"list-backends"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const SweepBackendRegistry& registry = SweepBackendRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const SweepBackendRegistry::Entry& entry = registry.entry(name);
+    out << name << "\n    " << entry.summary << '\n';
+    for (const SpecOptionSpec& option : entry.options) {
+      out << "    " << option.key << "=" << option.default_value << "  "
+          << option.help << '\n';
+    }
+  }
+  out << "\nspec syntax: name[:key=value[,key=value...]], e.g. "
+         "\"subprocess:workers=3,retries=1\"\n"
+         "every backend delivers bit-identical samples in the same order, "
+         "so CSV and\nJSONL shard output never depend on the backend "
+         "choice\n";
   return 0;
 }
 
@@ -624,6 +696,7 @@ std::string usage() {
       "  generate        emit a task graph (layered, gnp, fft, cholesky, ...)\n"
       "  info            structural statistics of a graph file\n"
       "  list-algos      registered scheduling algorithms and their options\n"
+      "  list-backends   sweep execution backends (inproc, subprocess, ...)\n"
       "  list-failure-laws  failure-model and crash-time laws for sweeps\n"
       "  list-workloads  registered workload families and their options\n"
       "  plan            enumerate the sweep grid / a shard's slice of it\n"
@@ -648,6 +721,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "generate") return cmd_generate(rest, out);
     if (command == "info") return cmd_info(rest, out);
     if (command == "list-algos") return cmd_list_algos(rest, out);
+    if (command == "list-backends") return cmd_list_backends(rest, out);
     if (command == "list-failure-laws") {
       return cmd_list_failure_laws(rest, out);
     }
