@@ -36,6 +36,8 @@
 
 namespace ftsched {
 
+class CliParser;
+
 /// Structured failure of a backend run: which shard died and why.  The
 /// what() string carries both; the accessors keep them separable for
 /// callers that want to reschedule rather than print.
@@ -107,5 +109,29 @@ class SweepBackendRegistry : public SpecRegistry<SweepBackendPtr> {
 /// the child's shard fingerprint against the plan's and fails loudly.
 [[nodiscard]] std::vector<std::string> sweep_cli_args(
     const FigureConfig& config);
+
+// The inverse direction — flags back to a config — lives here too (not in
+// the CLI), because every distributed executor needs it: the sweep/plan/
+// serve commands declare the options, while subprocess children and socket
+// workers rebuild their plan from a received flag vector.
+
+/// Declares the sweep-grid options (figure, workload, scenario, failures,
+/// granularities, graphs, epsilon, procs, threads, seed, shard, backend)
+/// on `cli` — shared by the plan/sweep/serve commands.
+void add_sweep_grid_options(CliParser& cli);
+
+/// Builds the FigureConfig the declared sweep-grid options describe.
+[[nodiscard]] FigureConfig sweep_config_from_cli(const CliParser& cli);
+
+/// Parses a flag vector (e.g. the output of sweep_cli_args, or the
+/// coordinator's plan message) back into its FigureConfig.
+[[nodiscard]] FigureConfig sweep_config_from_args(
+    const std::vector<std::string>& args);
+
+/// Applies a shard chain: a comma chain of "i/N" steps applied left to
+/// right ("0/3,1/2" = the second half of shard 0/3).  "" and "full" are
+/// the identity.  Throws InvalidArgument on malformed steps.
+[[nodiscard]] SweepPlan apply_shard_chain(SweepPlan plan,
+                                          const std::string& chain);
 
 }  // namespace ftsched

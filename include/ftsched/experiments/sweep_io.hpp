@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/util/jsonl.hpp"
 #include "ftsched/util/stats.hpp"
 
 namespace ftsched {
@@ -101,11 +102,47 @@ class ShardWriterSink final : public SweepSink {
   std::ostream* os_;
   const SweepPlan* plan_;
   std::size_t samples_ = 0;
+  std::string buffer_;  ///< per-sample render scratch, capacity reused
 };
 
 /// The header a ShardWriterSink over `plan` would write (exposed for the
 /// CLI's plan command and for tests).
 [[nodiscard]] ShardHeader shard_header(const SweepPlan& plan);
+
+// The shard-record vocabulary is also the coordinator service's wire and
+// manifest format (service/protocol.hpp), so the line renderers/parsers
+// are shared helpers rather than ShardWriterSink/read_shard internals —
+// one renderer per line shape keeps the formats bit-identical by
+// construction.
+
+/// The newline-terminated header line ShardWriterSink writes for `plan`.
+[[nodiscard]] std::string render_shard_header(const SweepPlan& plan);
+
+/// Appends one newline-terminated record line per series of `sample` to
+/// `out`, decorated via plan.series_label — exactly what ShardWriterSink
+/// writes for the same sample.
+void append_sample_records(std::string& out, const SweepPlan& plan,
+                           const InstanceCoord& coord,
+                           const SeriesSample& sample);
+
+/// Converts one parsed non-header line of the shard protocol into a
+/// ShardRecord; `where` labels diagnostics.  Throws InvalidArgument on
+/// missing fields or unparsable numbers.
+[[nodiscard]] ShardRecord shard_record_from(const FlatJsonObject& object,
+                                            const std::string& where);
+
+/// parse + shard_record_from for one line (callers with many lines keep a
+/// FlatJsonObject scratch and use shard_record_from directly).
+[[nodiscard]] ShardRecord parse_shard_record(const std::string& line,
+                                             const std::string& where);
+
+/// Strips the cell suffix of `coord` (series_label's decoration, a pure
+/// suffix) from `series` in place.  Returns false — leaving `series`
+/// untouched — when the suffix is absent, i.e. the record cannot be a
+/// well-formed sample of `coord` under `plan`.
+[[nodiscard]] bool undecorate_series(const SweepPlan& plan,
+                                     const InstanceCoord& coord,
+                                     std::string& series);
 
 /// Parses one shard stream; `name` labels diagnostics.  Throws
 /// InvalidArgument on malformed lines or a missing/alien header.

@@ -9,7 +9,9 @@
 #include "ftsched/util/cli.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/ids.hpp"
+#include "ftsched/util/jsonl.hpp"
 #include "ftsched/util/log.hpp"
+#include "ftsched/util/net.hpp"
 #include "ftsched/util/parallel.hpp"
 #include "ftsched/util/rng.hpp"
 #include "ftsched/util/spec.hpp"
@@ -58,6 +60,11 @@
 #include "ftsched/sim/event_sim.hpp"
 #include "ftsched/sim/trace.hpp"
 #include "ftsched/sim/validator.hpp"
+
+// service: the sweep-coordinator daemon and its socket workers.
+#include "ftsched/service/coordinator.hpp"
+#include "ftsched/service/protocol.hpp"
+#include "ftsched/service/worker.hpp"
 
 // metrics + experiments.
 #include "ftsched/experiments/backend.hpp"

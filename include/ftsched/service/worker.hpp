@@ -1,0 +1,61 @@
+// The worker half of the sweep coordinator service: connects to a
+// coordinator (service/coordinator.hpp), rebuilds the sweep plan from the
+// received CLI-flag vector, and evaluates leased coordinate sets through
+// the grouped schedule-once path — exactly the engine run_plan uses, so a
+// worker's samples are bit-identical to an in-process run by construction.
+//
+// The worker is deliberately single-threaded: parallelism in the service
+// comes from running more worker processes, which keeps every worker an
+// independently killable / restartable unit (the fault-tolerance story the
+// coordinator's leases are built around).
+//
+// The options carry three fault-injection hooks (max_leases,
+// kill_after_leases, sample_delay_ms) used by the CLI's worker command and
+// the tests to script worker deaths, stragglers and partial runs — the
+// scenarios the lease-expiry / work-stealing / resume machinery exists for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ftsched {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Name reported in `hello` (diagnostics on the coordinator side).
+  std::string name = "worker";
+  /// Fault injection: complete this many leases, then drop the connection
+  /// without a goodbye (0 = keep working until bye).  Exercises the
+  /// disconnect-requeue path and partial-manifest resumes.
+  std::size_t max_leases = 0;
+  /// Fault injection: raise(SIGKILL) upon *receiving* the n-th lease,
+  /// before computing anything (0 = never).  Only meaningful in a worker
+  /// process, not an in-process test thread.
+  std::size_t kill_after_leases = 0;
+  /// Fault injection: sleep this long before sending each sample, turning
+  /// the worker into a straggler for the work-stealing tests (0 = none).
+  std::size_t sample_delay_ms = 0;
+  /// Idle heartbeat period while waiting for the coordinator's reply, so
+  /// a worker parked on an empty queue never trips the lease timeout.
+  int heartbeat_ms = 500;
+};
+
+/// What a completed worker loop did; the CLI prints it, tests assert on it.
+struct WorkerReport {
+  std::size_t leases_completed = 0;
+  std::size_t samples_sent = 0;
+  /// True when the coordinator said `bye` (all work delivered); false when
+  /// the loop ended early (max_leases hook, or the coordinator went away —
+  /// normal during wind-down races, the samples are already delivered).
+  bool orderly = false;
+};
+
+/// Runs the worker loop to completion.  Throws Error on connection
+/// failures, protocol violations, and coordinator rejects (fingerprint
+/// mismatch / version skew) — a rejected worker must exit loudly, not
+/// retry.
+WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace ftsched

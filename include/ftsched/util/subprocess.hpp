@@ -10,6 +10,8 @@
 // "spawn K, wait K" waves.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,11 +50,28 @@ class ChildProcess {
   /// Blocks until the child terminates and reports how.
   [[nodiscard]] ChildOutcome wait();
 
+  /// Non-blocking reap (WNOHANG, EINTR-retried): the outcome when the
+  /// child has terminated, nullopt while it is still running.  After a
+  /// non-null return the handle is empty — do not also call wait().
+  [[nodiscard]] std::optional<ChildOutcome> try_wait();
+
+  /// Sends `sig` to the child (no-op on an empty handle — the child was
+  /// already reaped).  The caller still reaps via wait()/try_wait().
+  void kill(int sig) noexcept;
+
   [[nodiscard]] long pid() const noexcept { return pid_; }
+  [[nodiscard]] bool running() const noexcept { return pid_ > 0; }
 
  private:
   long pid_ = -1;
 };
+
+/// Last ~`limit` bytes of `path`, whitespace-trimmed — enough child stderr
+/// to make a worker-failure diagnostic actionable without dumping a log.
+/// Empty when the file is missing or unreadable.  Shared by the subprocess
+/// sweep backend and the coordinator service's worker supervision.
+[[nodiscard]] std::string stderr_tail(const std::string& path,
+                                      std::size_t limit = 400);
 
 /// Absolute path of the running executable (/proc/self/exe); empty when it
 /// cannot be resolved.  This is how ftsched_cli finds itself when spawning

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unistd.h>
 
+#include "ftsched/experiments/config.hpp"
 #include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/service/coordinator.hpp"
+#include "ftsched/util/cli.hpp"
 #include "ftsched/util/parallel.hpp"
 #include "ftsched/util/subprocess.hpp"
 
@@ -21,6 +25,22 @@ std::string join_semicolons(const std::vector<std::string>& items) {
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (i) out += ';';
     out += items[i];
+  }
+  return out;
+}
+
+/// Splits a ';'-separated list (specs already use ',' and ':').  Items are
+/// whitespace-trimmed and empty items are skipped, so "a; b;" means {a, b}.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    const auto begin = item.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = item.find_last_not_of(" \t");
+    out.push_back(item.substr(begin, end - begin + 1));
   }
   return out;
 }
@@ -51,21 +71,14 @@ class InprocBackend final : public SweepBackend {
 
 // -------------------------------------------------------------- subprocess
 
-/// Last ~`limit` bytes of `path`, whitespace-trimmed — enough child stderr
-/// to make a SweepBackendError actionable without dumping a log.
-std::string stderr_tail(const std::filesystem::path& path,
-                        std::size_t limit = 400) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return {};
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  std::string text = ss.str();
-  if (text.size() > limit) text.erase(0, text.size() - limit);
-  while (!text.empty() &&
-         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
-    text.pop_back();
-  }
-  return text;
+/// Folds a dead worker's stderr tail (util/subprocess.hpp) into a failure
+/// cause — the one formatting both process-spawning backends (subprocess
+/// and socket) share, so their errors stay equally actionable.
+std::string with_child_stderr(std::string cause,
+                              const std::filesystem::path& err_file) {
+  const std::string err = stderr_tail(err_file.string());
+  if (!err.empty()) cause += "\n  child stderr: " + err;
+  return cause;
 }
 
 /// Scratch directory for one backend run, removed on scope exit.
@@ -188,22 +201,12 @@ std::optional<ShardFailure> collect_shard(const SweepPlan& plan,
       seen = 1;
       ++distinct;
     }
-    // Undecorate: the cell suffix is a pure suffix ("series[w|s|f]"), and
-    // series_label(coord, "") renders exactly it (empty for single-cell
-    // grids), so stripping is exact — no guessing at '[' characters that
-    // may legitimately appear in series names.
-    const std::string suffix = plan.series_label(r.coord, "");
     std::string series = r.series;
-    if (!suffix.empty()) {
-      if (series.size() < suffix.size() ||
-          series.compare(series.size() - suffix.size(), suffix.size(),
-                         suffix) != 0) {
-        out.resize(first);
-        return ShardFailure{"record series '" + r.series +
-                            "' lacks the cell suffix '" + suffix +
-                            "' of instance " + std::to_string(r.coord.id)};
-      }
-      series.resize(series.size() - suffix.size());
+    if (!undecorate_series(plan, r.coord, series)) {
+      out.resize(first);
+      return ShardFailure{"record series '" + r.series +
+                          "' lacks the cell suffix of instance " +
+                          std::to_string(r.coord.id)};
     }
     out.push_back(BackendSample{r.coord.id, std::move(series),
                                 r.stats.mean()});
@@ -293,8 +296,8 @@ void SubprocessBackend::run(const SweepPlan& plan, SweepSink& sink,
         failure = collect_shard(plan, job.expected, job.out_file, samples);
       }
       if (!failure) continue;
-      const std::string err = stderr_tail(job.err_file);
-      if (!err.empty()) failure->cause += "\n  child stderr: " + err;
+      failure->cause = with_child_stderr(std::move(failure->cause),
+                                         job.err_file);
       const std::size_t budget = 1 + retries_;
       if (!failure->retryable || job.attempts >= budget) {
         throw SweepBackendError(
@@ -330,6 +333,146 @@ void SubprocessBackend::run(const SweepPlan& plan, SweepSink& sink,
       ++at;
     }
     sink.on_sample(coord, sample);
+  }
+}
+
+// ------------------------------------------------------------------ socket
+
+/// The coordinator-service backend: runs the Coordinator in-process and
+/// spawns local `ftsched_cli worker --connect` children that lease slices
+/// over the socket protocol.  Worker deaths are tolerated while at least
+/// one worker lives (the coordinator re-queues their leases); only a fully
+/// dead fleet fails the run, with the last death and disconnect causes in
+/// the error.  With manifest=<dir>, completed units are journaled and a
+/// re-run resumes from them.
+class SocketBackend final : public SweepBackend {
+ public:
+  SocketBackend(std::uint16_t port, std::size_t workers, std::size_t lease,
+                double timeout, std::string manifest, std::string bin,
+                std::string dir)
+      : port_(port),
+        workers_(workers),
+        lease_(lease),
+        timeout_(timeout),
+        manifest_(std::move(manifest)),
+        bin_(std::move(bin)),
+        dir_(std::move(dir)) {}
+
+  [[nodiscard]] std::string describe() const override {
+    return "sweep-coordinator service with local socket workers (workers=" +
+           (workers_ == 0 ? std::string("hw") : std::to_string(workers_)) +
+           ", lease=" +
+           (lease_ == 0 ? std::string("auto") : std::to_string(lease_)) +
+           ", timeout=" + std::to_string(timeout_) + "s" +
+           (manifest_.empty() ? std::string()
+                              : ", manifest=" + manifest_) +
+           ")";
+  }
+
+  void run(const SweepPlan& plan, SweepSink& sink,
+           const RunPlanOptions& options) const override;
+
+ private:
+  std::uint16_t port_;    ///< 0 = kernel-chosen
+  std::size_t workers_;   ///< 0 = hardware concurrency
+  std::size_t lease_;     ///< coords per lease (0 = auto)
+  double timeout_;        ///< lease-expiry seconds
+  std::string manifest_;  ///< manifest dir ("" = no resume)
+  std::string bin_;       ///< ftsched_cli binary (never empty)
+  std::string dir_;       ///< scratch root for worker logs ("" = temp)
+};
+
+void SocketBackend::run(const SweepPlan& plan, SweepSink& sink,
+                        const RunPlanOptions& options) const {
+  const std::size_t n = plan.size();
+  if (n == 0) return;
+
+  CoordinatorOptions copts;
+  copts.port = port_;
+  copts.lease = lease_;
+  copts.timeout = timeout_;
+  copts.manifest_dir = manifest_;
+  copts.group = options.group;
+  Coordinator coordinator(plan, sink, copts);
+  if (coordinator.finished()) return;  // fully served from the manifest
+
+  const std::size_t fleet = std::min(
+      n, workers_ == 0 ? ParallelExecutor::resolve_thread_count(0) : workers_);
+  const TempDir tmp(dir_);
+
+  struct WorkerChild {
+    ChildProcess proc;
+    std::filesystem::path err_file;
+    std::optional<ChildOutcome> outcome;
+  };
+  std::vector<WorkerChild> children;
+  children.reserve(fleet);
+
+  try {
+    for (std::size_t i = 0; i < fleet; ++i) {
+      const std::string base = "worker" + std::to_string(i);
+      std::vector<std::string> argv{
+          bin_,
+          "worker",
+          "--connect",
+          "127.0.0.1:" + std::to_string(coordinator.port()),
+          "--name",
+          base,
+      };
+      WorkerChild child{
+          ChildProcess::spawn(argv, (tmp.path / (base + ".log")).string(),
+                              (tmp.path / (base + ".err")).string()),
+          tmp.path / (base + ".err"), std::nullopt};
+      children.push_back(std::move(child));
+    }
+
+    std::string last_death;
+    const auto reap = [&]() {
+      std::size_t alive = 0;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        WorkerChild& child = children[i];
+        if (child.outcome) continue;
+        child.outcome = child.proc.try_wait();
+        if (!child.outcome) {
+          ++alive;
+        } else if (!child.outcome->success()) {
+          last_death = with_child_stderr(
+              "worker " + std::to_string(i) + " " + child.outcome->describe(),
+              child.err_file);
+        }
+      }
+      return alive;
+    };
+
+    while (!coordinator.finished()) {
+      coordinator.poll(100);
+      if (reap() == 0 && !coordinator.finished()) {
+        // Final frames may still be buffered; one non-blocking turn drains
+        // them before concluding the fleet died short of the goal.
+        coordinator.poll(0);
+        if (coordinator.finished()) break;
+        std::string cause = "all socket workers died before the sweep "
+                            "completed";
+        if (!last_death.empty()) cause += "\n  last death: " + last_death;
+        if (!coordinator.last_disconnect_cause().empty()) {
+          cause += "\n  last disconnect: " + coordinator.last_disconnect_cause();
+        }
+        throw SweepBackendError("socket", plan.shard_label(), cause);
+      }
+    }
+    // Wind-down: keep answering residual lease requests with bye until the
+    // fleet has exited (workers that died mid-sweep were tolerated — their
+    // leases were re-run — so only the samples matter by now, and those
+    // are all delivered).
+    while (reap() > 0) coordinator.poll(50);
+  } catch (...) {
+    for (WorkerChild& child : children) {
+      if (!child.outcome && child.proc.running()) child.proc.kill(SIGKILL);
+    }
+    for (WorkerChild& child : children) {
+      if (!child.outcome && child.proc.running()) (void)child.proc.wait();
+    }
+    throw;
   }
 }
 
@@ -387,14 +530,37 @@ SweepBackendRegistry build_registry() {
 
   registry.add({
       "socket",
-      "remote socket workers leased by the sweep-coordinator service "
-      "(reserved; see ROADMAP.md)",
-      {},
-      [](const SpecOptions&) -> SweepBackendPtr {
-        throw InvalidArgument(
-            "sweep backend 'socket' is reserved for the sweep-coordinator "
-            "service and not implemented yet (see ROADMAP.md); use inproc "
-            "or subprocess");
+      "sweep-coordinator service: leases grid slices to 'ftsched_cli "
+      "worker' processes over a loopback socket, with lease expiry, work "
+      "stealing and (with manifest=) resumable sweeps",
+      {{"port", "0", "listening port on 127.0.0.1 (0 = kernel-chosen)"},
+       {"workers", "0", "local worker processes (0 = hardware concurrency)"},
+       {"lease", "0", "coordinates per lease (0 = auto: selection/32)"},
+       {"timeout", "30",
+        "seconds of worker silence before a lease expires and re-queues"},
+       {"manifest", "",
+        "manifest directory for resumable sweeps (empty = no journaling)"},
+       {"bin", "",
+        "ftsched_cli binary to exec (default: the running CLI itself, or "
+        "$FTSCHED_CLI for library embedders)"},
+       {"dir", "", "scratch directory for worker logs (default: $TMPDIR)"}},
+      [](const SpecOptions& options) -> SweepBackendPtr {
+        std::string bin = options.get("bin", "");
+        if (bin.empty()) {
+          const char* env = std::getenv("FTSCHED_CLI");
+          if (env != nullptr) bin = env;
+        }
+        FTSCHED_REQUIRE(
+            !bin.empty(),
+            "socket backend needs bin=<path to ftsched_cli> (or "
+            "FTSCHED_CLI in the environment) when not run from the CLI");
+        return std::make_unique<SocketBackend>(
+            static_cast<std::uint16_t>(
+                spec_detail::parse_u64("port", options.get("port", "0"))),
+            options.get_size("workers", 0), options.get_size("lease", 0),
+            spec_detail::parse_double("timeout", options.get("timeout", "30")),
+            options.get("manifest", ""), std::move(bin),
+            options.get("dir", ""));
       },
   });
 
@@ -447,6 +613,90 @@ std::vector<std::string> sweep_cli_args(const FigureConfig& config) {
     flag("--failures", join_semicolons(config.failure_models));
   }
   return args;
+}
+
+void add_sweep_grid_options(CliParser& cli) {
+  cli.add_option("figure", "1", "base config: paper figure 1..4");
+  cli.add_option("workload", "",
+                 "';'-separated WorkloadRegistry specs (empty = the paper "
+                 "§6 generator)");
+  cli.add_option("scenario", "",
+                 "';'-separated crash-law specs (empty = t0)");
+  cli.add_option("failures", "",
+                 "';'-separated failure-model specs (empty = eps; see "
+                 "list-failure-laws)");
+  cli.add_option("granularities", "",
+                 "';'-separated granularity values (empty = the 0.2..2.0 "
+                 "paper grid)");
+  cli.add_option("graphs", "8", "instances per (cell, granularity) point");
+  cli.add_option("epsilon", "0", "failures tolerated (0 = figure default)");
+  cli.add_option("procs", "0", "processors (0 = figure default)");
+  cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_option("seed", "42", "root seed");
+  cli.add_option("shard", "",
+                 "run only shard i/N of the grid, e.g. 0/3; chains nest "
+                 "shards, e.g. 0/3,1/2 = half of shard 0/3 (empty = full "
+                 "grid)");
+  cli.add_option("backend", "inproc",
+                 "execution backend spec, e.g. inproc or "
+                 "subprocess:workers=3 (see list-backends)");
+}
+
+FigureConfig sweep_config_from_cli(const CliParser& cli) {
+  FigureConfig config = figure_config(static_cast<int>(cli.get_int("figure")));
+  config.graphs_per_point = static_cast<std::size_t>(cli.get_int("graphs"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (cli.get_int("epsilon") != 0) {
+    config.epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
+  }
+  if (cli.get_int("procs") != 0) {
+    config.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
+    config.workload.proc_count = config.proc_count;
+  }
+  // Lowering epsilon below a figure's extra crash counts would trip the
+  // runner's k <= epsilon requirement; keep only the counts still tolerated.
+  std::erase_if(config.extra_crash_counts,
+                [&](std::size_t k) { return k > config.epsilon; });
+  config.workloads = split_list(cli.get("workload"));
+  config.scenarios = split_list(cli.get("scenario"));
+  config.failure_models = split_list(cli.get("failures"));
+  const std::vector<std::string> grans = split_list(cli.get("granularities"));
+  if (!grans.empty()) {
+    config.granularities.clear();
+    for (const std::string& g : grans) {
+      config.granularities.push_back(
+          spec_detail::parse_double("granularities", g));
+    }
+  }
+  return config;
+}
+
+FigureConfig sweep_config_from_args(const std::vector<std::string>& args) {
+  CliParser cli("sweep grid flags");
+  add_sweep_grid_options(cli);
+  std::vector<const char*> argv{"plan-args"};
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  FTSCHED_REQUIRE(cli.parse(static_cast<int>(argv.size()), argv.data()),
+                  "sweep grid flag vector asked for --help");
+  return sweep_config_from_cli(cli);
+}
+
+SweepPlan apply_shard_chain(SweepPlan plan, const std::string& chain) {
+  if (chain.empty() || chain == "full") return plan;
+  std::istringstream ss(chain);
+  std::string step;
+  while (std::getline(ss, step, ',')) {
+    const auto slash = step.find('/');
+    FTSCHED_REQUIRE(slash != std::string::npos && slash > 0 &&
+                        slash + 1 < step.size(),
+                    "--shard expects i/N steps, e.g. 0/3 or 0/3,1/2; got '" +
+                        chain + "'");
+    plan = plan.shard(spec_detail::parse_u64("shard", step.substr(0, slash)),
+                      spec_detail::parse_u64("shard", step.substr(slash + 1)));
+  }
+  return plan;
 }
 
 }  // namespace ftsched

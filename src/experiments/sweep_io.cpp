@@ -6,157 +6,15 @@
 #include <sstream>
 
 #include "ftsched/util/error.hpp"
+#include "ftsched/util/jsonl.hpp"
 #include "ftsched/util/spec.hpp"
 
 namespace ftsched {
 
 namespace {
 
-// ----------------------------------------------------------- JSONL plumbing
-// The protocol only ever emits flat objects whose values are strings (or
-// the bare version number), so a full JSON parser is not needed: a strict
-// scanner for exactly that shape keeps the merge tool dependency-free.
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      // The protocol is line-oriented: a raw newline (e.g. from a weird
-      // trace-file path in a workload spec) would split the record and
-      // make the file the writer just produced unreadable.
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
-
-[[noreturn]] void malformed(const std::string& where, const std::string& why) {
-  throw InvalidArgument("malformed shard line (" + where + "): " + why);
-}
-
-void skip_spaces(const std::string& s, std::size_t& i) {
-  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-}
-
-/// Parses one JSON string into `out` (cleared first, capacity retained).
-void parse_json_string(const std::string& s, std::size_t& i,
-                       const std::string& where, std::string& out) {
-  if (i >= s.size() || s[i] != '"') malformed(where, "expected '\"'");
-  ++i;
-  out.clear();
-  while (i < s.size() && s[i] != '"') {
-    if (s[i] == '\\') {
-      ++i;
-      if (i >= s.size()) malformed(where, "dangling escape");
-      switch (s[i]) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        default: malformed(where, "unsupported escape");
-      }
-    } else {
-      out.push_back(s[i]);
-    }
-    ++i;
-  }
-  if (i >= s.size()) malformed(where, "unterminated string");
-  ++i;  // closing quote
-}
-
-/// Reusable parse target for one flat JSON object {"k":"v",...} (values:
-/// strings or bare tokens like the version integer).  The field vector and
-/// its strings persist across parse() calls, so a million-record shard
-/// settles into zero allocations per line once capacities plateau —
-/// read_shard used to build a fresh std::map<string, string> (one node
-/// plus two strings per field) for every line.  Records hold a dozen-odd
-/// fields, so lookups scan linearly.
-class FlatObject {
- public:
-  void parse(const std::string& line, const std::string& where) {
-    used_ = 0;
-    std::size_t i = 0;
-    skip_spaces(line, i);
-    if (i >= line.size() || line[i] != '{') malformed(where, "expected '{'");
-    ++i;
-    skip_spaces(line, i);
-    if (i < line.size() && line[i] == '}') return;
-    while (true) {
-      if (used_ == fields_.size()) fields_.emplace_back();
-      Field& f = fields_[used_];
-      skip_spaces(line, i);
-      parse_json_string(line, i, where, f.key);
-      for (std::size_t j = 0; j < used_; ++j) {
-        if (fields_[j].key == f.key) {
-          malformed(where, "duplicate key '" + f.key + "'");
-        }
-      }
-      skip_spaces(line, i);
-      if (i >= line.size() || line[i] != ':') malformed(where, "expected ':'");
-      ++i;
-      skip_spaces(line, i);
-      if (i < line.size() && line[i] == '"') {
-        parse_json_string(line, i, where, f.value);
-      } else {
-        f.value.clear();
-        while (i < line.size() && line[i] != ',' && line[i] != '}') {
-          f.value.push_back(line[i]);
-          ++i;
-        }
-        while (!f.value.empty() &&
-               (f.value.back() == ' ' || f.value.back() == '\t')) {
-          f.value.pop_back();
-        }
-      }
-      ++used_;
-      skip_spaces(line, i);
-      if (i >= line.size()) malformed(where, "unterminated object");
-      if (line[i] == '}') break;
-      if (line[i] != ',') malformed(where, "expected ',' or '}'");
-      ++i;
-    }
-  }
-
-  [[nodiscard]] const std::string* find(const char* key) const {
-    for (std::size_t j = 0; j < used_; ++j) {
-      if (fields_[j].key == key) return &fields_[j].value;
-    }
-    return nullptr;
-  }
-
-  [[nodiscard]] const std::string& field(const char* key,
-                                         const std::string& where) const {
-    const std::string* value = find(key);
-    if (value == nullptr) {
-      malformed(where, std::string("missing key '") + key + "'");
-    }
-    return *value;
-  }
-
-  /// Like field(), but absent keys fall back — for fields added to the
-  /// protocol after version 1 shipped (old shards must stay mergeable).
-  [[nodiscard]] std::string field_or(const char* key,
-                                     const char* fallback) const {
-    const std::string* value = find(key);
-    return value == nullptr ? std::string(fallback) : *value;
-  }
-
- private:
-  struct Field {
-    std::string key;
-    std::string value;
-  };
-  std::vector<Field> fields_;  ///< fields_[0..used_) valid after parse()
-  std::size_t used_ = 0;
-};
+// The JSONL line grammar (FlatJsonObject / json_escape) lives in
+// util/jsonl.hpp, shared with the coordinator service's wire protocol.
 
 std::vector<std::string> split_semicolons(const std::string& text) {
   std::vector<std::string> out;
@@ -250,58 +108,114 @@ ShardHeader shard_header(const SweepPlan& plan) {
   return h;
 }
 
+std::string render_shard_header(const SweepPlan& plan) {
+  const ShardHeader h = shard_header(plan);
+  std::string out = "{\"ftsched_sweep_shard\":1";
+  out += ",\"seed\":\"" + std::to_string(h.seed) + "\"";
+  out += ",\"epsilon\":\"" + std::to_string(h.epsilon) + "\"";
+  out += ",\"m\":\"" + std::to_string(h.procs) + "\"";
+  out += ",\"reps\":\"" + std::to_string(h.reps) + "\"";
+  out += ",\"extra\":\"" +
+         join_mapped(h.extra_crash_counts,
+                     [](std::size_t k) { return std::to_string(k); }) +
+         "\"";
+  out += ",\"granularities\":\"" +
+         join_mapped(h.granularities,
+                     [](double g) { return double_to_hex(g); }) +
+         "\"";
+  out += ",\"workloads\":\"" +
+         json_escape(join_mapped(h.workloads,
+                                 [](const std::string& w) { return w; })) +
+         "\"";
+  out += ",\"scenarios\":\"" +
+         json_escape(join_mapped(h.scenarios,
+                                 [](const std::string& s) { return s; })) +
+         "\"";
+  out += ",\"failures\":\"" +
+         json_escape(join_mapped(h.failures,
+                                 [](const std::string& f) { return f; })) +
+         "\"";
+  out += ",\"paper\":\"" + json_escape(h.paper_params) + "\"";
+  out += ",\"grid\":\"" + std::to_string(h.grid) + "\"";
+  out += ",\"selected\":\"" + std::to_string(h.selected) + "\"";
+  out += ",\"shard\":\"" + json_escape(h.shard) + "\"}\n";
+  return out;
+}
+
+void append_sample_records(std::string& out, const SweepPlan& plan,
+                           const InstanceCoord& coord,
+                           const SeriesSample& sample) {
+  for (const auto& [name, value] : sample) {
+    const OnlineStats stats = OnlineStats::of(value);
+    out += "{\"id\":\"" + std::to_string(coord.id) + "\"";
+    out += ",\"w\":\"" + std::to_string(coord.workload) + "\"";
+    out += ",\"s\":\"" + std::to_string(coord.scenario) + "\"";
+    out += ",\"f\":\"" + std::to_string(coord.failure) + "\"";
+    out += ",\"g\":\"" + std::to_string(coord.gran) + "\"";
+    out += ",\"r\":\"" + std::to_string(coord.rep) + "\"";
+    out += ",\"series\":\"" +
+           json_escape(plan.series_label(coord, name)) + "\"";
+    out += ",\"n\":\"" + std::to_string(stats.count()) + "\"";
+    out += ",\"mean\":\"" + double_to_hex(stats.mean()) + "\"";
+    out += ",\"m2\":\"" + double_to_hex(stats.m2()) + "\"";
+    out += ",\"min\":\"" + double_to_hex(stats.min()) + "\"";
+    out += ",\"max\":\"" + double_to_hex(stats.max()) + "\"}\n";
+  }
+}
+
+ShardRecord shard_record_from(const FlatJsonObject& object,
+                              const std::string& where) {
+  ShardRecord record;
+  record.coord.id = spec_detail::parse_u64("id", object.field("id", where));
+  record.coord.workload = parse_size("w", object.field("w", where));
+  record.coord.scenario = parse_size("s", object.field("s", where));
+  record.coord.failure = parse_size("f", object.field_or("f", "0"));
+  record.coord.gran = parse_size("g", object.field("g", where));
+  record.coord.rep = parse_size("r", object.field("r", where));
+  record.series = object.field("series", where);
+  record.stats = OnlineStats::from_parts(
+      parse_size("n", object.field("n", where)),
+      hex_to_double(object.field("mean", where)),
+      hex_to_double(object.field("m2", where)),
+      hex_to_double(object.field("min", where)),
+      hex_to_double(object.field("max", where)));
+  return record;
+}
+
+ShardRecord parse_shard_record(const std::string& line,
+                               const std::string& where) {
+  FlatJsonObject object;
+  object.parse(line, where);
+  return shard_record_from(object, where);
+}
+
+bool undecorate_series(const SweepPlan& plan, const InstanceCoord& coord,
+                       std::string& series) {
+  // The cell suffix is a pure suffix ("series[w|s|f]"), and
+  // series_label(coord, "") renders exactly it (empty for single-cell
+  // grids), so stripping is exact — no guessing at '[' characters that may
+  // legitimately appear in series names.
+  const std::string suffix = plan.series_label(coord, "");
+  if (suffix.empty()) return true;
+  if (series.size() < suffix.size() ||
+      series.compare(series.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return false;
+  }
+  series.resize(series.size() - suffix.size());
+  return true;
+}
+
 ShardWriterSink::ShardWriterSink(std::ostream& os, const SweepPlan& plan)
     : os_(&os), plan_(&plan) {
-  const ShardHeader h = shard_header(plan);
-  *os_ << "{\"ftsched_sweep_shard\":1"
-       << ",\"seed\":\"" << h.seed << "\""
-       << ",\"epsilon\":\"" << h.epsilon << "\""
-       << ",\"m\":\"" << h.procs << "\""
-       << ",\"reps\":\"" << h.reps << "\""
-       << ",\"extra\":\""
-       << join_mapped(h.extra_crash_counts,
-                      [](std::size_t k) { return std::to_string(k); })
-       << "\""
-       << ",\"granularities\":\""
-       << join_mapped(h.granularities,
-                      [](double g) { return double_to_hex(g); })
-       << "\""
-       << ",\"workloads\":\""
-       << json_escape(join_mapped(
-              h.workloads, [](const std::string& w) { return w; }))
-       << "\""
-       << ",\"scenarios\":\""
-       << json_escape(join_mapped(
-              h.scenarios, [](const std::string& s) { return s; }))
-       << "\""
-       << ",\"failures\":\""
-       << json_escape(join_mapped(
-              h.failures, [](const std::string& f) { return f; }))
-       << "\""
-       << ",\"paper\":\"" << json_escape(h.paper_params) << "\""
-       << ",\"grid\":\"" << h.grid << "\""
-       << ",\"selected\":\"" << h.selected << "\""
-       << ",\"shard\":\"" << json_escape(h.shard) << "\"}\n";
+  *os_ << render_shard_header(plan);
 }
 
 void ShardWriterSink::on_sample(const InstanceCoord& coord,
                                 const SeriesSample& sample) {
-  for (const auto& [name, value] : sample) {
-    const OnlineStats stats = OnlineStats::of(value);
-    *os_ << "{\"id\":\"" << coord.id << "\""
-         << ",\"w\":\"" << coord.workload << "\""
-         << ",\"s\":\"" << coord.scenario << "\""
-         << ",\"f\":\"" << coord.failure << "\""
-         << ",\"g\":\"" << coord.gran << "\""
-         << ",\"r\":\"" << coord.rep << "\""
-         << ",\"series\":\"" << json_escape(plan_->series_label(coord, name))
-         << "\""
-         << ",\"n\":\"" << stats.count() << "\""
-         << ",\"mean\":\"" << double_to_hex(stats.mean()) << "\""
-         << ",\"m2\":\"" << double_to_hex(stats.m2()) << "\""
-         << ",\"min\":\"" << double_to_hex(stats.min()) << "\""
-         << ",\"max\":\"" << double_to_hex(stats.max()) << "\"}\n";
-  }
+  buffer_.clear();
+  append_sample_records(buffer_, *plan_, coord, sample);
+  *os_ << buffer_;
   ++samples_;
 }
 
@@ -311,7 +225,7 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
   // `object` reuses its field strings, and `where` its buffer.
   std::string line;
   std::string where;
-  FlatObject object;
+  FlatJsonObject object;
   std::size_t line_no = 0;
   bool have_header = false;
   while (std::getline(in, line)) {
@@ -355,21 +269,7 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
       have_header = true;
       continue;
     }
-    ShardRecord record;
-    record.coord.id = spec_detail::parse_u64("id", object.field("id", where));
-    record.coord.workload = parse_size("w", object.field("w", where));
-    record.coord.scenario = parse_size("s", object.field("s", where));
-    record.coord.failure = parse_size("f", object.field_or("f", "0"));
-    record.coord.gran = parse_size("g", object.field("g", where));
-    record.coord.rep = parse_size("r", object.field("r", where));
-    record.series = object.field("series", where);
-    record.stats = OnlineStats::from_parts(
-        parse_size("n", object.field("n", where)),
-        hex_to_double(object.field("mean", where)),
-        hex_to_double(object.field("m2", where)),
-        hex_to_double(object.field("min", where)),
-        hex_to_double(object.field("max", where)));
-    shard.records.push_back(std::move(record));
+    shard.records.push_back(shard_record_from(object, where));
   }
   FTSCHED_REQUIRE(have_header, name + ": empty shard file (missing header)");
   return shard;

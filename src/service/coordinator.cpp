@@ -1,0 +1,643 @@
+#include "ftsched/service/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <poll.h>
+
+#include "ftsched/experiments/backend.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/log.hpp"
+#include "ftsched/util/spec.hpp"
+
+namespace ftsched {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Atomic small-file write: tmp + rename, so a killed coordinator never
+/// leaves a torn unit for the next resume to trip over.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& text) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FTSCHED_REQUIRE(out.good(), "cannot create manifest file: " + tmp.string());
+    out << text;
+    out.flush();
+    FTSCHED_REQUIRE(out.good(), "cannot write manifest file: " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  FTSCHED_REQUIRE(!ec, "cannot finalise manifest file " + path.string() +
+                           ": " + ec.message());
+}
+
+}  // namespace
+
+std::string manifest_subdir(const std::string& manifest_dir,
+                            const SweepPlan& plan) {
+  // Two shards of one grid share the fingerprint but select different
+  // coordinates, so the shard chain is part of the key.
+  const std::string key = plan.fingerprint() + "|" + plan.shard_label();
+  return (std::filesystem::path(manifest_dir) / hex64(fnv1a64(key))).string();
+}
+
+struct Coordinator::Impl {
+  struct Connection {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameDecoder dec;
+    std::string name;  ///< from hello; "<unnamed>" until then
+    enum class State { AwaitHello, PlanSent, Ready, Waiting, Rejected };
+    State state = State::AwaitHello;
+  };
+
+  struct Lease {
+    std::uint64_t conn = 0;       ///< owning connection id
+    std::vector<std::size_t> ks;  ///< selected indices (shrinks on steal)
+    Clock::time_point last_activity;
+  };
+
+  const SweepPlan& plan;
+  SweepSink& sink;
+  CoordinatorOptions opts;
+
+  std::size_t n = 0;
+  std::size_t lease_size = 1;
+  std::vector<std::uint64_t> ids;  ///< full-grid id of each selected index
+  std::string fingerprint;
+  std::vector<std::string> sweep_args;
+
+  Listener listener;
+
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn = 1;
+  std::map<std::uint64_t, Lease> leases;
+  std::uint64_t next_lease = 1;
+  std::vector<std::uint64_t> waiting;  ///< parked lease requests, in order
+
+  std::vector<char> complete;
+  std::vector<SeriesSample> samples;
+  std::size_t completed_count = 0;
+  std::deque<std::size_t> pending;
+  std::size_t next_deliver = 0;
+
+  // Fixed journaling partition: unit u covers selected indices
+  // [u*lease_size, min(n, (u+1)*lease_size)).
+  std::string manifest;  ///< resolved subdir; empty = journaling off
+  std::vector<std::size_t> unit_left;
+  std::vector<char> unit_written;
+
+  CoordinatorStats counters;
+  std::string last_cause;
+
+  // Per-poll scratch (capacity reused across frames).
+  std::string payload_scratch;
+  FlatJsonObject record_scratch;
+
+  Impl(const SweepPlan& p, SweepSink& s, CoordinatorOptions o)
+      : plan(p), sink(s), opts(std::move(o)), listener(opts.port) {
+    n = plan.size();
+    lease_size = opts.lease != 0
+                     ? opts.lease
+                     : std::clamp<std::size_t>(n / 32, 1, 64);
+    ids.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) ids.push_back(plan.coord(k).id);
+    fingerprint = plan.fingerprint();
+    sweep_args = sweep_cli_args(plan.config());
+
+    complete.assign(n, 0);
+    samples.assign(n, SeriesSample{});
+    const std::size_t units = n == 0 ? 0 : (n - 1) / lease_size + 1;
+    unit_left.assign(units, 0);
+    for (std::size_t u = 0; u < units; ++u) {
+      unit_left[u] = std::min(n, (u + 1) * lease_size) - u * lease_size;
+    }
+    unit_written.assign(units, 0);
+
+    if (!opts.manifest_dir.empty()) {
+      manifest = manifest_subdir(opts.manifest_dir, plan);
+      load_manifest();
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!complete[k]) pending.push_back(k);
+    }
+    deliver_and_journal();
+  }
+
+  // ------------------------------------------------------------- manifest
+
+  void load_manifest() {
+    std::filesystem::create_directories(manifest);
+    const std::filesystem::path marker =
+        std::filesystem::path(manifest) / "fingerprint.txt";
+    const std::string want = fingerprint + "\n" + plan.shard_label() + "\n";
+    if (std::filesystem::exists(marker)) {
+      std::ifstream in(marker, std::ios::binary);
+      std::string got((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+      FTSCHED_REQUIRE(got == want,
+                      "manifest dir " + manifest +
+                          " belongs to a different plan (hash collision or "
+                          "tampering) — refusing to resume from it");
+    } else {
+      write_file_atomic(marker, want);
+    }
+
+    for (const auto& entry : std::filesystem::directory_iterator(manifest)) {
+      const std::filesystem::path& path = entry.path();
+      if (path.extension() != ".jsonl") continue;  // skips .tmp leftovers
+      load_manifest_unit(path.string());
+    }
+    // Units fully restored from disk are already journaled (their records
+    // live in the loaded files, whatever partition wrote them).
+    for (std::size_t u = 0; u < unit_left.size(); ++u) {
+      if (unit_left[u] == 0) unit_written[u] = 1;
+    }
+  }
+
+  void load_manifest_unit(const std::string& path) {
+    // Resume is best-effort: a file that fails any check is skipped with a
+    // warning (its coordinates simply re-run), never fatal — a corrupt
+    // cache must not take down the sweep it exists to accelerate.
+    ShardFile file;
+    try {
+      file = read_shard_file(path);
+    } catch (const Error& e) {
+      FTSCHED_WARN("coordinator: skipping manifest file " << path << ": "
+                                                          << e.what());
+      return;
+    }
+    if (file.header.fingerprint() != fingerprint) {
+      FTSCHED_WARN("coordinator: skipping manifest file "
+                   << path << ": plan mismatch");
+      return;
+    }
+    std::map<std::uint64_t, SeriesSample> per_id;
+    for (const ShardRecord& r : file.records) {
+      const auto it = std::lower_bound(ids.begin(), ids.end(), r.coord.id);
+      if (it == ids.end() || *it != r.coord.id || r.stats.count() != 1) {
+        FTSCHED_WARN("coordinator: skipping manifest file " << path
+                                                            << ": bad record");
+        return;
+      }
+      const std::size_t k = static_cast<std::size_t>(it - ids.begin());
+      std::string series = r.series;
+      if (!undecorate_series(plan, plan.coord(k), series) ||
+          !per_id[r.coord.id].emplace(std::move(series), r.stats.mean())
+               .second) {
+        FTSCHED_WARN("coordinator: skipping manifest file " << path
+                                                            << ": bad record");
+        return;
+      }
+    }
+    for (auto& [id, sample] : per_id) {
+      const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+      const std::size_t k = static_cast<std::size_t>(it - ids.begin());
+      if (complete[k]) continue;  // first file wins; values are identical
+      mark_complete(k, std::move(sample));
+      ++counters.coords_resumed;
+    }
+  }
+
+  void write_unit(std::size_t u) {
+    const std::size_t begin = u * lease_size;
+    const std::size_t end = std::min(n, begin + lease_size);
+    std::string text = render_shard_header(plan);
+    for (std::size_t k = begin; k < end; ++k) {
+      append_sample_records(text, plan, plan.coord(k), samples[k]);
+    }
+    const std::string name =
+        "unit_" + std::to_string(begin) + "_" + std::to_string(end) + ".jsonl";
+    write_file_atomic(std::filesystem::path(manifest) / name, text);
+    unit_written[u] = 1;
+    ++counters.manifest_units_written;
+    for (std::size_t k = begin; k < end; ++k) maybe_release(k);
+  }
+
+  // ------------------------------------------------------- sample storage
+
+  void mark_complete(std::size_t k, SeriesSample sample) {
+    complete[k] = 1;
+    samples[k] = std::move(sample);
+    ++completed_count;
+    const std::size_t u = k / lease_size;
+    if (--unit_left[u] == 0 && !manifest.empty() && !unit_written[u]) {
+      write_unit(u);
+    }
+  }
+
+  /// Frees a sample's memory once nothing can still need it: it has been
+  /// delivered to the sink AND journaled (or journaling is off).
+  void maybe_release(std::size_t k) {
+    if (k >= next_deliver) return;
+    if (!manifest.empty() && !unit_written[k / lease_size]) return;
+    samples[k] = SeriesSample{};
+  }
+
+  void deliver_and_journal() {
+    while (next_deliver < n && complete[next_deliver]) {
+      const std::size_t k = next_deliver;
+      sink.on_sample(plan.coord(k), samples[k]);
+      ++next_deliver;
+      maybe_release(k);
+    }
+  }
+
+  // ------------------------------------------------------------ protocol
+
+  [[nodiscard]] std::string describe(const Connection& c) const {
+    return (c.name.empty() ? "<unnamed>" : c.name) + " (conn " +
+           std::to_string(c.id) + ")";
+  }
+
+  void send(Connection& c, const std::string& payload) {
+    // A send failure means the peer died mid-conversation; the reader side
+    // will see the EOF next poll and requeue — no need to duplicate the
+    // teardown here.
+    try {
+      c.sock.send_message(payload);
+    } catch (const Error&) {
+    }
+  }
+
+  void reject(Connection& c, const std::string& cause) {
+    send(c, msg_reject(cause));
+    c.state = Connection::State::Rejected;
+    ++counters.workers_rejected;
+    last_cause = describe(c) + ": rejected: " + cause;
+  }
+
+  void handle_message(Connection& c, const std::string& payload) {
+    const ServiceMessage msg = parse_service_message(payload, describe(c));
+    if (msg.type == "hello") {
+      if (c.state != Connection::State::AwaitHello) {
+        reject(c, "unexpected hello");
+        return;
+      }
+      if (msg.field_or("ftsched_coord", "") != kCoordProtocolVersion) {
+        reject(c, "coordinator protocol version mismatch");
+        return;
+      }
+      c.name = msg.field_or("worker", "");
+      send(c, msg_plan(sweep_args, plan.shard_label(), fingerprint,
+                       opts.group));
+      c.state = Connection::State::PlanSent;
+      ++counters.workers_joined;
+      return;
+    }
+    if (msg.type == "heartbeat") {
+      touch_leases_of(c.id);
+      return;
+    }
+    if (msg.type == "ready") {
+      if (c.state != Connection::State::PlanSent) {
+        reject(c, "unexpected ready");
+        return;
+      }
+      if (msg.field("fingerprint") != fingerprint) {
+        reject(c, "grid fingerprint mismatch — the worker rebuilt a "
+                  "different grid from the plan flags\n  want: " +
+                      fingerprint + "\n  got:  " + msg.field("fingerprint"));
+        return;
+      }
+      c.state = Connection::State::Ready;
+      return;
+    }
+    if (msg.type == "lease_request") {
+      if (c.state != Connection::State::Ready) {
+        reject(c, "lease_request before a valid ready handshake");
+        return;
+      }
+      c.state = Connection::State::Waiting;
+      waiting.push_back(c.id);
+      return;
+    }
+    if (msg.type == "sample") {
+      handle_sample(c, msg);
+      return;
+    }
+    if (msg.type == "done") {
+      const std::uint64_t lease_id =
+          spec_detail::parse_u64("lease", msg.field("lease"));
+      const auto it = leases.find(lease_id);
+      if (it == leases.end() || it->second.conn != c.id) return;  // stale
+      // A correct worker sent every sample first, so nothing should be
+      // left; anything that is (a rejected record, say) goes back to the
+      // queue rather than being silently lost.
+      requeue_incomplete(it->second);
+      leases.erase(it);
+      return;
+    }
+    reject(c, "unknown message type '" + msg.type + "'");
+  }
+
+  void handle_sample(Connection& c, const ServiceMessage& msg) {
+    const std::uint64_t lease_id =
+        spec_detail::parse_u64("lease", msg.field("lease"));
+    const std::uint64_t k64 = spec_detail::parse_u64("k", msg.field("k"));
+    if (k64 >= n) {
+      reject(c, "sample index " + std::to_string(k64) +
+                    " outside the plan selection");
+      return;
+    }
+    const std::size_t k = static_cast<std::size_t>(k64);
+    const InstanceCoord coord = plan.coord(k);
+    SeriesSample sample;
+    for (const std::string& line : msg.record_lines) {
+      record_scratch.parse(line, msg.where);
+      ShardRecord r = shard_record_from(record_scratch, msg.where);
+      if (r.coord.id != coord.id || r.stats.count() != 1 ||
+          !undecorate_series(plan, coord, r.series) ||
+          !sample.emplace(std::move(r.series), r.stats.mean()).second) {
+        reject(c, "malformed sample record for selected index " +
+                      std::to_string(k));
+        return;
+      }
+    }
+    const auto it = leases.find(lease_id);
+    if (it != leases.end() && it->second.conn == c.id) {
+      it->second.last_activity = Clock::now();
+    }
+    if (complete[k]) {
+      // A steal victim or an expired-but-alive worker finishing anyway:
+      // every correct worker computes bit-identical values, so first
+      // arrival wins and the copy is dropped.
+      ++counters.duplicate_samples;
+      return;
+    }
+    mark_complete(k, std::move(sample));
+  }
+
+  void touch_leases_of(std::uint64_t conn_id) {
+    const auto now = Clock::now();
+    for (auto& [id, lease] : leases) {
+      if (lease.conn == conn_id) lease.last_activity = now;
+    }
+  }
+
+  // -------------------------------------------------- lease housekeeping
+
+  void requeue_incomplete(const Lease& lease) {
+    bool any = false;
+    for (const std::size_t k : lease.ks) {
+      if (!complete[k]) {
+        pending.push_back(k);
+        any = true;
+      }
+    }
+    if (any) ++counters.leases_requeued;
+  }
+
+  void expire_leases() {
+    const auto now = Clock::now();
+    const std::chrono::duration<double> limit(opts.timeout);
+    for (auto it = leases.begin(); it != leases.end();) {
+      if (now - it->second.last_activity > limit) {
+        // The owner may well be alive and merely slow; its results are
+        // still welcome (dedupe handles the overlap), but the sweep stops
+        // waiting on it.
+        requeue_incomplete(it->second);
+        ++counters.leases_expired;
+        it = leases.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void drop_conn(std::uint64_t id, const std::string& cause) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    for (auto lit = leases.begin(); lit != leases.end();) {
+      if (lit->second.conn == id) {
+        requeue_incomplete(lit->second);
+        lit = leases.erase(lit);
+      } else {
+        ++lit;
+      }
+    }
+    // A worker hanging up after the sweep completed is the normal wind-down
+    // (bye → close), not a reportable cause.
+    if (completed_count < n) {
+      last_cause = describe(it->second) + ": " + cause;
+    }
+    conns.erase(it);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> take_pending() {
+    std::vector<std::size_t> ks;
+    while (ks.size() < lease_size && !pending.empty()) {
+      const std::size_t k = pending.front();
+      pending.pop_front();
+      // A queued coordinate can complete in the meantime (duplicate result
+      // from an expired-but-alive worker); leasing it again would be waste.
+      if (!complete[k]) ks.push_back(k);
+    }
+    return ks;
+  }
+
+  /// Splits the most-laden active lease, taking the back half of its
+  /// unfinished coordinates for an idle worker.  Returns empty when no
+  /// lease has at least two unfinished coordinates to share.
+  [[nodiscard]] std::vector<std::size_t> steal_for(std::uint64_t thief_conn) {
+    Lease* victim = nullptr;
+    std::size_t victim_left = 1;  // require >= 2 to split
+    for (auto& [id, lease] : leases) {
+      if (lease.conn == thief_conn) continue;
+      std::size_t left = 0;
+      for (const std::size_t k : lease.ks) left += !complete[k];
+      if (left > victim_left) {
+        victim = &lease;
+        victim_left = left;
+      }
+    }
+    if (victim == nullptr) return {};
+    std::vector<std::size_t> incomplete;
+    incomplete.reserve(victim_left);
+    for (const std::size_t k : victim->ks) {
+      if (!complete[k]) incomplete.push_back(k);
+    }
+    const std::size_t moved = incomplete.size() / 2;
+    std::vector<std::size_t> stolen(incomplete.end() - moved,
+                                    incomplete.end());
+    // The victim keeps everything not stolen, so its lease completes
+    // without the moved coordinates (its late results for them would be
+    // dedupe'd duplicates).
+    std::vector<std::size_t> kept;
+    kept.reserve(victim->ks.size() - moved);
+    for (const std::size_t k : victim->ks) {
+      if (std::find(stolen.begin(), stolen.end(), k) == stolen.end()) {
+        kept.push_back(k);
+      }
+    }
+    victim->ks = std::move(kept);
+    ++counters.leases_stolen;
+    return stolen;
+  }
+
+  void grant(Connection& c, std::vector<std::size_t> ks) {
+    const std::uint64_t lease_id = next_lease++;
+    send(c, msg_lease(lease_id, ks));
+    ++counters.leases_granted;
+    counters.coords_leased += ks.size();
+    Lease lease;
+    lease.conn = c.id;
+    lease.ks = std::move(ks);
+    lease.last_activity = Clock::now();
+    leases.emplace(lease_id, std::move(lease));
+    c.state = Connection::State::Ready;
+  }
+
+  void serve_waiting() {
+    std::vector<std::uint64_t> still;
+    for (const std::uint64_t id : waiting) {
+      const auto it = conns.find(id);
+      if (it == conns.end() ||
+          it->second.state != Connection::State::Waiting) {
+        continue;
+      }
+      Connection& c = it->second;
+      if (completed_count == n) {
+        send(c, msg_bye());
+        c.state = Connection::State::Ready;
+        continue;
+      }
+      std::vector<std::size_t> ks = take_pending();
+      if (ks.empty()) ks = steal_for(c.id);
+      if (ks.empty()) {
+        still.push_back(id);  // park until a requeue or the finish
+        continue;
+      }
+      grant(c, std::move(ks));
+    }
+    waiting = std::move(still);
+  }
+
+  // ----------------------------------------------------------- poll loop
+
+  void accept_joiners() {
+    while (true) {
+      Socket sock = listener.accept(0);
+      if (!sock.valid()) break;
+      sock.set_nonblocking(true);
+      Connection c;
+      c.id = next_conn++;
+      c.sock = std::move(sock);
+      conns.emplace(c.id, std::move(c));
+    }
+  }
+
+  void pump(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Connection& c = it->second;
+    bool eof = false;
+    try {
+      while (true) {
+        const int got = c.sock.read_available(c.dec.buffer());
+        if (got > 0) continue;
+        eof = got < 0;
+        break;
+      }
+      // Drain complete frames before acting on EOF — the final frames of a
+      // worker that finished and hung up are still valid results.
+      while (c.state != Connection::State::Rejected &&
+             c.dec.next(payload_scratch)) {
+        handle_message(c, payload_scratch);
+      }
+    } catch (const Error& e) {
+      drop_conn(id, e.what());
+      return;
+    }
+    if (c.state == Connection::State::Rejected) {
+      drop_conn(id, "rejected");
+      return;
+    }
+    if (eof) {
+      drop_conn(id, c.dec.mid_frame() ? "disconnected mid-frame"
+                                      : "closed connection");
+    }
+  }
+
+  void poll(int timeout_ms) {
+    std::vector<struct pollfd> fds;
+    std::vector<std::uint64_t> conn_ids;
+    fds.push_back({listener.fd(), POLLIN, 0});
+    for (auto& [id, c] : conns) {
+      fds.push_back({c.sock.fd(), POLLIN, 0});
+      conn_ids.push_back(id);
+    }
+    int rc = 0;
+    do {
+      rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc > 0) {
+      if (fds[0].revents != 0) accept_joiners();
+      for (std::size_t i = 0; i < conn_ids.size(); ++i) {
+        if (fds[i + 1].revents != 0) pump(conn_ids[i]);
+      }
+    }
+    expire_leases();
+    serve_waiting();
+    deliver_and_journal();
+  }
+};
+
+Coordinator::Coordinator(const SweepPlan& plan, SweepSink& sink,
+                         CoordinatorOptions options)
+    : impl_(std::make_unique<Impl>(plan, sink, std::move(options))) {}
+
+Coordinator::~Coordinator() = default;
+
+std::uint16_t Coordinator::port() const noexcept {
+  return impl_->listener.port();
+}
+
+bool Coordinator::finished() const noexcept {
+  return impl_->next_deliver == impl_->n;
+}
+
+void Coordinator::poll(int timeout_ms) { impl_->poll(timeout_ms); }
+
+void Coordinator::run(int tick_ms) {
+  while (!finished()) poll(tick_ms);
+}
+
+std::size_t Coordinator::connections() const noexcept {
+  return impl_->conns.size();
+}
+
+const CoordinatorStats& Coordinator::stats() const noexcept {
+  return impl_->counters;
+}
+
+const std::string& Coordinator::last_disconnect_cause() const noexcept {
+  return impl_->last_cause;
+}
+
+}  // namespace ftsched

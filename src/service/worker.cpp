@@ -1,0 +1,142 @@
+#include "ftsched/service/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "ftsched/experiments/backend.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/service/protocol.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/util/net.hpp"
+#include "ftsched/util/spec.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Blocking receive that keeps the connection alive: every `heartbeat_ms`
+/// of silence sends a heartbeat so a parked worker never trips the
+/// coordinator's lease timeout.  Returns false when the coordinator went
+/// away (clean EOF).
+bool recv_with_heartbeat(Socket& sock, std::string& payload,
+                         int heartbeat_ms) {
+  while (!sock.recv_message(payload, heartbeat_ms)) {
+    if (sock.eof()) return false;
+    sock.send_message(msg_heartbeat());
+  }
+  return true;
+}
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  WorkerReport report;
+  Socket sock = connect_to(options.host, options.port);
+  sock.send_message(msg_hello(options.name));
+
+  const std::string where = "coordinator reply to " + options.name;
+  std::string payload;
+  FTSCHED_REQUIRE(sock.recv_message(payload),
+                  where + ": connection closed before the plan arrived");
+  ServiceMessage msg = parse_service_message(payload, where);
+  if (msg.type == "reject") {
+    throw Error("coordinator rejected worker '" + options.name +
+                "': " + msg.field("cause"));
+  }
+  FTSCHED_REQUIRE(msg.type == "plan",
+                  where + ": expected plan, got '" + msg.type + "'");
+
+  // Rebuild the plan exactly like the sweep command would from these
+  // flags; the ready answer carries *our* fingerprint so a drifted binary
+  // is rejected before it can lease anything.
+  const FigureConfig config =
+      sweep_config_from_args(split_plan_args(msg.field("args")));
+  const SweepPlan plan =
+      apply_shard_chain(SweepPlan(config), msg.field("shard"));
+  const bool group = msg.field_or("group", "1") != "0";
+  sock.send_message(msg_ready(plan.fingerprint()));
+
+  // Selected index -> schedule-reuse group, so a lease's coordinates can
+  // be bucketed into evaluate_group calls (any ascending subset of one
+  // group is valid and bit-identical to per-coordinate evaluation).
+  std::vector<std::size_t> group_of(plan.size(), 0);
+  if (group) {
+    const std::vector<std::vector<std::size_t>> groups =
+        plan.group_selection();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (const std::size_t k : groups[gi]) group_of[k] = gi;
+    }
+  }
+
+  const auto send_sample = [&](std::uint64_t lease, std::size_t k,
+                               const SeriesSample& sample) {
+    if (options.sample_delay_ms != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.sample_delay_ms));
+    }
+    std::string frame = msg_sample_head(lease, k);
+    frame += '\n';
+    append_sample_records(frame, plan, plan.coord(k), sample);
+    sock.send_message(frame);
+    ++report.samples_sent;
+  };
+
+  std::size_t leases_received = 0;
+  std::string buf;
+  while (true) {
+    sock.send_message(msg_lease_request());
+    if (!recv_with_heartbeat(sock, buf, options.heartbeat_ms)) return report;
+    msg = parse_service_message(buf, where);
+    if (msg.type == "bye") {
+      report.orderly = true;
+      return report;
+    }
+    if (msg.type == "reject") {
+      throw Error("coordinator rejected worker '" + options.name +
+                  "': " + msg.field("cause"));
+    }
+    FTSCHED_REQUIRE(msg.type == "lease",
+                    where + ": expected lease/bye, got '" + msg.type + "'");
+
+    const std::uint64_t lease =
+        spec_detail::parse_u64("lease", msg.field("lease"));
+    std::vector<std::size_t> ks = parse_index_list(msg.field("ks"), where);
+    std::sort(ks.begin(), ks.end());
+    ++leases_received;
+    if (options.kill_after_leases != 0 &&
+        leases_received >= options.kill_after_leases) {
+      std::raise(SIGKILL);
+    }
+
+    if (group) {
+      // Bucket the lease by schedule-reuse group; buckets keep ascending
+      // member order, so each one is a valid evaluate_group subset.
+      std::map<std::size_t, std::vector<std::size_t>> buckets;
+      for (const std::size_t k : ks) buckets[group_of[k]].push_back(k);
+      for (const auto& [gi, members] : buckets) {
+        (void)gi;
+        const std::vector<SeriesSample> samples = plan.evaluate_group(members);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          send_sample(lease, members[i], samples[i]);
+        }
+      }
+    } else {
+      for (const std::size_t k : ks) {
+        send_sample(lease, k, plan.evaluate(plan.coord(k)));
+      }
+    }
+    sock.send_message(msg_done(lease));
+    ++report.leases_completed;
+    if (options.max_leases != 0 &&
+        report.leases_completed >= options.max_leases) {
+      return report;  // abrupt: no goodbye, the coordinator requeues
+    }
+  }
+}
+
+}  // namespace ftsched

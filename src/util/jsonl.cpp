@@ -1,0 +1,129 @@
+#include "ftsched/util/jsonl.hpp"
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& where, const std::string& why) {
+  throw InvalidArgument("malformed JSONL line (" + where + "): " + why);
+}
+
+void skip_spaces(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+/// Parses one JSON string into `out` (cleared first, capacity retained).
+void parse_json_string(const std::string& s, std::size_t& i,
+                       const std::string& where, std::string& out) {
+  if (i >= s.size() || s[i] != '"') malformed(where, "expected '\"'");
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) malformed(where, "dangling escape");
+      switch (s[i]) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default: malformed(where, "unsupported escape");
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+    ++i;
+  }
+  if (i >= s.size()) malformed(where, "unterminated string");
+  ++i;  // closing quote
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void FlatJsonObject::parse(const std::string& line, const std::string& where) {
+  used_ = 0;
+  std::size_t i = 0;
+  skip_spaces(line, i);
+  if (i >= line.size() || line[i] != '{') malformed(where, "expected '{'");
+  ++i;
+  skip_spaces(line, i);
+  if (i < line.size() && line[i] == '}') return;
+  while (true) {
+    if (used_ == fields_.size()) fields_.emplace_back();
+    Field& f = fields_[used_];
+    skip_spaces(line, i);
+    parse_json_string(line, i, where, f.key);
+    for (std::size_t j = 0; j < used_; ++j) {
+      if (fields_[j].key == f.key) {
+        malformed(where, "duplicate key '" + f.key + "'");
+      }
+    }
+    skip_spaces(line, i);
+    if (i >= line.size() || line[i] != ':') malformed(where, "expected ':'");
+    ++i;
+    skip_spaces(line, i);
+    if (i < line.size() && line[i] == '"') {
+      parse_json_string(line, i, where, f.value);
+    } else {
+      f.value.clear();
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        f.value.push_back(line[i]);
+        ++i;
+      }
+      while (!f.value.empty() &&
+             (f.value.back() == ' ' || f.value.back() == '\t')) {
+        f.value.pop_back();
+      }
+    }
+    ++used_;
+    skip_spaces(line, i);
+    if (i >= line.size()) malformed(where, "unterminated object");
+    if (line[i] == '}') break;
+    if (line[i] != ',') malformed(where, "expected ',' or '}'");
+    ++i;
+  }
+}
+
+const std::string* FlatJsonObject::find(const char* key) const {
+  for (std::size_t j = 0; j < used_; ++j) {
+    if (fields_[j].key == key) return &fields_[j].value;
+  }
+  return nullptr;
+}
+
+const std::string& FlatJsonObject::field(const char* key,
+                                         const std::string& where) const {
+  const std::string* value = find(key);
+  if (value == nullptr) {
+    malformed(where, std::string("missing key '") + key + "'");
+  }
+  return *value;
+}
+
+std::string FlatJsonObject::field_or(const char* key,
+                                     const char* fallback) const {
+  const std::string* value = find(key);
+  return value == nullptr ? std::string(fallback) : *value;
+}
+
+}  // namespace ftsched

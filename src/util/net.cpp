@@ -1,0 +1,320 @@
+#include "ftsched/util/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ftsched/util/error.hpp"
+
+namespace ftsched {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what, int err) {
+  throw Error(what + ": " + std::strerror(err));
+}
+
+/// The framing prefix is explicit big-endian bytes, not a struct cast, so
+/// the wire format is host-endianness-independent by construction.
+void encode_len(std::uint32_t n, char out[4]) {
+  out[0] = static_cast<char>((n >> 24) & 0xff);
+  out[1] = static_cast<char>((n >> 16) & 0xff);
+  out[2] = static_cast<char>((n >> 8) & 0xff);
+  out[3] = static_cast<char>(n & 0xff);
+}
+
+std::uint32_t decode_len(const char in[4]) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]));
+}
+
+void check_frame_len(std::uint32_t n) {
+  FTSCHED_REQUIRE(n <= kMaxNetFrameBytes,
+                  "net: frame length " + std::to_string(n) +
+                      " exceeds the protocol limit (corrupt stream?)");
+}
+
+/// poll(2) for `events`, retrying EINTR; true when an event is pending.
+bool wait_events(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    sys_error("net: poll", errno);
+  }
+}
+
+/// Blocking exact-count read, EINTR-retried.  Returns the bytes read
+/// before EOF (== n normally, < n on end-of-stream).
+std::size_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, buf + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    sys_error("net: recv", errno);
+  }
+  return got;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    eof_ = other.eof_;
+    recv_scratch_ = std::move(other.recv_scratch_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_message(std::string_view payload) {
+  FTSCHED_REQUIRE(valid(), "net: send on a closed socket");
+  check_frame_len(static_cast<std::uint32_t>(payload.size()));
+  char prefix[4];
+  encode_len(static_cast<std::uint32_t>(payload.size()), prefix);
+  // Two buffers, one logical write; a short write of the prefix itself is
+  // handled by the generic loop below.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(prefix, 4);
+  frame.append(payload.data(), payload.size());
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t rc =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Peer slow to drain (or socket switched non-blocking): wait for
+      // writability rather than burning a spin loop.
+      (void)wait_events(fd_, POLLOUT, -1);
+      continue;
+    }
+    sys_error("net: send (peer gone?)", errno);
+  }
+}
+
+bool Socket::recv_message(std::string& payload, int timeout_ms) {
+  FTSCHED_REQUIRE(valid(), "net: recv on a closed socket");
+  FTSCHED_REQUIRE(!eof_, "net: recv after end-of-stream");
+  // A timed-out partial frame stays in recv_scratch_ so the next call
+  // resumes it — the timeout is "no complete frame yet", never data loss.
+  FrameDecoder scratch;
+  scratch.buffer().swap(recv_scratch_);
+  const bool had_partial = scratch.mid_frame();
+  if (scratch.next(payload)) {
+    scratch.buffer().swap(recv_scratch_);
+    return true;
+  }
+  char prefix[4];
+  if (timeout_ms >= 0 && !wait_events(fd_, POLLIN, timeout_ms)) {
+    scratch.buffer().swap(recv_scratch_);
+    return false;
+  }
+  // Blocking path: read the remainder of the length prefix, then the body.
+  std::string& buf = scratch.buffer();
+  while (buf.size() < 4) {
+    const std::size_t got = read_exact(fd_, prefix, 4 - buf.size());
+    if (got == 0) {
+      eof_ = true;
+      FTSCHED_REQUIRE(buf.empty() && !had_partial,
+                      "net: peer closed mid-frame (truncated message)");
+      return false;
+    }
+    buf.append(prefix, got);
+  }
+  const std::uint32_t len = decode_len(buf.data());
+  check_frame_len(len);
+  payload.resize(len);
+  const std::size_t body_have = buf.size() - 4;
+  std::memcpy(payload.data(), buf.data() + 4, body_have);
+  const std::size_t got =
+      read_exact(fd_, payload.data() + body_have, len - body_have);
+  if (body_have + got < len) {
+    eof_ = true;
+    throw Error("net: peer closed mid-frame (truncated message)");
+  }
+  recv_scratch_.clear();
+  return true;
+}
+
+void Socket::set_nonblocking(bool on) {
+  FTSCHED_REQUIRE(valid(), "net: fcntl on a closed socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) sys_error("net: fcntl(F_GETFL)", errno);
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) sys_error("net: fcntl(F_SETFL)", errno);
+}
+
+int Socket::read_available(std::string& buf) {
+  FTSCHED_REQUIRE(valid(), "net: read on a closed socket");
+  char chunk[4096];
+  while (true) {
+    const ssize_t rc = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (rc > 0) {
+      buf.append(chunk, static_cast<std::size_t>(rc));
+      return static_cast<int>(rc);
+    }
+    if (rc == 0) {
+      eof_ = true;
+      return -1;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    sys_error("net: recv", errno);
+  }
+}
+
+bool FrameDecoder::next(std::string& payload) {
+  if (buf_.size() < 4) return false;
+  const std::uint32_t len = decode_len(buf_.data());
+  check_frame_len(len);
+  if (buf_.size() < 4 + static_cast<std::size_t>(len)) return false;
+  payload.assign(buf_, 4, len);
+  buf_.erase(0, 4 + static_cast<std::size_t>(len));
+  return true;
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  FTSCHED_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "net: not a numeric IPv4 host: " + host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_error("net: socket", errno);
+  Socket sock(fd);
+  while (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) {
+      // POSIX: an EINTR'd connect completes asynchronously — wait for
+      // writability and check SO_ERROR instead of calling connect again.
+      (void)wait_events(fd, POLLOUT, -1);
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        sys_error("net: getsockopt(SO_ERROR)", errno);
+      }
+      if (err != 0) sys_error("net: connect to " + host, err);
+      break;
+    }
+    sys_error("net: connect to " + host + ":" + std::to_string(port), errno);
+  }
+  const int one = 1;
+  // Lease/sample exchanges are small request/response frames; Nagle delays
+  // only add latency here.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) sys_error("net: socket", errno);
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    close();
+    sys_error("net: bind 127.0.0.1:" + std::to_string(port), err);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    close();
+    sys_error("net: listen", err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    const int err = errno;
+    close();
+    sys_error("net: getsockname", err);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Listener::accept(int timeout_ms) {
+  FTSCHED_REQUIRE(fd_ >= 0, "net: accept on a closed listener");
+  if (!wait_events(fd_, POLLIN, timeout_ms)) return Socket();
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // The peer can vanish between poll and accept; that is a non-event for
+    // the coordinator, not an error.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Socket();
+    }
+    sys_error("net: accept", errno);
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  return wait_events(fd, POLLIN, timeout_ms);
+}
+
+}  // namespace ftsched

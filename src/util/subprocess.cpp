@@ -7,12 +7,30 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "ftsched/util/error.hpp"
 
 namespace ftsched {
 
 namespace {
+
+ChildOutcome outcome_from_status(int status) {
+  ChildOutcome outcome;
+  if (WIFEXITED(status)) {
+    outcome.exited = true;
+    outcome.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    outcome.exited = false;
+    outcome.signal_number = WTERMSIG(status);
+  } else {
+    // Neither exit nor signal (stopped?) — report as an odd exit.
+    outcome.exited = true;
+    outcome.exit_code = -1;
+  }
+  return outcome;
+}
 
 /// Opens `path` for the child's stdout/stderr; -1 = inherit.
 int open_redirect(const std::string& path) {
@@ -98,19 +116,40 @@ ChildOutcome ChildProcess::wait() {
   if (reaped < 0) {
     throw Error("waitpid failed: " + std::string(std::strerror(errno)));
   }
-  ChildOutcome outcome;
-  if (WIFEXITED(status)) {
-    outcome.exited = true;
-    outcome.exit_code = WEXITSTATUS(status);
-  } else if (WIFSIGNALED(status)) {
-    outcome.exited = false;
-    outcome.signal_number = WTERMSIG(status);
-  } else {
-    // Neither exit nor signal (stopped?) — report as an odd exit.
-    outcome.exited = true;
-    outcome.exit_code = -1;
+  return outcome_from_status(status);
+}
+
+std::optional<ChildOutcome> ChildProcess::try_wait() {
+  FTSCHED_REQUIRE(pid_ > 0, "ChildProcess::try_wait on an empty handle");
+  int status = 0;
+  pid_t reaped = -1;
+  do {
+    reaped = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped == 0) return std::nullopt;  // still running
+  pid_ = -1;
+  if (reaped < 0) {
+    throw Error("waitpid failed: " + std::string(std::strerror(errno)));
   }
-  return outcome;
+  return outcome_from_status(status);
+}
+
+void ChildProcess::kill(int sig) noexcept {
+  if (pid_ > 0) (void)::kill(static_cast<pid_t>(pid_), sig);
+}
+
+std::string stderr_tail(const std::string& path, std::size_t limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  if (text.size() > limit) text.erase(0, text.size() - limit);
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' || text.back() == ' ')) {
+    text.pop_back();
+  }
+  return text;
 }
 
 std::string self_executable_path() {

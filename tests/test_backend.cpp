@@ -137,13 +137,18 @@ TEST_F(BackendTest, UnknownBackendAndOptionFailLoudly) {
   EXPECT_THROW((void)make_sweep_backend("inproc:workers=2"), InvalidArgument);
 }
 
-TEST_F(BackendTest, SocketBackendIsReserved) {
+TEST_F(BackendTest, SocketBackendNeedsABinary) {
+  ::unsetenv("FTSCHED_CLI");
   try {
     (void)make_sweep_backend("socket");
-    FAIL() << "socket spec should not construct";
+    FAIL() << "socket without bin should not construct";
   } catch (const InvalidArgument& e) {
-    EXPECT_NE(std::string(e.what()).find("reserved"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bin="), std::string::npos);
   }
+  // With a binary it constructs and describes itself.
+  const SweepBackendPtr backend =
+      make_sweep_backend("socket:workers=2,lease=3", {{"bin", cli_path()}});
+  EXPECT_NE(backend->describe().find("workers=2"), std::string::npos);
 }
 
 TEST_F(BackendTest, SubprocessNeedsABinary) {

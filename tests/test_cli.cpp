@@ -504,9 +504,13 @@ TEST_F(CliTest, SweepRejectsBogusBackendSpecs) {
   EXPECT_EQ(unknown.code, 1);
   EXPECT_NE(unknown.err.find("unknown sweep backend"), std::string::npos);
 
-  const CliResult socket = run(with_grid({"sweep"}, {"--backend", "socket"}));
+  // Never run a bare in-process "socket" here: bin would default to
+  // /proc/self/exe — the *test* binary — and the spawned workers would
+  // recurse into this very suite.  A bad option rejects before any spawn.
+  const CliResult socket =
+      run(with_grid({"sweep"}, {"--backend", "socket:retries=1"}));
   EXPECT_EQ(socket.code, 1);
-  EXPECT_NE(socket.err.find("reserved"), std::string::npos);
+  EXPECT_NE(socket.err.find("does not accept option"), std::string::npos);
 
   const CliResult badopt =
       run(with_grid({"sweep"}, {"--backend", "inproc:retries=1"}));

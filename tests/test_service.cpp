@@ -1,0 +1,439 @@
+// Tests of the sweep coordinator service (service/coordinator.hpp,
+// service/worker.hpp, service/protocol.hpp) and the socket backend on top
+// of it.
+//
+// The load-bearing property is the bit-identity oracle: however the grid
+// is leased out — one worker or three, workers dying mid-lease, straggler
+// leases stolen, runs resumed from a manifest — the sink sees exactly the
+// samples an in-process run_plan delivers, in the same order, bit for bit.
+// Fault injection uses the worker options' hooks (max_leases,
+// kill_after_leases, sample_delay_ms) for in-process workers and wrapper
+// shell scripts around the real CLI binary (FTSCHED_CLI_PATH) for worker
+// processes.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "ftsched/experiments/backend.hpp"
+#include "ftsched/experiments/figures.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/service/coordinator.hpp"
+#include "ftsched/service/protocol.hpp"
+#include "ftsched/service/worker.hpp"
+#include "ftsched/util/net.hpp"
+#include "ftsched/util/subprocess.hpp"
+
+namespace ftsched {
+namespace {
+
+std::string cli_path() { return FTSCHED_CLI_PATH; }
+
+/// Small but fully multi-cell grid: 2 workloads x 2 scenarios x 2
+/// granularities x 2 reps = 16 instances.
+FigureConfig small_config() {
+  FigureConfig config = figure_config(1);
+  config.graphs_per_point = 2;
+  config.granularities = {0.6, 1.4};
+  config.proc_count = 5;
+  config.workload.proc_count = 5;
+  config.seed = 13;
+  config.threads = 1;
+  config.workloads = {"paper", "chain:size=10"};
+  config.scenarios = {"t0", "frac:f=0.5"};
+  return config;
+}
+
+/// Records every delivered sample for exact comparison.
+class RecordSink final : public SweepSink {
+ public:
+  void on_sample(const InstanceCoord& coord,
+                 const SeriesSample& sample) override {
+    ids.push_back(coord.id);
+    samples.push_back(sample);
+  }
+
+  std::vector<std::uint64_t> ids;
+  std::vector<SeriesSample> samples;
+};
+
+RecordSink inproc_reference(const SweepPlan& plan) {
+  RecordSink sink;
+  run_plan(plan, sink);
+  return sink;
+}
+
+/// Runs a coordinator over `plan` with the given in-process worker threads
+/// until every sample is delivered and all workers exited.
+CoordinatorStats run_service(const SweepPlan& plan, SweepSink& sink,
+                             CoordinatorOptions copts,
+                             std::vector<WorkerOptions> workers) {
+  Coordinator coordinator(plan, sink, copts);
+  std::atomic<std::size_t> running{workers.size()};
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (const WorkerOptions& base : workers) {
+    threads.emplace_back([&, base] {
+      WorkerOptions w = base;
+      w.port = coordinator.port();
+      try {
+        (void)run_worker(w);
+      } catch (...) {
+        // A worker death is the coordinator's problem, not the test's.
+      }
+      running.fetch_sub(1);
+    });
+  }
+  coordinator.run(50);
+  while (running.load() != 0) coordinator.poll(20);
+  for (std::thread& t : threads) t.join();
+  return coordinator.stats();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ftsched_service_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Writes an executable wrapper script and returns its path.
+  [[nodiscard]] std::string write_script(const std::string& name,
+                                         const std::string& body) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << "#!/bin/sh\n" << body;
+    out.close();
+    ::chmod(path.c_str(), 0755);
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ------------------------------------------------------- loopback identity
+
+TEST_F(ServiceTest, LoopbackEquivalentToInprocForAnyWorkerCount) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}}) {
+    RecordSink sink;
+    std::vector<WorkerOptions> workers(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      workers[i].name = "w" + std::to_string(i);
+    }
+    const CoordinatorStats stats = run_service(plan, sink, {}, workers);
+    EXPECT_EQ(stats.workers_joined, count);
+    EXPECT_EQ(sink.ids, expect.ids) << count << " workers";
+    EXPECT_EQ(sink.samples, expect.samples) << count << " workers";
+  }
+}
+
+TEST_F(ServiceTest, LoopbackCsvIsByteIdenticalToInproc) {
+  const SweepPlan plan(small_config());
+  OnlineStatsSink inproc(plan);
+  run_plan(plan, inproc);
+  const std::string want = sweep_to_csv(inproc.take());
+
+  OnlineStatsSink sink(plan);
+  (void)run_service(plan, sink, {}, {WorkerOptions{}, WorkerOptions{}});
+  EXPECT_EQ(sweep_to_csv(sink.take()), want);
+}
+
+TEST_F(ServiceTest, ShardedPlanServesOnlyItsSlice) {
+  const SweepPlan plan = SweepPlan(small_config()).shard(1, 2);
+  const RecordSink expect = inproc_reference(plan);
+  RecordSink sink;
+  (void)run_service(plan, sink, {}, {WorkerOptions{}, WorkerOptions{}});
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, UngroupedWorkersDeliverIdenticalSamples) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  CoordinatorOptions copts;
+  copts.group = false;
+  RecordSink sink;
+  (void)run_service(plan, sink, copts, {WorkerOptions{}});
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+// --------------------------------------------------- faults and stealing
+
+/// Drives one raw protocol exchange: polls the coordinator until the next
+/// frame for `sock` arrives (both live in this thread).
+bool pump_recv(Coordinator& coordinator, Socket& sock, std::string& payload,
+               int rounds = 2000) {
+  for (int i = 0; i < rounds; ++i) {
+    coordinator.poll(0);
+    if (sock.recv_message(payload, 5)) return true;
+    if (sock.eof()) return false;
+  }
+  return false;
+}
+
+/// Joins as a raw client and acquires one lease, leaving the connection in
+/// the given state afterwards.  Returns the socket (still holding the
+/// lease).
+Socket acquire_lease(Coordinator& coordinator, const SweepPlan& plan,
+                     std::uint16_t port) {
+  Socket sock = connect_to("127.0.0.1", port);
+  sock.send_message(msg_hello("raw"));
+  std::string payload;
+  EXPECT_TRUE(pump_recv(coordinator, sock, payload));
+  EXPECT_EQ(parse_service_message(payload, "raw").type, "plan");
+  sock.send_message(msg_ready(plan.fingerprint()));
+  sock.send_message(msg_lease_request());
+  EXPECT_TRUE(pump_recv(coordinator, sock, payload));
+  EXPECT_EQ(parse_service_message(payload, "raw").type, "lease");
+  return sock;
+}
+
+TEST_F(ServiceTest, DisconnectedWorkersLeaseIsRequeued) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  RecordSink sink;
+  CoordinatorOptions copts;
+  copts.lease = 4;
+  Coordinator coordinator(plan, sink, copts);
+  {
+    Socket sock = acquire_lease(coordinator, plan, coordinator.port());
+    // Scope exit closes the socket: 4 leased coordinates die with it.
+  }
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    WorkerOptions w;
+    w.port = coordinator.port();
+    (void)run_worker(w);
+    done.store(true);
+  });
+  coordinator.run(50);
+  while (!done.load()) coordinator.poll(20);
+  worker.join();
+  EXPECT_GE(coordinator.stats().leases_requeued, 1u);
+  EXPECT_FALSE(coordinator.last_disconnect_cause().empty());
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, SilentWorkersLeaseExpiresAndIsRequeued) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  RecordSink sink;
+  CoordinatorOptions copts;
+  copts.lease = 4;
+  copts.timeout = 0.3;
+  Coordinator coordinator(plan, sink, copts);
+  // Holds a lease and goes silent — never computes, never heartbeats.
+  Socket silent = acquire_lease(coordinator, plan, coordinator.port());
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    WorkerOptions w;
+    w.heartbeat_ms = 50;
+    w.port = coordinator.port();
+    (void)run_worker(w);
+    done.store(true);
+  });
+  coordinator.run(50);
+  while (!done.load()) coordinator.poll(20);
+  worker.join();
+  EXPECT_GE(coordinator.stats().leases_expired, 1u);
+  EXPECT_GE(coordinator.stats().leases_requeued, 1u);
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, IdleWorkerStealsFromStraggler) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  RecordSink sink;
+  CoordinatorOptions copts;
+  copts.lease = 8;  // two big leases, so the straggler's can be split
+  WorkerOptions slow;
+  slow.name = "slow";
+  slow.sample_delay_ms = 100;
+  WorkerOptions fast;
+  fast.name = "fast";
+  const CoordinatorStats stats =
+      run_service(plan, sink, copts, {slow, fast});
+  EXPECT_GE(stats.leases_stolen, 1u);
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, DriftedFingerprintIsRejected) {
+  const SweepPlan plan(small_config());
+  RecordSink sink;
+  Coordinator coordinator(plan, sink, {});
+  Socket sock = connect_to("127.0.0.1", coordinator.port());
+  sock.send_message(msg_hello("drifted"));
+  std::string payload;
+  ASSERT_TRUE(pump_recv(coordinator, sock, payload));
+  ASSERT_EQ(parse_service_message(payload, "raw").type, "plan");
+  sock.send_message(msg_ready("v1 something-else-entirely"));
+  ASSERT_TRUE(pump_recv(coordinator, sock, payload));
+  const ServiceMessage reject = parse_service_message(payload, "raw");
+  EXPECT_EQ(reject.type, "reject");
+  EXPECT_NE(reject.field("cause").find("fingerprint"), std::string::npos);
+  EXPECT_EQ(coordinator.stats().workers_rejected, 1u);
+  // The rejected worker never leases anything.
+  EXPECT_EQ(coordinator.stats().leases_granted, 0u);
+}
+
+// ------------------------------------------------------------------ resume
+
+TEST_F(ServiceTest, ResumeFromManifestRunsOnlyMissingShards) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  const std::string manifest = (dir_ / "manifest").string();
+  CoordinatorOptions copts;
+  copts.lease = 4;
+  copts.manifest_dir = manifest;
+
+  std::size_t units_written = 0;
+  {
+    // Partial run: the only worker quits after one lease (4 coordinates),
+    // so exactly one manifest unit can be journaled; the coordinator is
+    // then destroyed mid-sweep.
+    RecordSink partial;
+    Coordinator coordinator(plan, partial, copts);
+    std::atomic<bool> done{false};
+    std::thread worker([&] {
+      WorkerOptions w;
+      w.port = coordinator.port();
+      w.max_leases = 1;
+      (void)run_worker(w);
+      done.store(true);
+    });
+    while (!done.load()) coordinator.poll(20);
+    worker.join();
+    units_written = coordinator.stats().manifest_units_written;
+    EXPECT_GE(units_written, 1u);
+    EXPECT_FALSE(coordinator.finished());
+  }
+
+  // The restarted coordinator resumes the journaled units and leases only
+  // the rest; the delivered stream is still the full plan, bit-identical.
+  RecordSink sink;
+  Coordinator coordinator(plan, sink, copts);
+  EXPECT_EQ(coordinator.stats().coords_resumed, units_written * 4);
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    WorkerOptions w;
+    w.port = coordinator.port();
+    (void)run_worker(w);
+    done.store(true);
+  });
+  coordinator.run(50);
+  while (!done.load()) coordinator.poll(20);
+  worker.join();
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+  // The resumed coordinates were never re-leased.
+  EXPECT_EQ(coordinator.stats().coords_leased,
+            plan.size() - coordinator.stats().coords_resumed);
+}
+
+TEST_F(ServiceTest, FullyJournaledManifestFinishesWithoutWorkers) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  CoordinatorOptions copts;
+  copts.manifest_dir = (dir_ / "manifest").string();
+  {
+    RecordSink first;
+    (void)run_service(plan, first, copts, {WorkerOptions{}});
+  }
+  RecordSink sink;
+  Coordinator coordinator(plan, sink, copts);
+  EXPECT_TRUE(coordinator.finished());
+  EXPECT_EQ(coordinator.stats().coords_resumed, plan.size());
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, ManifestSubdirIsKeyedByShardAndFingerprint) {
+  const SweepPlan plan(small_config());
+  const std::string root = (dir_ / "manifest").string();
+  const std::string full = manifest_subdir(root, plan);
+  const std::string shard = manifest_subdir(root, plan.shard(0, 2));
+  EXPECT_NE(full, shard);
+  FigureConfig other = small_config();
+  other.seed = 14;
+  EXPECT_NE(manifest_subdir(root, SweepPlan(other)), full);
+}
+
+// -------------------------------------------------------- worker processes
+
+TEST_F(ServiceTest, SocketBackendMatchesInprocWithRealWorkers) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  const SweepBackendPtr backend = make_sweep_backend(
+      "socket:workers=2",
+      {{"bin", cli_path()}, {"dir", dir_.string()}});
+  RecordSink sink;
+  backend->run(plan, sink);
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, SigkilledWorkerProcessIsToleratedBitIdentically) {
+  const SweepPlan plan(small_config());
+  const RecordSink expect = inproc_reference(plan);
+  // Exactly one of the two spawned workers (noclobber marker) SIGKILLs
+  // itself upon its first lease; the survivor re-runs the lost coords.
+  const std::string script = write_script(
+      "kill_first.sh",
+      "if ( set -C; : > \"" + (dir_ / "marker").string() +
+          "\" ) 2>/dev/null; then\n"
+          "  exec \"" + cli_path() + "\" \"$@\" --kill-after-leases 1\n"
+          "fi\n"
+          "exec \"" + cli_path() + "\" \"$@\"\n");
+  const SweepBackendPtr backend = make_sweep_backend(
+      "socket:workers=2,lease=4",
+      {{"bin", script}, {"dir", dir_.string()}});
+  RecordSink sink;
+  backend->run(plan, sink);
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
+TEST_F(ServiceTest, AllWorkersDeadSurfacesTheCause) {
+  const std::string script = write_script(
+      "always_fail.sh", "echo 'worker exploded' >&2\nexit 3\n");
+  const SweepBackendPtr backend = make_sweep_backend(
+      "socket:workers=2", {{"bin", script}, {"dir", dir_.string()}});
+  const SweepPlan plan(small_config());
+  RecordSink sink;
+  try {
+    backend->run(plan, sink);
+    FAIL() << "a dead fleet must not complete the sweep";
+  } catch (const SweepBackendError& e) {
+    EXPECT_EQ(e.backend(), "socket");
+    EXPECT_NE(e.cause().find("all socket workers died"), std::string::npos);
+    // Satellite guarantee: the error carries the worker's stderr like the
+    // subprocess backend's does.
+    EXPECT_NE(e.cause().find("child stderr: worker exploded"),
+              std::string::npos)
+        << e.cause();
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

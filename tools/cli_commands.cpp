@@ -1,9 +1,11 @@
 #include "cli_commands.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "ftsched/core/bicriteria.hpp"
 #include "ftsched/core/robustness.hpp"
@@ -16,6 +18,8 @@
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/sim/trace.hpp"
 #include "ftsched/sim/validator.hpp"
+#include "ftsched/service/coordinator.hpp"
+#include "ftsched/service/worker.hpp"
 #include "ftsched/experiments/backend.hpp"
 #include "ftsched/experiments/figures.hpp"
 #include "ftsched/experiments/sweep_io.hpp"
@@ -408,89 +412,14 @@ int cmd_list_failure_laws(const std::vector<std::string>& args,
   return 0;
 }
 
-/// Declares the sweep-grid options shared by the plan and sweep commands.
-void add_sweep_grid_options(CliParser& cli) {
-  cli.add_option("figure", "1", "base config: paper figure 1..4");
-  cli.add_option("workload", "",
-                 "';'-separated WorkloadRegistry specs (empty = the paper "
-                 "§6 generator)");
-  cli.add_option("scenario", "",
-                 "';'-separated crash-law specs (empty = t0)");
-  cli.add_option("failures", "",
-                 "';'-separated failure-model specs (empty = eps; see "
-                 "list-failure-laws)");
-  cli.add_option("granularities", "",
-                 "';'-separated granularity values (empty = the 0.2..2.0 "
-                 "paper grid)");
-  cli.add_option("graphs", "8", "instances per (cell, granularity) point");
-  cli.add_option("epsilon", "0", "failures tolerated (0 = figure default)");
-  cli.add_option("procs", "0", "processors (0 = figure default)");
-  cli.add_option("threads", "0", "worker threads (0 = hardware concurrency)");
-  cli.add_option("seed", "42", "root seed");
-  cli.add_option("shard", "",
-                 "run only shard i/N of the grid, e.g. 0/3; chains nest "
-                 "shards, e.g. 0/3,1/2 = half of shard 0/3 (empty = full "
-                 "grid)");
-  cli.add_option("backend", "inproc",
-                 "execution backend spec, e.g. inproc or "
-                 "subprocess:workers=3 (see list-backends)");
-}
-
-/// Resolves the --backend spec; the CLI injects its own binary as the
-/// subprocess backend's default `bin`, so `--backend subprocess` just works.
+// The sweep-grid option set, its FigureConfig translation and the --shard
+// chain applicator live in experiments/backend.hpp now (socket workers
+// rebuild their plan from the same flags); the CLI only adds the backend
+// resolution, which injects its own binary as the process-spawning
+// backends' default `bin` so `--backend subprocess` / `socket` just work.
 SweepBackendPtr backend_from_cli(const CliParser& cli) {
   return make_sweep_backend(cli.get("backend"),
                             {{"bin", self_executable_path()}});
-}
-
-/// Builds the FigureConfig the declared sweep-grid options describe.
-FigureConfig sweep_config_from_cli(const CliParser& cli) {
-  FigureConfig config = figure_config(static_cast<int>(cli.get_int("figure")));
-  config.graphs_per_point = static_cast<std::size_t>(cli.get_int("graphs"));
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  config.threads = static_cast<std::size_t>(cli.get_int("threads"));
-  if (cli.get_int("epsilon") != 0) {
-    config.epsilon = static_cast<std::size_t>(cli.get_int("epsilon"));
-  }
-  if (cli.get_int("procs") != 0) {
-    config.proc_count = static_cast<std::size_t>(cli.get_int("procs"));
-    config.workload.proc_count = config.proc_count;
-  }
-  // Lowering epsilon below a figure's extra crash counts would trip the
-  // runner's k <= epsilon requirement; keep only the counts still tolerated.
-  std::erase_if(config.extra_crash_counts,
-                [&](std::size_t k) { return k > config.epsilon; });
-  config.workloads = split_list(cli.get("workload"));
-  config.scenarios = split_list(cli.get("scenario"));
-  config.failure_models = split_list(cli.get("failures"));
-  const std::vector<std::string> grans = split_list(cli.get("granularities"));
-  if (!grans.empty()) {
-    config.granularities.clear();
-    for (const std::string& g : grans) {
-      config.granularities.push_back(spec_detail::parse_double("granularities", g));
-    }
-  }
-  return config;
-}
-
-/// Applies the --shard option: a comma chain of "i/N" steps applied left
-/// to right ("0/3,1/2" = the second half of shard 0/3 — the nested form
-/// the subprocess backend uses to sub-shard an already-sharded plan).
-/// Empty = full plan.
-SweepPlan apply_shard_option(SweepPlan plan, const std::string& spec) {
-  if (spec.empty()) return plan;
-  std::istringstream ss(spec);
-  std::string step;
-  while (std::getline(ss, step, ',')) {
-    const auto slash = step.find('/');
-    FTSCHED_REQUIRE(slash != std::string::npos && slash > 0 &&
-                        slash + 1 < step.size(),
-                    "--shard expects i/N steps, e.g. 0/3 or 0/3,1/2; got '" +
-                        spec + "'");
-    plan = plan.shard(spec_detail::parse_u64("shard", step.substr(0, slash)),
-                      spec_detail::parse_u64("shard", step.substr(slash + 1)));
-  }
-  return plan;
 }
 
 int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
@@ -505,7 +434,7 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
 
   const FigureConfig config = sweep_config_from_cli(cli);
   const SweepPlan plan =
-      apply_shard_option(SweepPlan(config), cli.get("shard"));
+      apply_shard_chain(SweepPlan(config), cli.get("shard"));
   const SweepBackendPtr backend = backend_from_cli(cli);
   out << "=== sweep plan (epsilon=" << config.epsilon
       << ", m=" << config.proc_count << ", graphs/point="
@@ -566,7 +495,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
 
   if (!cli.get("shard").empty()) {
     const SweepPlan plan =
-        apply_shard_option(SweepPlan(config), cli.get("shard"));
+        apply_shard_chain(SweepPlan(config), cli.get("shard"));
     const std::string path = cli.get("out");
     if (path.empty()) {
       // Pure JSONL on stdout so the shard can be piped.
@@ -646,10 +575,142 @@ int cmd_list_backends(const std::vector<std::string>& args,
     }
   }
   out << "\nspec syntax: name[:key=value[,key=value...]], e.g. "
-         "\"subprocess:workers=3,retries=1\"\n"
+         "\"subprocess:workers=3,retries=1\" or\n"
+         "\"socket:workers=3,manifest=/tmp/sweep-cache\"\n"
          "every backend delivers bit-identical samples in the same order, "
          "so CSV and\nJSONL shard output never depend on the backend "
-         "choice\n";
+         "choice; the socket backend is\nthe coordinator service "
+         "(lease expiry, work stealing, resumable manifests) run\n"
+         "in-process — 'serve' and 'worker' expose the same service as "
+         "long-running\ncommands\n";
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli serve: run the sweep coordinator — lease the grid to "
+      "socket workers (local threads and/or external 'worker --connect' "
+      "processes), tolerate worker deaths via lease expiry and work "
+      "stealing, and emit the same CSV as an in-process sweep; with "
+      "--manifest-dir, completed units are journaled so a killed serve "
+      "re-runs only the missing cells");
+  add_sweep_grid_options(cli);
+  cli.add_option("port", "0", "listening port on 127.0.0.1 (0 = ephemeral)");
+  cli.add_option("workers", "1",
+                 "in-process worker threads serving this coordinator (0 = "
+                 "wait for external workers only)");
+  cli.add_option("lease", "0", "coordinates per lease (0 = auto)");
+  cli.add_option("timeout", "30",
+                 "seconds of worker silence before a lease expires");
+  cli.add_option("manifest-dir", "",
+                 "journal completed units here for resumable sweeps");
+  cli.add_option("out", "", "write the CSV to this file (stdout when empty)");
+  cli.add_flag("ungrouped",
+               "workers evaluate per coordinate instead of the grouped "
+               "schedule-once path (bit-identical either way)");
+  std::vector<const char*> argv{"serve"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const FigureConfig config = sweep_config_from_cli(cli);
+  const SweepPlan plan =
+      apply_shard_chain(SweepPlan(config), cli.get("shard"));
+  CoordinatorOptions copts;
+  copts.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  copts.lease = static_cast<std::size_t>(cli.get_int("lease"));
+  copts.timeout = cli.get_double("timeout");
+  copts.manifest_dir = cli.get("manifest-dir");
+  copts.group = !cli.get_flag("ungrouped");
+
+  OnlineStatsSink sink(plan);
+  Coordinator coordinator(plan, sink, copts);
+  // Flushed immediately: scripts (and the CI) wait for this line to learn
+  // the ephemeral port before pointing workers at the coordinator.
+  out << "=== serve: listening on 127.0.0.1:" << coordinator.port()
+      << " (" << plan.size() << " of " << plan.grid_size()
+      << " instances, shard " << plan.shard_label() << ") ===" << std::endl;
+
+  const auto local = static_cast<std::size_t>(cli.get_int("workers"));
+  std::atomic<std::size_t> running{0};
+  std::vector<std::thread> threads;
+  threads.reserve(local);
+  for (std::size_t i = 0; i < local; ++i) {
+    running.fetch_add(1);
+    threads.emplace_back([&, i] {
+      WorkerOptions w;
+      w.port = coordinator.port();
+      w.name = "local" + std::to_string(i);
+      try {
+        (void)run_worker(w);
+      } catch (const Error&) {
+        // A dead local worker is the coordinator's problem (lease expiry
+        // / requeue), not a serve failure; external workers may finish.
+      }
+      running.fetch_sub(1);
+    });
+  }
+
+  coordinator.run();
+  // Wind-down: keep answering parked workers' lease requests with bye
+  // until the local threads have exited and every external worker has
+  // taken its bye and hung up (bounded — a wedged worker that neither
+  // requests nor disconnects must not pin the coordinator open).
+  int grace = 200;
+  while (running.load() != 0 ||
+         (coordinator.connections() != 0 && grace-- > 0))
+    coordinator.poll(50);
+  for (std::thread& t : threads) t.join();
+
+  const CoordinatorStats& stats = coordinator.stats();
+  out << "=== serve: done (workers " << stats.workers_joined << ", leases "
+      << stats.leases_granted << ", stolen " << stats.leases_stolen
+      << ", expired " << stats.leases_expired << ", resumed "
+      << stats.coords_resumed << " coords) ===\n";
+  write_or_print(cli.get("out"), sweep_to_csv(sink.take()), out);
+  return 0;
+}
+
+int cmd_worker(const std::vector<std::string>& args, std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli worker: join a sweep coordinator ('serve' or the socket "
+      "backend), rebuild its plan from the received flags and evaluate "
+      "leased coordinates until told bye");
+  cli.add_option("connect", "",
+                 "coordinator address, host:port (e.g. 127.0.0.1:7000)");
+  cli.add_option("name", "worker", "worker name for diagnostics");
+  cli.add_option("max-leases", "0",
+                 "fault injection: drop the connection after completing "
+                 "this many leases (0 = work until bye)");
+  cli.add_option("kill-after-leases", "0",
+                 "fault injection: SIGKILL this process upon receiving the "
+                 "n-th lease (0 = never)");
+  cli.add_option("delay-ms", "0",
+                 "fault injection: sleep before sending each sample "
+                 "(straggler mode)");
+  std::vector<const char*> argv{"worker"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const std::string target = cli.get("connect");
+  const auto colon = target.rfind(':');
+  FTSCHED_REQUIRE(colon != std::string::npos && colon > 0 &&
+                      colon + 1 < target.size(),
+                  "--connect expects host:port, e.g. 127.0.0.1:7000; got '" +
+                      target + "'");
+  WorkerOptions w;
+  w.host = target.substr(0, colon);
+  w.port = static_cast<std::uint16_t>(
+      spec_detail::parse_u64("port", target.substr(colon + 1)));
+  w.name = cli.get("name");
+  w.max_leases = static_cast<std::size_t>(cli.get_int("max-leases"));
+  w.kill_after_leases =
+      static_cast<std::size_t>(cli.get_int("kill-after-leases"));
+  w.sample_delay_ms = static_cast<std::size_t>(cli.get_int("delay-ms"));
+
+  const WorkerReport report = run_worker(w);
+  out << "worker " << w.name << ": " << report.leases_completed
+      << " lease(s), " << report.samples_sent << " sample(s), "
+      << (report.orderly ? "bye" : "early exit") << '\n';
   return 0;
 }
 
@@ -701,12 +762,15 @@ std::string usage() {
       "  list-workloads  registered workload families and their options\n"
       "  plan            enumerate the sweep grid / a shard's slice of it\n"
       "  schedule        schedule a graph or workload (--algo, --workload)\n"
+      "  serve           run the sweep-coordinator service (leases, work\n"
+      "                  stealing, resumable manifests) over socket workers\n"
       "  simulate        execute a schedule under a crash scenario\n"
       "  sweep           (workload x scenario x failure model x granularity)\n"
       "                  sweep to CSV; --shard i/N emits a JSONL shard\n"
       "  merge           combine sweep shards into the unsharded CSV\n"
       "  validate        exhaustive Theorem-4.1 validation + kill-set "
-      "analysis\n";
+      "analysis\n"
+      "  worker          join a coordinator and evaluate leased coordinates\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -729,9 +793,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "merge") return cmd_merge(rest, out);
     if (command == "plan") return cmd_plan(rest, out);
     if (command == "schedule") return cmd_schedule(rest, out);
+    if (command == "serve") return cmd_serve(rest, out);
     if (command == "simulate") return cmd_simulate(rest, out);
     if (command == "sweep") return cmd_sweep(rest, out);
     if (command == "validate") return cmd_validate(rest, out);
+    if (command == "worker") return cmd_worker(rest, out);
     err << "unknown command: " << command << "\n\n" << usage();
     return 1;
   } catch (const Error& e) {
