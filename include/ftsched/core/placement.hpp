@@ -1,0 +1,66 @@
+// Incremental greedy-placement state shared by the list engine and the
+// online rescheduling policies.
+//
+// Both consumers track "when does each processor become free" and pick
+// targets by the same earliest-finish rule: finish(p) = max(ready(p),
+// earliest(p)) + exec(p), ties broken toward the lower processor index (the
+// engine's stable-sort order).  Factoring the state out of
+// src/core/engine.cpp lets a policy maintain it incrementally across events
+// instead of rebuilding it from the schedule on every crash.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsched {
+
+/// Per-processor availability (the engine's `ready` array) plus the shared
+/// earliest-finish selection rule.
+class ProcReadyState {
+ public:
+  ProcReadyState() = default;
+  explicit ProcReadyState(std::size_t proc_count) : ready_(proc_count, 0.0) {}
+
+  void reset(std::size_t proc_count) { ready_.assign(proc_count, 0.0); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ready_.size(); }
+  [[nodiscard]] double ready(std::size_t p) const { return ready_[p]; }
+
+  /// Commits a placement: processor `p` is busy until `finish`.
+  void commit(std::size_t p, double finish) { ready_[p] = finish; }
+
+  /// Raises `p`'s availability to at least `t` (external backlog).
+  void raise(std::size_t p, double t) {
+    if (t > ready_[p]) ready_[p] = t;
+  }
+
+  /// The earliest-finish processor among those `eligible(p)` admits:
+  /// finish(p) = max(ready(p), earliest(p)) + exec(p).  Ties break to the
+  /// lower index.  Returns size() when no processor is eligible; the chosen
+  /// finish time lands in *out_finish when non-null.
+  template <typename Eligible, typename Earliest, typename Exec>
+  [[nodiscard]] std::size_t best_finish(Eligible&& eligible,
+                                        Earliest&& earliest, Exec&& exec,
+                                        double* out_finish = nullptr) const {
+    std::size_t best = ready_.size();
+    double best_time = 0.0;
+    for (std::size_t p = 0; p < ready_.size(); ++p) {
+      if (!eligible(p)) continue;
+      const double at = earliest(p);
+      const double finish = (ready_[p] > at ? ready_[p] : at) + exec(p);
+      if (best == ready_.size() || finish < best_time) {
+        best = p;
+        best_time = finish;
+      }
+    }
+    if (best != ready_.size() && out_finish != nullptr) {
+      *out_finish = best_time;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<double> ready_;
+};
+
+}  // namespace ftsched

@@ -41,6 +41,15 @@ struct FigureConfig {
   /// more than one failure cell the series suffix grows a third part:
   /// "[workload|scenario|failure]".
   std::vector<std::string> failure_models;
+  /// Online-rescheduling policy dimension: PolicyRegistry specs ("none",
+  /// "requeue-heft", "reactive-ftsa").  Empty = {"none"}, the static
+  /// schedule replayed unchanged — byte-identical legacy streams, series
+  /// and shards.  A non-none policy reruns each drawn failure cell through
+  /// the online simulator (ScheduleSimulator::run_online), letting the
+  /// policy remap pending replicas on every crash/repair event.  With more
+  /// than one policy cell the series suffix grows a fourth part:
+  /// "[workload|scenario|failure|policy]".
+  std::vector<std::string> policies;
 };
 
 /// Configuration for paper Figure 1 (ε=1), 2 (ε=2), 3 (ε=5) or

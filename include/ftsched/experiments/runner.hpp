@@ -116,6 +116,9 @@ struct InstanceSchedules {
     std::string success_series;
     std::string drawn_series;
     std::string oh_drawn_series;
+    /// Online-rescheduling name "<A>-Moves" (policy-driven cells only):
+    /// replica moves the policy applied in the run.
+    std::string moves_series;
   };
 
   const Workload* workload = nullptr;
@@ -141,10 +144,21 @@ struct CellDraw {
   std::vector<std::size_t> victims;   ///< distinct processor indices
   std::vector<double> unit_times;     ///< unit crash instants, one per victim
   bool default_model = true;          ///< legacy ε-uniform model?
+  /// Unit repair delays, one per victim — non-empty only under a failure
+  /// model with a repair law (FailureModel::has_repair()).  victims[i]
+  /// restarts at (unit_times[i] + unit_repair_delays[i]) × anchor; the
+  /// static simulate path ignores them (crashed processors never return),
+  /// which is exactly the static-vs-reactive comparison the policy sweep
+  /// axis pairs.
+  std::vector<double> unit_repair_delays;
 };
 
 /// Draws one cell's randomness from `rng` — victims first, then unit
 /// times — consuming exactly the stream simulate_instance_cell consumes.
+/// Models with new-in-PR-9 laws draw *after* the legacy stream: a burst law
+/// re-anchors the unit times on a common onset plus per-victim offsets, and
+/// a repair law appends the unit repair delays — so every pre-existing
+/// model's stream stays bit-identical.
 [[nodiscard]] CellDraw draw_instance_cell(const InstanceSchedules& schedules,
                                           Rng& rng,
                                           const CrashTimeLaw& crash_law,
@@ -197,6 +211,20 @@ class SimulationCache {
                                                const CellDraw& draw,
                                                SimulationCache* cache);
 
+/// Runs the *online* simulate phase of one cell on a fixed draw: per
+/// algorithm, builds the failure timeline (crash instants anchored exactly
+/// like the static path; repairs from draw.unit_repair_delays, or never)
+/// and executes ScheduleSimulator::run_online with `policy` reacting to
+/// every crash/repair event.  Emits "DrawnCrashes" plus, per algorithm,
+/// "<A>-Success", "<A>-DrawnCrash"/"OH-<A>-DrawnCrash" on success, and
+/// "<A>-Moves" — the same graceful-degradation layout as a non-default
+/// static model (the policy part of the series *label* is what tells the
+/// cells apart), never the legacy fixed-count series.  The policy is
+/// re-prepared per algorithm; one call owns it for the duration.
+[[nodiscard]] SeriesSample simulate_online_cell(
+    const InstanceSchedules& schedules, const CellDraw& draw,
+    ReschedulePolicy& policy);
+
 /// Runs the simulate phase of one (scenario, failure) cell on prebuilt
 /// schedules: draws the victim set and crash instants from `rng` and emits
 /// the cell-dependent series (crash latencies, overheads, graceful
@@ -237,6 +265,8 @@ struct SweepResult {
   std::vector<std::string> scenarios;
   /// Failure-model labels swept (always at least {"eps"}).
   std::vector<std::string> failures;
+  /// Rescheduling-policy labels swept (always at least {"none"}).
+  std::vector<std::string> policies;
   /// result[series][granularity index]
   std::map<std::string, std::vector<OnlineStats>> series;
 };
@@ -244,20 +274,24 @@ struct SweepResult {
 /// The one renderer of the cell-decoration rule: undecorated for a
 /// single-cell sweep, "series[workload|scenario]" otherwise, with a third
 /// "|failure" part only when the failure dimension itself is swept
-/// (multi_failure) — so grids without --failures keep their exact legacy
-/// names.  Shared by sweep_series_name and SweepPlan::series_label, so
-/// aggregated results and shard records can never disagree on series names.
+/// (multi_failure) and a fourth "|policy" part only when the policy
+/// dimension is swept (multi_policy) — so grids without --failures /
+/// --policy keep their exact legacy names.  Shared by sweep_series_name
+/// and SweepPlan::series_label, so aggregated results and shard records
+/// can never disagree on series names.
 [[nodiscard]] std::string decorate_series_name(const std::string& series,
                                                const std::string& workload,
                                                const std::string& scenario,
                                                bool multi_cell,
                                                const std::string& failure = "",
-                                               bool multi_failure = false);
+                                               bool multi_failure = false,
+                                               const std::string& policy = "",
+                                               bool multi_policy = false);
 
-/// The name a sweep series gets inside cell (workload, scenario, failure)
-/// of `sweep` (see decorate_series_name).  The three-argument form is for
-/// sweeps whose failure dimension is unswept (failure defaults to the
-/// sweep's single failure label).
+/// The name a sweep series gets inside cell (workload, scenario, failure,
+/// policy) of `sweep` (see decorate_series_name).  The shorter forms are
+/// for sweeps whose policy (resp. failure) dimension is unswept — the
+/// missing label defaults to the sweep's single cell label.
 [[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
                                             const std::string& series,
                                             const std::string& workload,
@@ -267,6 +301,12 @@ struct SweepResult {
                                             const std::string& workload,
                                             const std::string& scenario,
                                             const std::string& failure);
+[[nodiscard]] std::string sweep_series_name(const SweepResult& sweep,
+                                            const std::string& series,
+                                            const std::string& workload,
+                                            const std::string& scenario,
+                                            const std::string& failure,
+                                            const std::string& policy);
 
 /// True iff the two results are bit-identical (same series, same per-point
 /// statistics down to the last double) — the determinism contract of the

@@ -6,8 +6,8 @@
 //   header   {"ftsched_sweep_shard":1,"seed":"42","epsilon":"1","m":"20",
 //             "reps":"60","extra":"1","granularities":"0x1.9...p-3;...",
 //             "workloads":"paper","scenarios":"t0","failures":"eps",
-//             "grid":"600","selected":"200","shard":"0/3"}
-//   records  {"id":"17","w":"0","s":"0","f":"0","g":"2","r":"5",
+//             "policies":"none","grid":"600","selected":"200","shard":"0/3"}
+//   records  {"id":"17","w":"0","s":"0","f":"0","pol":"0","g":"2","r":"5",
 //             "series":"FTSA-LowerBound","n":"1","mean":"0x1.8p+0",
 //             "m2":"0x0p+0","min":"0x1.8p+0","max":"0x1.8p+0"}
 //
@@ -55,6 +55,11 @@ struct ShardHeader {
   /// dimension existed omit the field; the reader restores the implicit
   /// single {"eps"} cell, so old default-grid shards still merge.
   std::vector<std::string> failures;
+  /// Rescheduling-policy cell labels.  Shard files written before the
+  /// policy dimension existed omit the field; the reader restores the
+  /// implicit single {"none"} cell (and records omit "pol" the same way),
+  /// so pre-policy shards still merge.
+  std::vector<std::string> policies;
   /// Full PaperWorkloadParams rendition when the grid uses the
   /// paper-configured cell (FigureConfig::workloads empty) — programmatic
   /// tweaks like task_min or exec spread change the numbers without

@@ -2,8 +2,8 @@
 //
 // `SweepPlan` makes the sweep grid explicit: built from a FigureConfig, it
 // enumerates every instance of the (workload family × crash scenario ×
-// failure model × granularity × repetition) cross product as an
-// addressable InstanceCoord
+// failure model × rescheduling policy × granularity × repetition) cross
+// product as an addressable InstanceCoord
 // with a stable id, and `plan.shard(i, n)` deterministically selects the
 // i-th of n disjoint subsets — the unit of work a coordinator hands to one
 // machine.  `run_plan(plan, sink)` executes the selected instances on a
@@ -42,17 +42,21 @@ namespace ftsched {
 /// Address of one sweep instance inside the full grid.
 ///
 /// `id` is the stable linear id: with W workload families, S scenarios,
-/// F failure models, P granularity points and R repetitions,
-///   id = (((workload * S + scenario) * F + failure) * P + gran) * R + rep,
+/// F failure models, L rescheduling policies, P granularity points and R
+/// repetitions,
+///   id = ((((workload * S + scenario) * F + failure) * L + policy) * P +
+///         gran) * R + rep,
 /// i.e. exactly the serial aggregation order of the unsharded sweep (and,
-/// with the default single failure cell F = 1, exactly the pre-failure-
-/// dimension id).  Ids are invariant under sharding — a shard keeps the
-/// full-grid ids of the instances it selects — which is what lets
-/// merge_shards restore the canonical coordinate order.
+/// with the default single policy cell L = 1 — resp. single failure cell
+/// F = 1 — exactly the pre-policy-dimension resp. pre-failure-dimension
+/// id).  Ids are invariant under sharding — a shard keeps the full-grid
+/// ids of the instances it selects — which is what lets merge_shards
+/// restore the canonical coordinate order.
 struct InstanceCoord {
   std::size_t workload = 0;  ///< workload-family index
   std::size_t scenario = 0;  ///< crash-scenario index
   std::size_t failure = 0;   ///< failure-model index
+  std::size_t policy = 0;    ///< rescheduling-policy index
   std::size_t gran = 0;      ///< granularity index
   std::size_t rep = 0;       ///< repetition
   std::uint64_t id = 0;      ///< stable linear id within the full grid
@@ -97,11 +101,15 @@ class SweepPlan {
   [[nodiscard]] const std::vector<std::string>& failures() const noexcept {
     return failure_labels_;
   }
+  /// Rescheduling-policy labels, sweep order (always at least {"none"}).
+  [[nodiscard]] const std::vector<std::string>& policies() const noexcept {
+    return policy_labels_;
+  }
   [[nodiscard]] std::size_t repetitions() const noexcept {
     return config_.graphs_per_point;
   }
 
-  /// Instances in the full grid (W × S × F × P × R).
+  /// Instances in the full grid (W × S × F × L × P × R).
   [[nodiscard]] std::uint64_t grid_size() const noexcept;
   /// Instances selected by this plan (== grid_size() before sharding).
   [[nodiscard]] std::size_t size() const noexcept { return selected_.size(); }
@@ -126,16 +134,17 @@ class SweepPlan {
 
   /// The series name samples of `coord` aggregate under: undecorated for a
   /// single-cell grid, "name[workload|scenario]" otherwise, with a third
-  /// "|failure" part when the failure dimension is swept (the same rule as
+  /// "|failure" part when the failure dimension is swept and a fourth
+  /// "|policy" part when the policy dimension is swept (the same rule as
   /// sweep_series_name).
   [[nodiscard]] std::string series_label(const InstanceCoord& coord,
                                          const std::string& series) const;
 
   /// Canonical one-line identity of the *grid* (seed, epsilon, processor
   /// count, repetitions, crash counts, exact granularities, workload /
-  /// scenario / failure-model cell labels) — independent of sharding and
-  /// thread count.  merge_shards refuses to combine shards whose
-  /// fingerprints differ.
+  /// scenario / failure-model / policy cell labels) — independent of
+  /// sharding and thread count.  merge_shards refuses to combine shards
+  /// whose fingerprints differ.
   [[nodiscard]] std::string fingerprint() const;
 
   /// Evaluates one instance on its own derived RNG stream; the result
@@ -147,7 +156,8 @@ class SweepPlan {
   /// Selected-instance indices (arguments for coord()) grouped by base key
   /// (workload, granularity, repetition): every index of one group shares
   /// the derived RNG stream, hence the workload instance and all schedules
-  /// — the groups differ only in their (scenario, failure) cell.  Groups
+  /// — the groups differ only in their (scenario, failure, policy) cell.
+  /// Groups
   /// are ordered by their first selected index and members ascend, so a
   /// shard's partial groups are exactly the selected subset of the full
   /// plan's groups.
@@ -155,8 +165,10 @@ class SweepPlan {
 
   /// Schedule-once/simulate-many evaluation of one group_selection() group:
   /// generates the workload and runs the schedule phase once, then
-  /// simulates each member's (scenario, failure) cell off a snapshot of the
-  /// shared RNG stream.  Returns one sample per member, in order —
+  /// simulates each member's (scenario, failure, policy) cell off a
+  /// snapshot of the shared RNG stream — `none` cells through the static
+  /// replay (shared SimulationCache), reactive cells through the online
+  /// simulator.  Returns one sample per member, in order —
   /// bit-identical to evaluate(coord(k)) for each member, because the
   /// schedule phase draws nothing from the instance stream.  Throws if the
   /// indices do not all share one base key.
@@ -183,11 +195,16 @@ class SweepPlan {
   [[nodiscard]] const Cell& cell(const InstanceCoord& coord) const;
 
   FigureConfig config_;
-  /// workload-major: (workload * S + scenario) * F + failure
+  /// workload-major: (workload * S + scenario) * F + failure.  The policy
+  /// dimension is deliberately *not* a cell factor: a policy never changes
+  /// the workload, law or model — only how the drawn cell is simulated —
+  /// so policy cells share Cell state (and, via the shared base key,
+  /// instance streams: paired static-vs-reactive draws).
   std::vector<Cell> cells_;
   std::vector<std::string> workload_labels_;
   std::vector<std::string> scenario_labels_;
   std::vector<std::string> failure_labels_;
+  std::vector<std::string> policy_labels_;
   Rng root_;
   std::vector<std::uint64_t> selected_;  ///< sorted full-grid ids
   std::string shard_label_ = "full";

@@ -49,7 +49,9 @@
 #include "ftsched/core/heft.hpp"
 #include "ftsched/core/matching.hpp"
 #include "ftsched/core/mc_ftsa.hpp"
+#include "ftsched/core/placement.hpp"
 #include "ftsched/core/priorities.hpp"
+#include "ftsched/core/reschedule.hpp"
 #include "ftsched/core/robustness.hpp"
 #include "ftsched/core/schedule.hpp"
 #include "ftsched/core/schedule_io.hpp"

@@ -46,4 +46,12 @@ struct ReliabilityEstimate {
     std::size_t proc_count, std::size_t epsilon,
     const std::vector<double>& fail_prob);
 
+/// Per-processor heterogeneous failure probabilities: a linear gradient
+/// p_k = base · (1 + spread · (m-1-k)/(m-1)), clamped to [0, 1] — the first
+/// processors are the flakiest, the last one fails at exactly `base`.  The
+/// vector feeds both the reliability estimators above and the `hetero:`
+/// failure-model law.
+[[nodiscard]] std::vector<double> heterogeneous_fail_probs(
+    std::size_t proc_count, double base, double spread);
+
 }  // namespace ftsched

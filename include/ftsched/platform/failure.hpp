@@ -52,6 +52,50 @@ class FailureScenario {
   std::vector<Crash> crashes_;
 };
 
+/// One processor's downtime window: it crashes at `crash_time` and — when
+/// `repair_time` is finite — comes back empty (restarted, all local state
+/// lost) at `repair_time`.  +infinity means the crash is permanent, which
+/// makes a repair-free timeline equivalent to a FailureScenario.
+struct ProcOutage {
+  ProcId proc;
+  double crash_time = 0.0;
+  double repair_time = std::numeric_limits<double>::infinity();
+};
+
+/// A failure *timeline*: the generalisation of FailureScenario the online
+/// (policy-driven) simulator consumes.  Where a scenario is a one-shot
+/// victim set, a timeline orders crash and repair events on the time axis,
+/// so repair/restart failure dynamics (`repair:mttr=`, `burst:`) become
+/// expressible.  Repair-free timelines round-trip to scenarios exactly.
+class FailureTimeline {
+ public:
+  FailureTimeline() = default;
+
+  /// Adds an outage; a processor may appear at most once and its repair
+  /// (when finite) must come strictly after its crash.
+  void add(ProcId proc, double crash_time,
+           double repair_time = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] const std::vector<ProcOutage>& outages() const noexcept {
+    return outages_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return outages_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return outages_.size(); }
+
+  /// True iff any outage ends in a finite repair.
+  [[nodiscard]] bool has_repairs() const noexcept;
+
+  /// Embeds a one-shot victim set as a timeline of permanent crashes.
+  [[nodiscard]] static FailureTimeline from_scenario(
+      const FailureScenario& scenario);
+
+  /// Drops the repair half: the conservative static view of this timeline.
+  [[nodiscard]] FailureScenario crashes_only() const;
+
+ private:
+  std::vector<ProcOutage> outages_;
+};
+
 /// `count` distinct victims drawn uniformly from the m processors, all
 /// crashing at time `crash_time` (paper §6 crash experiments).
 [[nodiscard]] FailureScenario random_crashes(Rng& rng, std::size_t proc_count,
@@ -126,6 +170,19 @@ class CrashTimeLaw {
 ///                    probability P: the count is Binomial(m, P) and can
 ///                    exceed ε, so schedules are pushed past their
 ///                    guarantee (the ROADMAP's probabilistic-failure item)
+///   repair:mttr=M    bernoulli victims (p=P, default 0.1) whose crashes
+///                    are *transient*: each victim restarts after an
+///                    Exponential(mean M) unit delay, producing a failure
+///                    timeline instead of a one-shot victim set
+///   burst:p=P        time-correlated bernoulli burst: all victims crash
+///                    within a window of `width` (unit, default 0.25) after
+///                    a common onset drawn from the crash-time law; an
+///                    optional mttr=M adds repairs as for `repair:`
+///   hetero:base=B    per-processor heterogeneous rates fed from
+///                    metrics/reliability.hpp: processor k crashes with
+///                    probability heterogeneous_fail_probs(m, B, spread)[k]
+///                    (a linear gradient, spread default 1 — the first
+///                    processors are the flakiest); mttr=M adds repairs
 ///
 /// Victim laws:
 ///
@@ -148,7 +205,7 @@ class CrashTimeLaw {
 /// stream and golden byte-identical.
 class FailureModel {
  public:
-  enum class CountKind { kEpsilon, kFixed, kBernoulli };
+  enum class CountKind { kEpsilon, kFixed, kBernoulli, kHetero };
   enum class VictimKind { kUniform, kDomain };
 
   /// The default model is the paper's setup: ε uniform victims.
@@ -186,6 +243,34 @@ class FailureModel {
                                               std::size_t proc_count,
                                               std::size_t epsilon) const;
 
+  /// True when crashes are transient (mttr set): victims restart, so cells
+  /// under this model carry a failure timeline rather than a victim set.
+  [[nodiscard]] bool has_repair() const noexcept { return repair_mttr_ > 0; }
+  /// Mean unit time to repair (Exponential mean); 0 when has_repair() is
+  /// false.
+  [[nodiscard]] double mttr() const noexcept { return repair_mttr_; }
+  /// True for the time-correlated `burst:` law.
+  [[nodiscard]] bool is_burst() const noexcept {
+    return count_ == CountKind::kBernoulli && burst_width_ > 0;
+  }
+  [[nodiscard]] double burst_width() const noexcept { return burst_width_; }
+
+  /// Draws one unit repair delay per victim (Exponential, mean mttr()).
+  /// Requires has_repair().
+  [[nodiscard]] std::vector<double> sample_repair_delays(
+      Rng& rng, std::size_t count) const;
+
+  /// Draws one unit in-burst offset per victim, ~ U[0, burst_width()).
+  /// Requires is_burst().
+  [[nodiscard]] std::vector<double> sample_burst_offsets(
+      Rng& rng, std::size_t count) const;
+
+  /// Platform-dependent validation the parser cannot do: a repair/burst law
+  /// with `domain=` wider than the platform would silently collapse into a
+  /// single mega-domain, so reject it loudly instead.  (The legacy one-shot
+  /// laws keep the historical truncating behaviour for back-compat.)
+  void validate(std::size_t proc_count) const;
+
   /// Known model names (for diagnostics and the CLI).
   [[nodiscard]] static std::vector<std::string> known();
 
@@ -195,6 +280,10 @@ class FailureModel {
   std::size_t fixed_k_ = 1;      ///< kFixed count
   double prob_ = 0.1;            ///< kBernoulli per-processor probability
   std::size_t domain_size_ = 4;  ///< kDomain rack width
+  double repair_mttr_ = 0.0;     ///< mean unit repair delay; 0 = permanent
+  double burst_width_ = 0.0;     ///< unit burst window; 0 = uncorrelated
+  double hetero_base_ = 0.1;     ///< kHetero base probability
+  double hetero_spread_ = 1.0;   ///< kHetero gradient strength
 };
 
 }  // namespace ftsched

@@ -36,9 +36,13 @@ struct WorkerOptions {
   std::size_t kill_after_leases = 0;
   /// Fault injection: sleep this long before sending each sample, turning
   /// the worker into a straggler for the work-stealing tests (0 = none).
+  /// The sleep is taken in heartbeat_ms slices with a heartbeat between
+  /// them, so a straggler is slow but never reads as dead — even with a
+  /// delay far beyond the coordinator's lease timeout.
   std::size_t sample_delay_ms = 0;
-  /// Idle heartbeat period while waiting for the coordinator's reply, so
-  /// a worker parked on an empty queue never trips the lease timeout.
+  /// Heartbeat period: while waiting for the coordinator's reply, between
+  /// slices of a throttled sample, and after each completed evaluation
+  /// group — so neither a parked nor a busy worker trips the lease timeout.
   int heartbeat_ms = 500;
 };
 

@@ -27,6 +27,8 @@
 
 namespace ftsched {
 
+class ReschedulePolicy;
+
 enum class ReplicaStatus {
   kNotStarted,  ///< never became ready before the simulation drained
   kCompleted,
@@ -112,6 +114,27 @@ class ScheduleSimulator {
   /// summaries must have at least scenarios.size() elements.
   void run_batch(std::span<const FailureScenario> scenarios,
                  std::span<Summary> summaries);
+
+  /// Outcome of one policy-driven (online) run.
+  struct OnlineSummary {
+    bool success = false;
+    double latency = std::numeric_limits<double>::infinity();
+    std::size_t moves = 0;    ///< replica moves applied by the policy
+    std::size_t repairs = 0;  ///< repair events applied
+  };
+
+  /// The schedule→simulate inversion: executes the schedule under a failure
+  /// *timeline* (crashes with optional repairs) and calls back into
+  /// `policy` on every crash and repair event, applying the moves it emits
+  /// (core/reschedule.hpp).  A null or no-op policy reproduces the static
+  /// semantics exactly — same event ordering, same doubles as run() —
+  /// *when the timeline has no repairs*; repairs restart the processor
+  /// with its remaining queue (pending replicas are parked through the
+  /// outage instead of dying).  The online run keeps its own copy of the
+  /// dynamic placement state, so it interleaves freely with run()/
+  /// run_batch() on the same simulator (not concurrently).
+  [[nodiscard]] OnlineSummary run_online(const FailureTimeline& timeline,
+                                         ReschedulePolicy* policy = nullptr);
 
  private:
   class Impl;

@@ -6,6 +6,7 @@
 
 #include "ftsched/core/avl.hpp"
 #include "ftsched/core/matching.hpp"
+#include "ftsched/core/placement.hpp"
 #include "ftsched/core/priorities.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/rng.hpp"
@@ -115,8 +116,8 @@ class Engine {
     const auto bl = bottom_levels(costs_);
     pending_.assign(g_.task_count(), 0);
     for (TaskId t : g_.tasks()) pending_[t.index()] = g_.in_degree(t);
-    ready_.assign(m_, 0.0);
-    ready_pess_.assign(m_, 0.0);
+    ready_.reset(m_);
+    ready_pess_.reset(m_);
 
     for (TaskId t : g_.entry_tasks()) push_free(t, /*top_level=*/0.0, bl);
 
@@ -275,7 +276,7 @@ class Engine {
     finish.resize(m_);
     for (std::size_t j = 0; j < m_; ++j) {
       finish[j] = costs_.exec(t, ProcId{j}) +
-                  std::max(arrival[j], ready_[j]);
+                  std::max(arrival[j], ready_.ready(j));
     }
     const std::vector<ProcId>& chosen = choose_processors(finish);
 
@@ -308,7 +309,7 @@ class Engine {
       const std::size_t j = p.index();
       Replica r;
       r.proc = p;
-      r.start = std::max(arrival[j], ready_[j]);
+      r.start = std::max(arrival[j], ready_.ready(j));
       r.finish = finish[j];
       // eq. (3): every predecessor message may be the last to arrive; when a
       // predecessor replica shares the processor, the intra-processor
@@ -333,7 +334,7 @@ class Engine {
       // The max() with r.start matters only with communication awareness,
       // where the (port-aware) optimistic arrival can exceed the
       // contention-free pessimistic one.
-      r.pess_start = std::max({pess_arrival, ready_pess_[j], r.start});
+      r.pess_start = std::max({pess_arrival, ready_pess_.ready(j), r.start});
       r.pess_finish = r.pess_start + costs_.exec(t, p);
       replicas.push_back(r);
       // Kill set: own processor, plus the co-located source's kill set for
@@ -456,11 +457,11 @@ class Engine {
       }
       Replica r;
       r.proc = p;
-      r.start = std::max(arrival, ready_[j]);
+      r.start = std::max(arrival, ready_.ready(j));
       r.finish = r.start + costs_.exec(t, p);
       // max() with r.start: with communication awareness the port-aware
       // optimistic arrival can exceed the contention-free pessimistic one.
-      r.pess_start = std::max({pess_arrival, ready_pess_[j], r.start});
+      r.pess_start = std::max({pess_arrival, ready_pess_.ready(j), r.start});
       r.pess_finish = r.pess_start + costs_.exec(t, p);
       replicas.push_back(r);
     }
@@ -531,7 +532,7 @@ class Engine {
       }
       auto weight_to = [&](std::size_t k) {
         const ProcId p = chosen[k];
-        return std::max(channel_arrival(src, edge, p), ready_[p.index()]) +
+        return std::max(channel_arrival(src, edge, p), ready_.ready(p.index())) +
                costs_.exec(t, p);
       };
       if (internal_slot < n) {
@@ -628,8 +629,8 @@ class Engine {
   void commit(TaskId t, const std::vector<ProcId>& chosen,
               std::vector<Replica> replicas) {
     for (std::size_t k = 0; k < chosen.size(); ++k) {
-      ready_[chosen[k].index()] = replicas[k].finish;
-      ready_pess_[chosen[k].index()] = replicas[k].pess_finish;
+      ready_.commit(chosen[k].index(), replicas[k].finish);
+      ready_pess_.commit(chosen[k].index(), replicas[k].pess_finish);
     }
     schedule_.place_task(t, std::move(replicas));
   }
@@ -644,8 +645,10 @@ class Engine {
   Rng rng_;
   AvlTree<AlphaKey> alpha_;
   std::vector<std::size_t> pending_;
-  std::vector<double> ready_;
-  std::vector<double> ready_pess_;
+  // Factored into core/placement.hpp so the online rescheduling policies
+  // share the same incremental availability state (see reschedule.cpp).
+  ProcReadyState ready_;
+  ProcReadyState ready_pess_;
   std::vector<std::vector<KillSet>> kills_;  // per task, per replica
   std::vector<TaskId> repaired_;
   // Scratch reused across schedule_task calls (cleared, never shrunk):

@@ -612,6 +612,9 @@ std::vector<std::string> sweep_cli_args(const FigureConfig& config) {
   if (!config.failure_models.empty()) {
     flag("--failures", join_semicolons(config.failure_models));
   }
+  if (!config.policies.empty()) {
+    flag("--policy", join_semicolons(config.policies));
+  }
   return args;
 }
 
@@ -625,6 +628,9 @@ void add_sweep_grid_options(CliParser& cli) {
   cli.add_option("failures", "",
                  "';'-separated failure-model specs (empty = eps; see "
                  "list-failure-laws)");
+  cli.add_option("policy", "",
+                 "';'-separated rescheduling-policy specs (empty = none; "
+                 "see list-policies)");
   cli.add_option("granularities", "",
                  "';'-separated granularity values (empty = the 0.2..2.0 "
                  "paper grid)");
@@ -661,6 +667,7 @@ FigureConfig sweep_config_from_cli(const CliParser& cli) {
   config.workloads = split_list(cli.get("workload"));
   config.scenarios = split_list(cli.get("scenario"));
   config.failure_models = split_list(cli.get("failures"));
+  config.policies = split_list(cli.get("policy"));
   const std::vector<std::string> grans = split_list(cli.get("granularities"));
   if (!grans.empty()) {
     config.granularities.clear();

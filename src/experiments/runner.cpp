@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <memory>
 #include <span>
 
+#include "ftsched/core/reschedule.hpp"
 #include "ftsched/experiments/sweep_plan.hpp"
 #include "ftsched/metrics/metrics.hpp"
 #include "ftsched/platform/failure.hpp"
@@ -141,6 +143,7 @@ InstanceSchedules build_instance_schedules(const Workload& workload,
     entry.success_series = algo.key + "-Success";
     entry.drawn_series = algo.key + "-DrawnCrash";
     entry.oh_drawn_series = "OH-" + algo.key + "-DrawnCrash";
+    entry.moves_series = algo.key + "-Moves";
     out.algos.push_back(std::move(entry));
   }
   return out;
@@ -159,6 +162,23 @@ CellDraw draw_instance_cell(const InstanceSchedules& schedules, Rng& rng,
   draw.victims = failure_model.draw(rng, m, schedules.epsilon);
   draw.unit_times = crash_law.sample(rng, draw.victims.size());
   draw.default_model = failure_model.is_default();
+  // New-in-PR-9 laws draw strictly after the legacy stream, so every
+  // pre-existing model keeps its exact draws.  A burst law correlates the
+  // crash instants: common onset (the first drawn unit time) plus a
+  // uniform per-victim offset.  A repair law appends per-victim restart
+  // delays; the static path ignores them, the online path anchors them.
+  const std::size_t count = draw.victims.size();
+  if (failure_model.is_burst() && count > 0) {
+    const double onset = draw.unit_times.front();
+    const std::vector<double> offsets =
+        failure_model.sample_burst_offsets(rng, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      draw.unit_times[i] = onset + offsets[i];
+    }
+  }
+  if (failure_model.has_repair()) {
+    draw.unit_repair_delays = failure_model.sample_repair_delays(rng, count);
+  }
   return draw;
 }
 
@@ -284,6 +304,55 @@ SeriesSample simulate_drawn_cell(const InstanceSchedules& schedules,
   return sample;
 }
 
+SeriesSample simulate_online_cell(const InstanceSchedules& schedules,
+                                  const CellDraw& draw,
+                                  ReschedulePolicy& policy) {
+  const CostModel& costs = schedules.workload->costs();
+  const std::size_t drawn = draw.victims.size();
+
+  SeriesSample sample = schedules.schedule_series;
+  auto norm = [&costs](double latency) {
+    return normalized_latency(latency, costs);
+  };
+  sample["DrawnCrashes"] = static_cast<double>(drawn);
+
+  for (const InstanceSchedules::Algo& a : schedules.algos) {
+    const double anchor = a.schedule->lower_bound();
+    // The timeline anchors exactly like make_scenario — same crash-time
+    // doubles as the static path — plus the repair instants the static
+    // path discards.  A degenerate zero-length outage (repair delay that
+    // rounds to no time at all at this anchor) is recorded as never
+    // repaired rather than violating the timeline's repair > crash
+    // contract.
+    FailureTimeline timeline;
+    for (std::size_t i = 0; i < drawn; ++i) {
+      const double crash = draw.unit_times[i] * anchor;
+      double repair = std::numeric_limits<double>::infinity();
+      if (i < draw.unit_repair_delays.size()) {
+        const double candidate = crash + draw.unit_repair_delays[i] * anchor;
+        if (candidate > crash) repair = candidate;
+      }
+      timeline.add(ProcId{draw.victims[i]}, crash, repair);
+    }
+    policy.prepare(*a.schedule);
+    const ScheduleSimulator::OnlineSummary result =
+        a.simulator->run_online(timeline, &policy);
+    // Past-ε failures are legitimate here just as under a non-default
+    // static model: record the success indicator and gate the latency
+    // series on it.  (With a live policy even ≤ ε crashes carry no
+    // Thm 4.1 guarantee — moves trade the static replication proof for
+    // adaptivity — so no success assertion either way.)
+    sample[a.success_series] = result.success ? 1.0 : 0.0;
+    if (result.success) {
+      sample[a.drawn_series] = norm(result.latency);
+      sample[a.oh_drawn_series] =
+          overhead_percent(result.latency, schedules.ftsa_star);
+    }
+    sample[a.moves_series] = static_cast<double>(result.moves);
+  }
+  return sample;
+}
+
 SeriesSample simulate_instance_cell(const InstanceSchedules& schedules,
                                     Rng& rng, const CrashTimeLaw& crash_law,
                                     const FailureModel& failure_model) {
@@ -307,12 +376,16 @@ std::string decorate_series_name(const std::string& series,
                                  const std::string& workload,
                                  const std::string& scenario, bool multi_cell,
                                  const std::string& failure,
-                                 bool multi_failure) {
+                                 bool multi_failure,
+                                 const std::string& policy,
+                                 bool multi_policy) {
   if (!multi_cell) return series;
   std::string out = series + "[" + workload + "|" + scenario;
-  // The failure part appears only when that dimension is actually swept,
-  // so legacy (workload x scenario) grids keep their exact names.
+  // The failure and policy parts appear only when their dimension is
+  // actually swept, so legacy (workload x scenario) grids keep their exact
+  // names — and pre-policy grids keep their exact three-part names.
   if (multi_failure) out += "|" + failure;
+  if (multi_policy) out += "|" + policy;
   return out + "]";
 }
 
@@ -320,13 +393,28 @@ std::string sweep_series_name(const SweepResult& sweep,
                               const std::string& series,
                               const std::string& workload,
                               const std::string& scenario,
-                              const std::string& failure) {
+                              const std::string& failure,
+                              const std::string& policy) {
   const std::size_t failure_cells =
       sweep.failures.empty() ? 1 : sweep.failures.size();
+  const std::size_t policy_cells =
+      sweep.policies.empty() ? 1 : sweep.policies.size();
   return decorate_series_name(
       series, workload, scenario,
-      sweep.workloads.size() * sweep.scenarios.size() * failure_cells > 1,
-      failure, failure_cells > 1);
+      sweep.workloads.size() * sweep.scenarios.size() * failure_cells *
+              policy_cells >
+          1,
+      failure, failure_cells > 1, policy, policy_cells > 1);
+}
+
+std::string sweep_series_name(const SweepResult& sweep,
+                              const std::string& series,
+                              const std::string& workload,
+                              const std::string& scenario,
+                              const std::string& failure) {
+  return sweep_series_name(sweep, series, workload, scenario, failure,
+                           sweep.policies.empty() ? "none"
+                                                  : sweep.policies.front());
 }
 
 std::string sweep_series_name(const SweepResult& sweep,
@@ -342,6 +430,7 @@ bool sweep_results_identical(const SweepResult& a, const SweepResult& b) {
   if (a.granularities != b.granularities) return false;
   if (a.workloads != b.workloads || a.scenarios != b.scenarios) return false;
   if (a.failures != b.failures) return false;
+  if (a.policies != b.policies) return false;
   if (a.series.size() != b.series.size()) return false;
   for (auto ita = a.series.begin(), itb = b.series.begin();
        ita != a.series.end(); ++ita, ++itb) {

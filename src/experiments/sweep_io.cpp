@@ -80,6 +80,8 @@ std::string ShardHeader::fingerprint() const {
         join_mapped(scenarios, [](const std::string& s) { return s; });
   fp += " failures=" +
         join_mapped(failures, [](const std::string& f) { return f; });
+  fp += " policies=" +
+        join_mapped(policies, [](const std::string& p) { return p; });
   fp += " paper=" + paper_params;
   return fp;
 }
@@ -101,6 +103,7 @@ ShardHeader shard_header(const SweepPlan& plan) {
   h.workloads = plan.workloads();
   h.scenarios = plan.scenarios();
   h.failures = plan.failures();
+  h.policies = plan.policies();
   h.paper_params = render_paper_params(plan.config());
   h.grid = plan.grid_size();
   h.selected = plan.size();
@@ -135,6 +138,10 @@ std::string render_shard_header(const SweepPlan& plan) {
          json_escape(join_mapped(h.failures,
                                  [](const std::string& f) { return f; })) +
          "\"";
+  out += ",\"policies\":\"" +
+         json_escape(join_mapped(h.policies,
+                                 [](const std::string& p) { return p; })) +
+         "\"";
   out += ",\"paper\":\"" + json_escape(h.paper_params) + "\"";
   out += ",\"grid\":\"" + std::to_string(h.grid) + "\"";
   out += ",\"selected\":\"" + std::to_string(h.selected) + "\"";
@@ -151,6 +158,7 @@ void append_sample_records(std::string& out, const SweepPlan& plan,
     out += ",\"w\":\"" + std::to_string(coord.workload) + "\"";
     out += ",\"s\":\"" + std::to_string(coord.scenario) + "\"";
     out += ",\"f\":\"" + std::to_string(coord.failure) + "\"";
+    out += ",\"pol\":\"" + std::to_string(coord.policy) + "\"";
     out += ",\"g\":\"" + std::to_string(coord.gran) + "\"";
     out += ",\"r\":\"" + std::to_string(coord.rep) + "\"";
     out += ",\"series\":\"" +
@@ -170,6 +178,7 @@ ShardRecord shard_record_from(const FlatJsonObject& object,
   record.coord.workload = parse_size("w", object.field("w", where));
   record.coord.scenario = parse_size("s", object.field("s", where));
   record.coord.failure = parse_size("f", object.field_or("f", "0"));
+  record.coord.policy = parse_size("pol", object.field_or("pol", "0"));
   record.coord.gran = parse_size("g", object.field("g", where));
   record.coord.rep = parse_size("r", object.field("r", where));
   record.series = object.field("series", where);
@@ -259,8 +268,10 @@ ShardFile read_shard(std::istream& in, const std::string& name) {
       }
       h.workloads = split_semicolons(object.field("workloads", where));
       h.scenarios = split_semicolons(object.field("scenarios", where));
-      // Pre-failure-dimension shards carry the implicit single eps cell.
+      // Pre-failure-dimension shards carry the implicit single eps cell,
+      // pre-policy-dimension shards the implicit single none cell.
       h.failures = split_semicolons(object.field_or("failures", "eps"));
+      h.policies = split_semicolons(object.field_or("policies", "none"));
       h.paper_params = object.field("paper", where);
       h.grid = spec_detail::parse_u64("grid", object.field("grid", where));
       h.selected =
@@ -298,19 +309,23 @@ SweepResult merge_shards(const std::vector<ShardFile>& shards) {
   result.workloads = head.workloads;
   result.scenarios = head.scenarios;
   result.failures = head.failures;
+  result.policies = head.policies;
   const std::size_t points = result.granularities.size();
   const std::size_t scenarios = head.scenarios.size();
   const std::size_t failures = head.failures.size();
+  const std::size_t policies = head.policies.size();
   const std::size_t reps = head.reps;
   FTSCHED_REQUIRE(failures > 0,
                   "merge_shards: header declares no failure-model cells");
+  FTSCHED_REQUIRE(policies > 0,
+                  "merge_shards: header declares no policy cells");
 
   // The header's grid count is redundant with its fingerprint-checked
   // dimensions; cross-check it instead of trusting it (a mangled count
   // must fail loudly, not size the owner vector below).
   const std::uint64_t expected_grid =
       static_cast<std::uint64_t>(head.workloads.size()) * scenarios *
-      failures * points * reps;
+      failures * policies * points * reps;
   FTSCHED_REQUIRE(head.grid == expected_grid,
                   "merge_shards: header grid count " +
                       std::to_string(head.grid) +
@@ -338,9 +353,11 @@ SweepResult merge_shards(const std::vector<ShardFile>& shards) {
           static_cast<std::uint64_t>(points) * reps;
       const std::uint64_t ci = r.coord.id / per_cell;
       FTSCHED_REQUIRE(
-          r.coord.workload == ci / (scenarios * failures) &&
-              r.coord.scenario == (ci / failures) % scenarios &&
-              r.coord.failure == ci % failures &&
+          r.coord.workload == ci / (scenarios * failures * policies) &&
+              r.coord.scenario ==
+                  (ci / (failures * policies)) % scenarios &&
+              r.coord.failure == (ci / policies) % failures &&
+              r.coord.policy == ci % policies &&
               r.coord.gran == (r.coord.id % per_cell) / reps &&
               r.coord.rep == r.coord.id % reps,
           "merge_shards: record coordinates of instance " +

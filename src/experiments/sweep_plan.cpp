@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "ftsched/core/reschedule.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/parallel.hpp"
 #include "ftsched/util/stats.hpp"
@@ -30,11 +31,28 @@ SweepPlan::SweepPlan(const FigureConfig& config)
   const std::vector<std::string> failure_specs =
       config.failure_models.empty() ? std::vector<std::string>{"eps"}
                                     : config.failure_models;
-  // Parse the failure models once (shared across every workload/scenario).
+  // Parse the failure models once (shared across every workload/scenario),
+  // validating each against the grid's platform width up front — a repair/
+  // burst domain wider than the machine would otherwise silently collapse
+  // into one whole-platform mega-domain.
   std::vector<FailureModel> models;
   models.reserve(failure_specs.size());
   for (const std::string& fspec : failure_specs) {
     models.push_back(FailureModel::parse(fspec));
+    models.back().validate(config.proc_count);
+  }
+  // The policy dimension: parsed once up front so a bad spec fails at plan
+  // construction, not mid-sweep on a worker.  Policies are per-run mutable
+  // (prepare/begin_run state), so the plan stores only the labels and the
+  // evaluate paths instantiate fresh ones.
+  const std::vector<std::string> policy_specs =
+      config.policies.empty() ? std::vector<std::string>{"none"}
+                              : config.policies;
+  std::set<std::string> seen_policies;
+  for (const std::string& pspec : policy_specs) {
+    (void)make_reschedule_policy(pspec);
+    FTSCHED_REQUIRE(seen_policies.insert(pspec).second,
+                    "duplicate sweep policy: " + pspec);
   }
   // Duplicate labels would silently aggregate two cells into one series;
   // reject them up front.
@@ -59,13 +77,14 @@ SweepPlan::SweepPlan(const FigureConfig& config)
   }
   scenario_labels_ = scenario_specs;
   failure_labels_ = failure_specs;
+  policy_labels_ = policy_specs;
 
   selected_.reserve(grid_size());
   for (std::uint64_t id = 0; id < grid_size(); ++id) selected_.push_back(id);
 }
 
 std::uint64_t SweepPlan::grid_size() const noexcept {
-  return static_cast<std::uint64_t>(cells_.size()) *
+  return static_cast<std::uint64_t>(cells_.size()) * policy_labels_.size() *
          config_.granularities.size() * config_.graphs_per_point;
 }
 
@@ -80,12 +99,15 @@ InstanceCoord SweepPlan::coord_of_id(std::uint64_t id) const {
   const std::uint64_t reps = config_.graphs_per_point;
   const std::uint64_t scenarios = scenario_labels_.size();
   const std::uint64_t failures = failure_labels_.size();
+  const std::uint64_t policies = policy_labels_.size();
   const std::uint64_t per_cell = points * reps;
   const std::uint64_t ci = id / per_cell;
   InstanceCoord c;
-  c.workload = static_cast<std::size_t>(ci / (scenarios * failures));
-  c.scenario = static_cast<std::size_t>((ci / failures) % scenarios);
-  c.failure = static_cast<std::size_t>(ci % failures);
+  c.workload = static_cast<std::size_t>(ci / (scenarios * failures * policies));
+  c.scenario =
+      static_cast<std::size_t>((ci / (failures * policies)) % scenarios);
+  c.failure = static_cast<std::size_t>((ci / policies) % failures);
+  c.policy = static_cast<std::size_t>(ci % policies);
   c.gran = static_cast<std::size_t>((id % per_cell) / reps);
   c.rep = static_cast<std::size_t>(id % reps);
   c.id = id;
@@ -114,9 +136,10 @@ std::string SweepPlan::series_label(const InstanceCoord& coord,
       series, workload_labels_[coord.workload],
       scenario_labels_[coord.scenario],
       workload_labels_.size() * scenario_labels_.size() *
-              failure_labels_.size() >
+              failure_labels_.size() * policy_labels_.size() >
           1,
-      failure_labels_[coord.failure], failure_labels_.size() > 1);
+      failure_labels_[coord.failure], failure_labels_.size() > 1,
+      policy_labels_[coord.policy], policy_labels_.size() > 1);
 }
 
 // SweepPlan::fingerprint() is defined in sweep_io.cpp as the fingerprint
@@ -157,7 +180,18 @@ SeriesSample SweepPlan::evaluate(const InstanceCoord& coord) const {
   options.crash_law = c.law;
   options.failure_model = c.model;
   options.seed = rng();
-  return evaluate_instance(*workload, rng, options);
+  const ReschedulePolicyPtr policy =
+      make_reschedule_policy(policy_labels_[coord.policy]);
+  if (policy->is_noop()) {
+    // `none` IS the legacy path — not a reimplementation of it — so the
+    // degenerate policy cell stays byte-identical to the pre-policy sweep
+    // by construction (streams, series, event ordering, everything).
+    return evaluate_instance(*workload, rng, options);
+  }
+  const InstanceSchedules schedules =
+      build_instance_schedules(*workload, options);
+  const CellDraw draw = draw_instance_cell(schedules, rng, c.law, c.model);
+  return simulate_online_cell(schedules, draw, *policy);
 }
 
 std::vector<std::vector<std::size_t>> SweepPlan::group_selection() const {
@@ -209,7 +243,16 @@ std::vector<SeriesSample> SweepPlan::evaluate_group(
     Rng cell_rng = rng;  // per-cell snapshot of the shared stream
     const CellDraw draw =
         draw_instance_cell(schedules, cell_rng, cell(c).law, cell(c).model);
-    out.push_back(simulate_drawn_cell(schedules, draw, &sim_cache));
+    // Policy cells of one (scenario, failure) pair see the *same* draw
+    // (the snapshot above plus the policy-independent draw stream), so the
+    // static and reactive samples are paired run for run.  `none` keeps
+    // the exact legacy static replay; online runs bypass the cache (their
+    // outcome depends on the policy, not just the draw).
+    const ReschedulePolicyPtr policy =
+        make_reschedule_policy(policy_labels_[c.policy]);
+    out.push_back(policy->is_noop()
+                      ? simulate_drawn_cell(schedules, draw, &sim_cache)
+                      : simulate_online_cell(schedules, draw, *policy));
   }
   if (stats != nullptr) {
     stats->simulations += sim_cache.stats().simulations;
@@ -342,20 +385,23 @@ void run_plan(const SweepPlan& plan, SweepSink& sink,
 OnlineStatsSink::OnlineStatsSink(const SweepPlan& plan)
     : plan_(&plan),
       label_cache_(plan.workloads().size() * plan.scenarios().size() *
-                   plan.failures().size()) {
+                   plan.failures().size() * plan.policies().size()) {
   result_.granularities = plan.granularities();
   result_.workloads = plan.workloads();
   result_.scenarios = plan.scenarios();
   result_.failures = plan.failures();
+  result_.policies = plan.policies();
 }
 
 void OnlineStatsSink::on_sample(const InstanceCoord& coord,
                                 const SeriesSample& sample) {
   const std::size_t points = result_.granularities.size();
   auto& cache =
-      label_cache_[(coord.workload * result_.scenarios.size() + coord.scenario) *
-                       result_.failures.size() +
-                   coord.failure];
+      label_cache_[((coord.workload * result_.scenarios.size() + coord.scenario) *
+                        result_.failures.size() +
+                    coord.failure) *
+                       result_.policies.size() +
+                   coord.policy];
   for (const auto& [name, value] : sample) {
     auto it = cache.find(name);
     if (it == cache.end()) {

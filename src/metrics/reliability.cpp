@@ -1,5 +1,7 @@
 #include "ftsched/metrics/reliability.hpp"
 
+#include <algorithm>
+
 #include "ftsched/platform/failure.hpp"
 #include "ftsched/util/error.hpp"
 
@@ -83,6 +85,22 @@ double theorem_reliability_bound(std::size_t proc_count, std::size_t epsilon,
   double bound = 0.0;
   for (std::size_t k = 0; k <= epsilon && k <= proc_count; ++k) bound += dp[k];
   return bound;
+}
+
+std::vector<double> heterogeneous_fail_probs(std::size_t proc_count,
+                                             double base, double spread) {
+  FTSCHED_REQUIRE(base >= 0.0 && base <= 1.0,
+                  "base failure probability must be in [0, 1]");
+  FTSCHED_REQUIRE(spread >= 0.0, "spread must be non-negative");
+  std::vector<double> probs(proc_count, base);
+  if (proc_count <= 1) return probs;
+  const double denom = static_cast<double>(proc_count - 1);
+  for (std::size_t k = 0; k < proc_count; ++k) {
+    const double gradient =
+        static_cast<double>(proc_count - 1 - k) / denom;
+    probs[k] = std::min(1.0, base * (1.0 + spread * gradient));
+  }
+  return probs;
 }
 
 }  // namespace ftsched

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "ftsched/metrics/reliability.hpp"
 #include "ftsched/util/error.hpp"
 #include "ftsched/util/spec.hpp"
 
@@ -26,6 +27,37 @@ double FailureScenario::crash_time(ProcId proc) const noexcept {
     if (c.proc == proc) return c.time;
   }
   return std::numeric_limits<double>::infinity();
+}
+
+void FailureTimeline::add(ProcId proc, double crash_time, double repair_time) {
+  FTSCHED_REQUIRE(proc.valid(), "invalid processor id");
+  FTSCHED_REQUIRE(crash_time >= 0.0, "crash time must be non-negative");
+  FTSCHED_REQUIRE(repair_time > crash_time,
+                  "repair must come strictly after the crash");
+  for (const ProcOutage& o : outages_) {
+    FTSCHED_REQUIRE(o.proc != proc, "processor already crashes in timeline");
+  }
+  outages_.push_back(ProcOutage{proc, crash_time, repair_time});
+}
+
+bool FailureTimeline::has_repairs() const noexcept {
+  for (const ProcOutage& o : outages_) {
+    if (o.repair_time < std::numeric_limits<double>::infinity()) return true;
+  }
+  return false;
+}
+
+FailureTimeline FailureTimeline::from_scenario(
+    const FailureScenario& scenario) {
+  FailureTimeline timeline;
+  for (const Crash& c : scenario.crashes()) timeline.add(c.proc, c.time);
+  return timeline;
+}
+
+FailureScenario FailureTimeline::crashes_only() const {
+  FailureScenario scenario;
+  for (const ProcOutage& o : outages_) scenario.add(o.proc, o.crash_time);
+  return scenario;
 }
 
 FailureScenario random_crashes(Rng& rng, std::size_t proc_count,
@@ -257,6 +289,51 @@ FailureModel FailureModel::parse(const std::string& spec) {
     require_param(model.prob_ >= 0.0 && model.prob_ <= 1.0, "failure model",
                   name, "p", "a probability in [0, 1]", model.prob_);
     apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "repair") {
+    // Transient bernoulli crashes: victims restart after Exp(mttr) delays.
+    require_keys(options, "failure model", name, {"mttr", "p", "domain"});
+    model.count_ = CountKind::kBernoulli;
+    model.prob_ = options.get_double("p", 0.1);
+    require_param(model.prob_ >= 0.0 && model.prob_ <= 1.0, "failure model",
+                  name, "p", "a probability in [0, 1]", model.prob_);
+    model.repair_mttr_ = options.get_double("mttr", 0.5);
+    require_param(model.repair_mttr_ > 0.0, "failure model", name, "mttr",
+                  "a finite value > 0", model.repair_mttr_);
+    apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "burst") {
+    // Time-correlated bernoulli burst: all victims crash within `width` of
+    // a common onset; optional mttr adds repairs.
+    require_keys(options, "failure model", name,
+                 {"p", "width", "mttr", "domain"});
+    model.count_ = CountKind::kBernoulli;
+    model.prob_ = options.get_double("p", 0.1);
+    require_param(model.prob_ >= 0.0 && model.prob_ <= 1.0, "failure model",
+                  name, "p", "a probability in [0, 1]", model.prob_);
+    model.burst_width_ = options.get_double("width", 0.25);
+    require_param(model.burst_width_ > 0.0, "failure model", name, "width",
+                  "a finite value > 0", model.burst_width_);
+    if (options.has("mttr")) {
+      model.repair_mttr_ = options.get_double("mttr", 0.5);
+      require_param(model.repair_mttr_ > 0.0, "failure model", name, "mttr",
+                    "a finite value > 0", model.repair_mttr_);
+    }
+    apply_domain_option(model.victims_, model.domain_size_, options, name);
+  } else if (name == "hetero") {
+    // Per-processor heterogeneous rates (metrics/reliability.hpp gradient).
+    require_keys(options, "failure model", name, {"base", "spread", "mttr"});
+    model.count_ = CountKind::kHetero;
+    model.hetero_base_ = options.get_double("base", 0.1);
+    require_param(model.hetero_base_ >= 0.0 && model.hetero_base_ <= 1.0,
+                  "failure model", name, "base", "a probability in [0, 1]",
+                  model.hetero_base_);
+    model.hetero_spread_ = options.get_double("spread", 1.0);
+    require_param(model.hetero_spread_ >= 0.0, "failure model", name,
+                  "spread", "a finite value >= 0", model.hetero_spread_);
+    if (options.has("mttr")) {
+      model.repair_mttr_ = options.get_double("mttr", 0.5);
+      require_param(model.repair_mttr_ > 0.0, "failure model", name, "mttr",
+                    "a finite value > 0", model.repair_mttr_);
+    }
   } else if (name == "domain") {
     // Canonical shorthand for eps-count whole-domain victims.
     require_keys(options, "failure model", name, {"size"});
@@ -287,8 +364,26 @@ std::string FailureModel::to_string() const {
       out = "fixed:k=" + std::to_string(fixed_k_);
       break;
     case CountKind::kBernoulli:
-      out = "bernoulli:p=" + spec_detail::render_double(prob_);
+      if (is_burst()) {
+        out = "burst:p=" + spec_detail::render_double(prob_) +
+              ",width=" + spec_detail::render_double(burst_width_);
+        if (has_repair()) {
+          out += ",mttr=" + spec_detail::render_double(repair_mttr_);
+        }
+      } else if (has_repair()) {
+        out = "repair:mttr=" + spec_detail::render_double(repair_mttr_) +
+              ",p=" + spec_detail::render_double(prob_);
+      } else {
+        out = "bernoulli:p=" + spec_detail::render_double(prob_);
+      }
       break;
+    case CountKind::kHetero:
+      out = "hetero:base=" + spec_detail::render_double(hetero_base_) +
+            ",spread=" + spec_detail::render_double(hetero_spread_);
+      if (has_repair()) {
+        out += ",mttr=" + spec_detail::render_double(repair_mttr_);
+      }
+      return out;  // hetero takes no domain option
   }
   if (victims_ == VictimKind::kDomain) {
     out += ",domain=" + std::to_string(domain_size_);
@@ -310,19 +405,49 @@ std::string FailureModel::describe() const {
       count = "each processor crashes with probability " +
               spec_detail::render_double(prob_) +
               " (Binomial count, may exceed epsilon)";
+      if (is_burst()) {
+        count += ", time-correlated within a " +
+                 spec_detail::render_double(burst_width_) +
+                 " x latency burst window";
+      }
+      break;
+    case CountKind::kHetero:
+      count = "heterogeneous per-processor rates: base " +
+              spec_detail::render_double(hetero_base_) + ", spread " +
+              spec_detail::render_double(hetero_spread_) +
+              " (metrics/reliability gradient; first processors flakiest)";
       break;
   }
   if (victims_ == VictimKind::kDomain) {
     count += ", drawn as whole fault domains of " +
              std::to_string(domain_size_) + " processors (correlated)";
-  } else {
+  } else if (count_ != CountKind::kHetero) {
     count += ", drawn uniformly";
+  }
+  if (has_repair()) {
+    count += "; victims restart after Exp(mean " +
+             spec_detail::render_double(repair_mttr_) +
+             " x latency) repair delays";
   }
   return count;
 }
 
 std::vector<std::size_t> FailureModel::draw(Rng& rng, std::size_t proc_count,
                                             std::size_t epsilon) const {
+  if (count_ == CountKind::kHetero) {
+    // Heterogeneous rates decide count and victims at once: one flip per
+    // processor against its own probability (always all m flips, so the
+    // stream position never depends on the outcomes), victims in processor
+    // order — the gradient makes low indices the likely prefix.
+    const std::vector<double> probs =
+        heterogeneous_fail_probs(proc_count, hetero_base_, hetero_spread_);
+    std::vector<std::size_t> victims;
+    for (std::size_t p = 0; p < proc_count; ++p) {
+      if (rng.bernoulli(probs[p])) victims.push_back(p);
+    }
+    return victims;
+  }
+
   // Count law first.  The count is clamped to the population: "crash 50 of
   // 20 processors" degrades to "crash everything", which the simulator then
   // reports as a failed (success-fraction 0) run rather than an error.
@@ -341,6 +466,8 @@ std::vector<std::size_t> FailureModel::draw(Rng& rng, std::size_t proc_count,
         if (rng.bernoulli(prob_)) ++count;
       }
       break;
+    case CountKind::kHetero:
+      break;  // handled above
   }
 
   if (victims_ == VictimKind::kUniform) {
@@ -370,8 +497,37 @@ std::vector<std::size_t> FailureModel::draw(Rng& rng, std::size_t proc_count,
   return victims;
 }
 
+std::vector<double> FailureModel::sample_repair_delays(
+    Rng& rng, std::size_t count) const {
+  FTSCHED_REQUIRE(has_repair(), "model has no repair law");
+  std::vector<double> delays(count, 0.0);
+  for (double& d : delays) d = rng.exponential(1.0 / repair_mttr_);
+  return delays;
+}
+
+std::vector<double> FailureModel::sample_burst_offsets(
+    Rng& rng, std::size_t count) const {
+  FTSCHED_REQUIRE(is_burst(), "model has no burst law");
+  std::vector<double> offsets(count, 0.0);
+  for (double& o : offsets) o = rng.uniform(0.0, burst_width_);
+  return offsets;
+}
+
+void FailureModel::validate(std::size_t proc_count) const {
+  if (!(has_repair() || is_burst())) return;
+  if (victims_ != VictimKind::kDomain) return;
+  if (domain_size_ <= proc_count) return;
+  const std::string law = is_burst() ? "burst" : "repair";
+  throw InvalidArgument(
+      "failure model '" + law + "': option 'domain' (=" +
+      std::to_string(domain_size_) + ") exceeds the " +
+      std::to_string(proc_count) +
+      " available processors — a single whole-platform mega-domain; use "
+      "domain<=m");
+}
+
 std::vector<std::string> FailureModel::known() {
-  return {"eps", "fixed", "bernoulli", "domain"};
+  return {"eps", "fixed", "bernoulli", "repair", "burst", "hetero", "domain"};
 }
 
 }  // namespace ftsched

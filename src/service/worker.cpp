@@ -73,12 +73,32 @@ WorkerReport run_worker(const WorkerOptions& options) {
     }
   }
 
+  // Keep leases alive *while computing*, not just while parked: the
+  // coordinator refreshes a worker's leases on any inbound message, but a
+  // worker deep in evaluate_group (or throttled by --delay-ms) used to go
+  // silent for the whole stretch and trip the lease timeout, so its work
+  // was stolen and recomputed even though the worker was healthy.
+  const auto heartbeat = [&] { sock.send_message(msg_heartbeat()); };
+
+  const auto throttle = [&] {
+    if (options.sample_delay_ms == 0) return;
+    // Sleep in heartbeat-period slices with a heartbeat between them, so a
+    // straggler delay larger than the coordinator's lease timeout still
+    // reads as alive.
+    const std::size_t slice =
+        static_cast<std::size_t>(std::max(options.heartbeat_ms, 1));
+    std::size_t remaining = options.sample_delay_ms;
+    while (remaining > 0) {
+      const std::size_t step = std::min(remaining, slice);
+      std::this_thread::sleep_for(std::chrono::milliseconds(step));
+      remaining -= step;
+      if (remaining > 0) heartbeat();
+    }
+  };
+
   const auto send_sample = [&](std::uint64_t lease, std::size_t k,
                                const SeriesSample& sample) {
-    if (options.sample_delay_ms != 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options.sample_delay_ms));
-    }
+    throttle();
     std::string frame = msg_sample_head(lease, k);
     frame += '\n';
     append_sample_records(frame, plan, plan.coord(k), sample);
@@ -121,13 +141,18 @@ WorkerReport run_worker(const WorkerOptions& options) {
       for (const auto& [gi, members] : buckets) {
         (void)gi;
         const std::vector<SeriesSample> samples = plan.evaluate_group(members);
+        // One heartbeat per completed group bounds the silent stretch to a
+        // single evaluate_group call even when samples are throttled.
+        heartbeat();
         for (std::size_t i = 0; i < members.size(); ++i) {
           send_sample(lease, members[i], samples[i]);
         }
       }
     } else {
       for (const std::size_t k : ks) {
-        send_sample(lease, k, plan.evaluate(plan.coord(k)));
+        const SeriesSample sample = plan.evaluate(plan.coord(k));
+        heartbeat();
+        send_sample(lease, k, sample);
       }
     }
     sock.send_message(msg_done(lease));

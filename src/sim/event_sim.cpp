@@ -1,8 +1,10 @@
 #include "ftsched/sim/event_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
+#include "ftsched/core/reschedule.hpp"
 #include "ftsched/util/error.hpp"
 
 namespace ftsched {
@@ -19,7 +21,16 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-enum class EventType : std::uint8_t { kFinish = 0, kMessage = 1, kCrash = 2 };
+// kRepair sorts after kCrash at equal time: a processor that crashes and
+// restarts at the same instant still loses its running replica.  The static
+// path never pushes repair events, so the order of the first three is
+// untouched.
+enum class EventType : std::uint8_t {
+  kFinish = 0,
+  kMessage = 1,
+  kCrash = 2,
+  kRepair = 3
+};
 
 struct Event {
   double time;
@@ -52,8 +63,14 @@ struct OutChannel {
   std::uint32_t dst;     // flat destination replica
   std::uint32_t slot;    // flat in-slot of the destination (slot arena index)
   double comm_duration;  // volume * delay (0 for intra-processor)
+  double volume;         // edge volume: the online mode recomputes the
+                         // duration from the *current* processors (the same
+                         // multiplication, so unmoved channels match
+                         // comm_duration bit for bit)
   bool interproc;
 };
+
+constexpr std::uint32_t kNoReplica = std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
 
@@ -96,6 +113,18 @@ class ScheduleSimulator::Impl {
     }
   }
 
+  ScheduleSimulator::OnlineSummary run_online(const FailureTimeline& timeline,
+                                              ReschedulePolicy* policy) {
+    drive_online(timeline, policy);
+    ScheduleSimulator::OnlineSummary s;
+    const ScheduleSimulator::Summary base = summarize();
+    s.success = base.success;
+    s.latency = base.latency;
+    s.moves = moves_applied_;
+    s.repairs = repairs_applied_;
+    return s;
+  }
+
  private:
   void drive(const FailureScenario& failures) {
     reset();
@@ -111,6 +140,9 @@ class ScheduleSimulator::Impl {
           break;
         case EventType::kCrash:
           on_crash(ev.a, ev.time);
+          break;
+        case EventType::kRepair:
+          FTSCHED_ASSERT(false, "repair event in a static run");
           break;
       }
     }
@@ -128,6 +160,12 @@ class ScheduleSimulator::Impl {
     proc_of_.resize(total);
     duration_.resize(total);
     sched_start_.resize(total);
+    task_of_.resize(total);
+    for (std::size_t t = 0; t < v; ++t) {
+      for (std::size_t flat = offset_[t]; flat < offset_[t + 1]; ++flat) {
+        task_of_[flat] = static_cast<std::uint32_t>(t);
+      }
+    }
 
     // In-edge slots live in one arena: replica `flat` owns the contiguous
     // range [in_offset_[flat], in_offset_[flat + 1]), one slot per in-edge
@@ -182,7 +220,7 @@ class ScheduleSimulator::Impl {
         out_[out_offset_[src] + fill[src]++] =
             OutChannel{static_cast<std::uint32_t>(dst),
                        static_cast<std::uint32_t>(slot), edge.volume * d,
-                       proc_of_[src] != proc_of_[dst]};
+                       edge.volume, proc_of_[src] != proc_of_[dst]};
         ++live_sources0_[slot];
       }
     }
@@ -378,6 +416,356 @@ class ScheduleSimulator::Impl {
     }
   }
 
+  // --- online (policy-driven) mode ------------------------------------------
+  //
+  // The online run keeps its own copies of the placement-dependent state
+  // (current processor, current duration, per-processor runtime queues) so
+  // the static arrays — and therefore run()/run_batch() — stay untouched.
+  // With a null/no-op policy and a repair-free timeline the handlers below
+  // execute the exact static arithmetic in the exact static order, which is
+  // what the `policy=none` bit-identity property pins down.
+
+  /// The OnlineView the policies observe: a window onto the current
+  /// (post-move) dynamic state.
+  class ViewAdapter final : public OnlineView {
+   public:
+    explicit ViewAdapter(const Impl& impl) : impl_(impl) {}
+
+    [[nodiscard]] std::size_t proc_count() const override {
+      return impl_.crashed_.size();
+    }
+    [[nodiscard]] bool alive(std::size_t p) const override {
+      return impl_.crashed_[p] == 0;
+    }
+    [[nodiscard]] bool pending(TaskId t, std::size_t replica) const override {
+      return impl_.state_[impl_.offset_[t.index()] + replica] ==
+             State::kPending;
+    }
+    [[nodiscard]] std::size_t proc_of(TaskId t,
+                                      std::size_t replica) const override {
+      return impl_.cur_proc_[impl_.offset_[t.index()] + replica];
+    }
+    [[nodiscard]] double backlog(std::size_t p) const override {
+      return impl_.busy_[p] ? impl_.run_finish_[p] : 0.0;
+    }
+    void pending_on(
+        std::size_t p,
+        std::vector<std::pair<TaskId, std::size_t>>& out) const override {
+      const auto& q = impl_.rt_queue_[p];
+      for (std::size_t i = impl_.rt_head_[p]; i < q.size(); ++i) {
+        const std::uint32_t flat = q[i];
+        if (impl_.cur_proc_[flat] != p) continue;  // moved away
+        if (impl_.state_[flat] != State::kPending) continue;
+        const std::uint32_t t = impl_.task_of_[flat];
+        out.emplace_back(TaskId{t}, flat - impl_.offset_[t]);
+      }
+      // Replicas moved *onto* p live in the fill-in pool, not the queue.
+      for (const std::uint32_t flat : impl_.moved_pool_[p]) {
+        if (impl_.cur_proc_[flat] != p) continue;  // moved on again
+        if (impl_.state_[flat] != State::kPending) continue;
+        const std::uint32_t t = impl_.task_of_[flat];
+        out.emplace_back(TaskId{t}, flat - impl_.offset_[t]);
+      }
+    }
+    [[nodiscard]] bool hosts_live_replica(TaskId t,
+                                          std::size_t p) const override {
+      for (std::size_t flat = impl_.offset_[t.index()];
+           flat < impl_.offset_[t.index() + 1]; ++flat) {
+        if (impl_.cur_proc_[flat] != p) continue;
+        const State s = impl_.state_[flat];
+        if (s == State::kPending || s == State::kRunning ||
+            s == State::kCompleted) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+   private:
+    const Impl& impl_;
+  };
+
+  void drive_online(const FailureTimeline& timeline,
+                    ReschedulePolicy* policy) {
+    reset();
+    reset_online();
+    if (policy != nullptr) policy->begin_run();
+    // A no-op policy is never consulted: the handlers then run the static
+    // code paths verbatim (no view construction, no move application).
+    ReschedulePolicy* active =
+        (policy == nullptr || policy->is_noop()) ? nullptr : policy;
+    const std::size_t m = platform_.proc_count();
+    for (const ProcOutage& o : timeline.outages()) {
+      FTSCHED_REQUIRE(o.proc.index() < m, "timeline names an unknown processor");
+      push(Event{o.crash_time, seq_++,
+                 static_cast<std::uint32_t>(o.proc.index()), 0,
+                 EventType::kCrash});
+      if (o.repair_time < kInf) {
+        repair_at_[o.proc.index()] = o.repair_time;
+        push(Event{o.repair_time, seq_++,
+                   static_cast<std::uint32_t>(o.proc.index()), 0,
+                   EventType::kRepair});
+      }
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      try_start_online(p, 0.0);
+    }
+    while (!events_.empty()) {
+      const Event ev = pop();
+      switch (ev.type) {
+        case EventType::kFinish:
+          on_finish_online(ev.a, ev.time);
+          break;
+        case EventType::kMessage:
+          on_message_online(ev.a, ev.b, ev.time);
+          break;
+        case EventType::kCrash:
+          on_crash_online(ev.a, ev.time, active);
+          break;
+        case EventType::kRepair:
+          on_repair_online(ev.a, ev.time, active);
+          break;
+      }
+    }
+  }
+
+  void reset_online() {
+    const std::size_t m = platform_.proc_count();
+    cur_proc_.assign(proc_of_.begin(), proc_of_.end());
+    cur_duration_.assign(duration_.begin(), duration_.end());
+    rt_queue_.resize(m);
+    for (std::size_t p = 0; p < m; ++p) {
+      rt_queue_[p].assign(
+          queue_.begin() + static_cast<std::ptrdiff_t>(queue_offset_[p]),
+          queue_.begin() + static_cast<std::ptrdiff_t>(queue_offset_[p + 1]));
+    }
+    rt_head_.assign(m, 0);
+    moved_pool_.resize(m);
+    for (auto& pool : moved_pool_) pool.clear();  // storage retained
+    running_.assign(m, kNoReplica);
+    run_finish_.assign(m, 0.0);
+    repair_at_.assign(m, kInf);
+    moves_applied_ = 0;
+    repairs_applied_ = 0;
+  }
+
+  /// try_start against the *runtime* queue: entries that moved away are
+  /// skipped; otherwise the scan is the static in-order rule verbatim.
+  /// Replicas a policy moved onto p do NOT join that in-order queue — they
+  /// sit in a fill-in pool consulted when the static scan is blocked or
+  /// exhausted.  Tail-appending them instead would make every rescue
+  /// useless (it runs after the whole static queue) and deadlock-prone (a
+  /// blocked static entry waiting on a moved replica parked behind another
+  /// blocked entry).  With no moves the pool is empty and the scan is the
+  /// static rule exactly, which the policy=none bit-identity pins down.
+  void try_start_online(std::size_t p, double now) {
+    if (crashed_[p] || busy_[p]) return;
+    const auto& q = rt_queue_[p];
+    std::size_t& head = rt_head_[p];
+    while (head < q.size()) {
+      const std::uint32_t flat = q[head];
+      if (cur_proc_[flat] != p) {
+        ++head;  // moved to another processor by a policy
+        continue;
+      }
+      const State s = state_[flat];
+      if (s == State::kCancelled || s == State::kDead ||
+          s == State::kCompleted) {
+        ++head;
+        continue;
+      }
+      if (s != State::kPending || unsatisfied_[flat] > 0) break;  // blocked
+      start_online(p, flat, now);
+      return;
+    }
+    // Fill in with the first ready moved replica, in arrival order (the
+    // policies emit moves highest-priority-first, so arrival order is the
+    // policy's own order).  Entries that moved on or resolved are dropped.
+    auto& pool = moved_pool_[p];
+    std::size_t keep = 0;
+    std::uint32_t chosen = kNoReplica;
+    for (const std::uint32_t flat : pool) {
+      if (cur_proc_[flat] != p || state_[flat] != State::kPending) continue;
+      if (chosen == kNoReplica && unsatisfied_[flat] == 0) {
+        chosen = flat;  // leaves the pool by starting
+        continue;
+      }
+      pool[keep++] = flat;
+    }
+    pool.resize(keep);
+    if (chosen != kNoReplica) start_online(p, chosen, now);
+  }
+
+  void start_online(std::size_t p, std::uint32_t flat, double now) {
+    state_[flat] = State::kRunning;
+    busy_[p] = 1;
+    running_[p] = flat;
+    actual_start_[flat] = now;
+    const double finish = now + cur_duration_[flat];
+    run_finish_[p] = finish;
+    push(Event{finish, seq_++, flat, 0, EventType::kFinish});
+  }
+
+  void on_finish_online(std::uint32_t flat, double now) {
+    if (state_[flat] != State::kRunning) return;  // killed by a crash
+    state_[flat] = State::kCompleted;
+    actual_finish_[flat] = now;
+    const std::size_t p = cur_proc_[flat];
+    busy_[p] = 0;
+    running_[p] = kNoReplica;
+    // A queue-scan start is always the head; a pool (fill-in) start is not,
+    // and must leave the blocked static head alone.
+    if (rt_head_[p] < rt_queue_[p].size() && rt_queue_[p][rt_head_[p]] == flat) {
+      ++rt_head_[p];
+    }
+    const std::size_t out_end = out_offset_[flat + 1];
+    for (std::size_t i = out_offset_[flat]; i < out_end; ++i) {
+      const OutChannel& ch = out_[i];
+      const std::size_t dp = cur_proc_[ch.dst];
+      if (p != dp) {
+        // Recomputed from the *current* processors with the static
+        // operands (volume * delay): unmoved channels produce the exact
+        // precomputed comm_duration double.
+        const double d = ch.volume * platform_.delay(ProcId{p}, ProcId{dp});
+        const double arrival = contention_free_
+                                   ? now + d
+                                   : comm_->deliver(ProcId{p}, now, d);
+        ++messages_delivered_;
+        push(Event{arrival, seq_++, ch.dst, ch.slot, EventType::kMessage});
+      } else {
+        push(Event{now, seq_++, ch.dst, ch.slot, EventType::kMessage});
+      }
+    }
+    try_start_online(p, now);
+  }
+
+  void on_message_online(std::uint32_t dst, std::uint32_t slot, double now) {
+    if (satisfied_[slot]) return;  // first input wins; ignore the rest
+    satisfied_[slot] = 1;
+    FTSCHED_ASSERT(unsatisfied_[dst] > 0, "satisfied count underflow");
+    --unsatisfied_[dst];
+    if (state_[dst] == State::kPending && unsatisfied_[dst] == 0) {
+      try_start_online(cur_proc_[dst], now);
+    }
+  }
+
+  void on_crash_online(std::uint32_t p, double now, ReschedulePolicy* policy) {
+    if (crashed_[p]) return;
+    crashed_[p] = 1;
+    // The running replica dies first (it is the queue head, so this is the
+    // static kill order); pending replicas get their fate below, after the
+    // policy had its chance to move them.
+    if (running_[p] != kNoReplica) {
+      const std::uint32_t flat = running_[p];
+      running_[p] = kNoReplica;
+      if (state_[flat] == State::kRunning) {
+        mark_lost_online(flat, State::kDead, now);
+      }
+    }
+    busy_[p] = 0;
+    const bool will_repair = repair_at_[p] > now && repair_at_[p] < kInf;
+    if (policy != nullptr) {
+      moves_scratch_.clear();
+      const ViewAdapter view(*this);
+      policy->on_event(view, OnlineEvent{OnlineEvent::Kind::kCrash, p, now},
+                       moves_scratch_);
+      apply_moves(now);
+    }
+    if (!will_repair) {
+      // Permanent crash: every pending replica still on p dies in queue
+      // order — the static rule — then the fill-in pool in arrival order.
+      // With a scheduled repair they are parked through the outage instead
+      // and resume when the processor returns.
+      const auto& q = rt_queue_[p];
+      for (std::size_t i = rt_head_[p]; i < q.size(); ++i) {
+        const std::uint32_t flat = q[i];
+        if (cur_proc_[flat] != p) continue;
+        if (state_[flat] == State::kPending) {
+          mark_lost_online(flat, State::kDead, now);
+        }
+      }
+      for (const std::uint32_t flat : moved_pool_[p]) {
+        if (cur_proc_[flat] != p) continue;
+        if (state_[flat] == State::kPending) {
+          mark_lost_online(flat, State::kDead, now);
+        }
+      }
+      moved_pool_[p].clear();
+    }
+  }
+
+  void on_repair_online(std::uint32_t p, double now,
+                        ReschedulePolicy* policy) {
+    if (!crashed_[p]) return;
+    crashed_[p] = 0;
+    repair_at_[p] = kInf;
+    ++repairs_applied_;
+    if (policy != nullptr) {
+      moves_scratch_.clear();
+      const ViewAdapter view(*this);
+      policy->on_event(view, OnlineEvent{OnlineEvent::Kind::kRepair, p, now},
+                       moves_scratch_);
+      apply_moves(now);
+    }
+    try_start_online(p, now);
+  }
+
+  /// Applies the policy's moves in emitted order, then wakes the affected
+  /// processors.  Structural violations (unknown replica, dead target,
+  /// non-pending replica) are policy bugs and fail loudly.
+  void apply_moves(double now) {
+    for (const ReplicaMove& mv : moves_scratch_) {
+      FTSCHED_REQUIRE(mv.task.index() < g_.task_count(),
+                      "policy move: unknown task");
+      const std::size_t count =
+          offset_[mv.task.index() + 1] - offset_[mv.task.index()];
+      FTSCHED_REQUIRE(mv.replica < count, "policy move: unknown replica");
+      const std::uint32_t flat =
+          static_cast<std::uint32_t>(offset_[mv.task.index()] + mv.replica);
+      const std::size_t to = mv.to.index();
+      FTSCHED_REQUIRE(to < crashed_.size(), "policy move: unknown processor");
+      FTSCHED_REQUIRE(crashed_[to] == 0, "policy move: target is crashed");
+      FTSCHED_REQUIRE(state_[flat] == State::kPending,
+                      "policy move: replica is not pending");
+      FTSCHED_REQUIRE(std::isfinite(mv.duration) && mv.duration >= 0.0,
+                      "policy move: duration must be finite and >= 0");
+      if (cur_proc_[flat] == to) continue;  // staying put: not a move
+      cur_proc_[flat] = static_cast<std::uint32_t>(to);
+      cur_duration_[flat] = mv.duration;
+      moved_pool_[to].push_back(flat);
+      ++moves_applied_;
+    }
+    // A moved replica may be ready right now, and its departure may have
+    // unblocked the queue behind it; wake targets in emitted order, then
+    // every live processor (deterministic sweep, try_start is idempotent).
+    for (const ReplicaMove& mv : moves_scratch_) {
+      if (crashed_[mv.to.index()] == 0) try_start_online(mv.to.index(), now);
+    }
+    for (std::size_t p = 0; p < crashed_.size(); ++p) {
+      if (crashed_[p] == 0) try_start_online(p, now);
+    }
+  }
+
+  /// mark_lost against the runtime placement: identical cascade, but the
+  /// unblock probe targets the destination's *current* processor.
+  void mark_lost_online(std::uint32_t flat, State lost_state, double now) {
+    FTSCHED_ASSERT(state_[flat] == State::kPending ||
+                       state_[flat] == State::kRunning,
+                   "losing a replica twice");
+    state_[flat] = lost_state;
+    const std::size_t out_end = out_offset_[flat + 1];
+    for (std::size_t i = out_offset_[flat]; i < out_end; ++i) {
+      const OutChannel& ch = out_[i];
+      FTSCHED_ASSERT(live_sources_[ch.slot] > 0, "live source count underflow");
+      if (--live_sources_[ch.slot] == 0 && !satisfied_[ch.slot] &&
+          state_[ch.dst] == State::kPending) {
+        const std::size_t dp = cur_proc_[ch.dst];
+        mark_lost_online(ch.dst, State::kCancelled, now);
+        if (!crashed_[dp]) try_start_online(dp, now);
+      }
+    }
+  }
+
   // --- results --------------------------------------------------------------
 
   /// Success + achieved latency straight off the flat state arrays: the
@@ -486,6 +874,23 @@ class ScheduleSimulator::Impl {
   std::vector<Event> events_;  ///< binary min-heap, storage retained
   std::uint32_t seq_ = 0;
   std::size_t messages_delivered_ = 0;
+
+  // Online-mode state (only touched by drive_online; static runs never
+  // read these).  task_of_ is static, built alongside the flat numbering.
+  std::vector<std::uint32_t> task_of_;  ///< flat replica -> task index
+  std::vector<std::uint32_t> cur_proc_;
+  std::vector<double> cur_duration_;
+  std::vector<std::vector<std::uint32_t>> rt_queue_;  ///< runtime queues
+  std::vector<std::size_t> rt_head_;
+  /// Per proc: replicas a policy moved here, in arrival order.  Fill-in
+  /// work for when the in-order queue scan is blocked or exhausted.
+  std::vector<std::vector<std::uint32_t>> moved_pool_;
+  std::vector<std::uint32_t> running_;  ///< per proc: running flat replica
+  std::vector<double> run_finish_;      ///< per proc: running finish time
+  std::vector<double> repair_at_;       ///< per proc: scheduled repair time
+  std::vector<ReplicaMove> moves_scratch_;
+  std::size_t moves_applied_ = 0;
+  std::size_t repairs_applied_ = 0;
 };
 
 ScheduleSimulator::ScheduleSimulator(const ReplicatedSchedule& schedule,
@@ -509,6 +914,11 @@ ScheduleSimulator::Summary ScheduleSimulator::run_summary(
 void ScheduleSimulator::run_batch(std::span<const FailureScenario> scenarios,
                                   std::span<Summary> summaries) {
   impl_->run_batch(scenarios, summaries);
+}
+
+ScheduleSimulator::OnlineSummary ScheduleSimulator::run_online(
+    const FailureTimeline& timeline, ReschedulePolicy* policy) {
+  return impl_->run_online(timeline, policy);
 }
 
 SimulationResult simulate(const ReplicatedSchedule& schedule,

@@ -290,7 +290,7 @@ TEST_F(CliTest, SweepRangesOverWorkloadAndScenarioCells) {
        "--workload", "paper:tmin=15,tmax=18;fft:size=8", "--scenario",
        "t0;frac:f=0.5", "--threads", "2"});
   ASSERT_EQ(r.code, 0) << r.err;
-  EXPECT_NE(r.out.find("cells=2x2"), std::string::npos);
+  EXPECT_NE(r.out.find("cells=2x2x1x1"), std::string::npos);
   EXPECT_NE(r.out.find("FTSA-1Crash[fft:size=8|t0]"), std::string::npos);
   EXPECT_NE(r.out.find("FTSA-1Crash[fft:size=8|frac:f=0.5]"),
             std::string::npos);
@@ -407,7 +407,7 @@ TEST_F(CliTest, SweepRangesOverFailureModelCellsAndMergesByteIdentical) {
   const std::string full_csv = (dir_ / "failures_full.csv").string();
   const CliResult full = run(with({"sweep"}, {"--out", full_csv}));
   ASSERT_EQ(full.code, 0) << full.err;
-  EXPECT_NE(full.out.find("cells=1x1x3"), std::string::npos);
+  EXPECT_NE(full.out.find("cells=1x1x3x1"), std::string::npos);
   const std::string csv = read_file(full_csv);
   // Decorated with the failure label, including the degradation series.
   EXPECT_NE(csv.find("FTSA-1Crash[paper:tmin=15,tmax=18|t0|eps]"),

@@ -1,0 +1,307 @@
+// Online rescheduling (PR 9 tentpole): the schedule→simulate inversion must
+// be a strict generalisation of the static path.  `policy=none` (or a null
+// policy) over a repair-free timeline is bit-exact with run_summary(); an
+// empty timeline makes *every* registered policy reproduce the static run;
+// the policy sweep axis is deterministic across thread counts and the
+// grouped/ungrouped paths; the shard protocol round-trips the new policy
+// field and still reads pre-policy shards (no "policies" header field, no
+// "pol" record field) as an implicit `none` column.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftsched/core/ftsa.hpp"
+#include "ftsched/core/reschedule.hpp"
+#include "ftsched/experiments/sweep_io.hpp"
+#include "ftsched/experiments/sweep_plan.hpp"
+#include "ftsched/platform/failure.hpp"
+#include "ftsched/sim/event_sim.hpp"
+#include "ftsched/util/error.hpp"
+#include "ftsched/workload/paper_workload.hpp"
+#include "proptest.hpp"
+
+namespace ftsched {
+namespace {
+
+/// Uniform draw from {0, ..., n-1}.
+std::size_t below(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::unique_ptr<Workload> random_workload(Rng& rng, std::size_t procs,
+                                          std::size_t tasks) {
+  PaperWorkloadParams params;
+  params.task_min = params.task_max = tasks;
+  params.proc_count = procs;
+  return make_paper_workload(rng, params);
+}
+
+/// A scenario of `count` random victims at random instants — beyond the
+/// tolerated ε half the time, so failed runs are exercised too.
+FailureScenario random_scenario(Rng& rng, std::size_t procs, double anchor) {
+  const std::size_t count = below(rng, procs);
+  const auto victims = rng.sample_without_replacement(procs, count);
+  FailureScenario scenario;
+  for (const std::size_t v : victims) {
+    scenario.add(ProcId{v}, rng.uniform(0.0, 1.5) * anchor);
+  }
+  return scenario;
+}
+
+void expect_same(const ScheduleSimulator::OnlineSummary& got,
+                 const ScheduleSimulator::Summary& want) {
+  EXPECT_EQ(got.success, want.success);
+  if (std::isinf(want.latency)) {
+    EXPECT_TRUE(std::isinf(got.latency));
+  } else {
+    EXPECT_EQ(got.latency, want.latency);
+  }
+}
+
+TEST(OnlinePolicy, NoneAndNullPolicyMatchStaticBitExact) {
+  proptest::check(
+      "run_online(crashes-only timeline, none/null) == run_summary(), bit "
+      "for bit",
+      [](Rng& rng, std::uint64_t) {
+        const std::size_t procs = 4 + below(rng, 4);
+        const auto w = random_workload(rng, procs, 12 + below(rng, 20));
+        const std::size_t eps = 1 + below(rng, 2);
+        const auto s = ftsa_schedule(w->costs(), FtsaOptions{eps, 0});
+        ScheduleSimulator sim(s);
+        const ReschedulePolicyPtr none = make_reschedule_policy("none");
+        ASSERT_TRUE(none->is_noop());
+
+        for (std::size_t i = 0; i < 8; ++i) {
+          const FailureScenario scenario =
+              random_scenario(rng, procs, s.lower_bound());
+          const FailureTimeline timeline =
+              FailureTimeline::from_scenario(scenario);
+          EXPECT_FALSE(timeline.has_repairs());
+          const ScheduleSimulator::Summary want = sim.run_summary(scenario);
+
+          const auto null_run = sim.run_online(timeline, nullptr);
+          expect_same(null_run, want);
+          EXPECT_EQ(null_run.moves, 0u);
+          EXPECT_EQ(null_run.repairs, 0u);
+
+          const auto none_run = sim.run_online(timeline, none.get());
+          expect_same(none_run, want);
+          EXPECT_EQ(none_run.moves, 0u);
+
+          // Timeline↔scenario round trip is exact.
+          EXPECT_EQ(timeline.crashes_only().crash_count(),
+                    scenario.crash_count());
+        }
+      },
+      {.iterations = 10});
+}
+
+TEST(OnlinePolicy, EmptyTimelineMatchesStaticForEveryRegisteredPolicy) {
+  proptest::check(
+      "zero-crash timeline: every registered policy == static run",
+      [](Rng& rng, std::uint64_t) {
+        const std::size_t procs = 4 + below(rng, 3);
+        const auto w = random_workload(rng, procs, 12 + below(rng, 12));
+        const auto s = ftsa_schedule(w->costs(), FtsaOptions{1, 0});
+        ScheduleSimulator sim(s);
+        const ScheduleSimulator::Summary want = sim.run_summary({});
+        ASSERT_TRUE(want.success);
+
+        for (const std::string& name : PolicyRegistry::global().names()) {
+          const ReschedulePolicyPtr policy = make_reschedule_policy(name);
+          policy->prepare(s);
+          const auto got = sim.run_online(FailureTimeline{}, policy.get());
+          expect_same(got, want);
+          EXPECT_EQ(got.moves, 0u) << "policy '" << name
+                                   << "' moved replicas with zero crashes";
+        }
+      },
+      {.iterations = 6});
+}
+
+/// 2 workloads x 2 scenarios x 2 failure models x 3 policies x 2
+/// granularities x 2 reps = 96 instances; one failure law has repairs so
+/// the reactive policies actually fire.
+FigureConfig policy_grid_config() {
+  FigureConfig config = figure_config(1);
+  config.granularities = {0.5, 1.0};
+  config.graphs_per_point = 2;
+  config.proc_count = 5;
+  config.workload.proc_count = 5;
+  config.seed = 17;
+  config.threads = 2;
+  config.workloads = {"paper", "chain:size=10"};
+  config.scenarios = {"t0", "frac:f=0.5"};
+  config.failure_models = {"bernoulli:p=0.3", "repair:p=0.3,mttr=0.5"};
+  config.policies = {"none", "requeue-heft", "reactive-ftsa"};
+  return config;
+}
+
+TEST(OnlinePolicy, PolicyAxisGridShapeAndLabels) {
+  const SweepPlan plan(policy_grid_config());
+  EXPECT_EQ(plan.policies(),
+            (std::vector<std::string>{"none", "requeue-heft",
+                                      "reactive-ftsa"}));
+  EXPECT_EQ(plan.grid_size(), 2u * 2u * 2u * 3u * 2u * 2u);
+
+  // The policy index cycles fastest among the cell-ish factors and the
+  // series label carries a fourth "|policy" part on multi-policy grids.
+  bool saw_reactive = false;
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const InstanceCoord c = plan.coord(k);
+    ASSERT_LT(c.policy, 3u);
+    const std::string label = plan.series_label(c, "X");
+    EXPECT_NE(label.find("|" + plan.policies()[c.policy]), std::string::npos)
+        << label;
+    saw_reactive = saw_reactive || c.policy == 2;
+  }
+  EXPECT_TRUE(saw_reactive);
+
+  // Bad policy axes are rejected at plan construction.
+  FigureConfig dup = policy_grid_config();
+  dup.policies = {"none", "none"};
+  EXPECT_THROW((void)SweepPlan(dup), InvalidArgument);
+  FigureConfig unknown = policy_grid_config();
+  unknown.policies = {"meteor"};
+  EXPECT_THROW((void)SweepPlan(unknown), InvalidArgument);
+}
+
+TEST(OnlinePolicy, NoneColumnOfMultiPolicyGridMatchesSinglePolicyPlan) {
+  // The policy axis must not perturb the instance streams: the `none`
+  // column of a 3-policy grid is the same draws — and byte for byte the
+  // same samples — as the legacy single-policy plan.
+  const SweepPlan plan(policy_grid_config());
+  FigureConfig base_config = policy_grid_config();
+  base_config.policies.clear();
+  const SweepPlan base(base_config);
+  ASSERT_EQ(base.grid_size() * 3u, plan.grid_size());
+
+  constexpr std::size_t kScenarios = 2, kFailures = 2, kGrans = 2, kReps = 2;
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const InstanceCoord c = plan.coord(k);
+    if (c.policy != 0) continue;
+    const std::size_t base_id =
+        (((c.workload * kScenarios + c.scenario) * kFailures + c.failure) *
+             kGrans +
+         c.gran) *
+            kReps +
+        c.rep;
+    EXPECT_EQ(plan.evaluate(c), base.evaluate(base.coord(base_id)))
+        << "none column diverged from the legacy plan at id " << c.id;
+  }
+}
+
+TEST(OnlinePolicy, BitIdenticalAcrossThreadCountsAndGrouping) {
+  FigureConfig config = policy_grid_config();
+  config.threads = 1;
+  const SweepPlan serial_plan(config);
+  OnlineStatsSink reference_sink(serial_plan);
+  run_plan(serial_plan, reference_sink, RunPlanOptions{.group = false});
+  const SweepResult reference = reference_sink.take();
+  EXPECT_EQ(reference.policies, serial_plan.policies());
+
+  for (const std::size_t threads : {1u, 2u, 3u}) {
+    for (const bool group : {false, true}) {
+      config.threads = threads;
+      const SweepPlan plan(config);
+      OnlineStatsSink sink(plan);
+      run_plan(plan, sink, RunPlanOptions{.group = group});
+      EXPECT_TRUE(sweep_results_identical(reference, sink.take()))
+          << "threads=" << threads << " group=" << group;
+    }
+  }
+}
+
+/// The sink-visible outcome of a run as the JSONL shard stream.
+std::string shard_bytes(const SweepPlan& plan, const RunPlanOptions& options) {
+  std::stringstream out;
+  ShardWriterSink sink(out, plan);
+  run_plan(plan, sink, options);
+  return out.str();
+}
+
+TEST(OnlinePolicy, ShardMergeRoundTripsThePolicyAxis) {
+  const SweepPlan plan(policy_grid_config());
+  OnlineStatsSink full_sink(plan);
+  run_plan(plan, full_sink, RunPlanOptions{.group = false});
+  const SweepResult reference = full_sink.take();
+
+  std::vector<ShardFile> shards;
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::stringstream file(
+        shard_bytes(plan.shard(i, 3), RunPlanOptions{.group = true}));
+    shards.push_back(read_shard(file, "p" + std::to_string(i)));
+  }
+  const SweepResult merged = merge_shards(shards);
+  EXPECT_EQ(merged.policies, plan.policies());
+  EXPECT_TRUE(sweep_results_identical(reference, merged));
+}
+
+/// Removes every occurrence of `needle`, returning how many were cut.
+std::size_t strip_all(std::string& text, const std::string& needle) {
+  std::size_t cut = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at)) {
+    text.erase(at, needle.size());
+    ++cut;
+  }
+  return cut;
+}
+
+TEST(OnlinePolicy, PrePolicyShardsReadAsAnImplicitNoneColumn) {
+  // A shard written before the policy axis existed has no "policies"
+  // header field and no "pol" record field; synthesise one by stripping
+  // exactly those bytes from a fresh default-policy shard and check the
+  // reader treats it as the single `none` column it always was.
+  FigureConfig config = policy_grid_config();
+  config.policies.clear();
+  config.failure_models = {"eps", "bernoulli:p=0.3"};
+  const SweepPlan plan(config);
+  OnlineStatsSink full_sink(plan);
+  run_plan(plan, full_sink, RunPlanOptions{.group = false});
+  const SweepResult reference = full_sink.take();
+
+  std::string legacy = shard_bytes(plan, RunPlanOptions{.group = true});
+  ASSERT_EQ(strip_all(legacy, ",\"policies\":\"none\""), 1u);
+  ASSERT_GT(strip_all(legacy, ",\"pol\":\"0\""), 0u);
+
+  std::stringstream file(legacy);
+  const ShardFile shard = read_shard(file, "pre-policy");
+  EXPECT_EQ(shard.header.policies, std::vector<std::string>{"none"});
+  EXPECT_EQ(shard.header.fingerprint(), plan.fingerprint());
+  EXPECT_TRUE(sweep_results_identical(reference, merge_shards({shard})));
+}
+
+TEST(OnlinePolicy, RepairDomainBeyondProcCountIsRejected) {
+  // Satellite: a repair/burst law whose failure domain exceeds the
+  // platform is one whole-platform mega-domain in disguise — reject it at
+  // plan construction with the spec-style message.
+  const FailureModel repair =
+      FailureModel::parse("repair:p=0.2,mttr=0.5,domain=8");
+  EXPECT_NO_THROW(repair.validate(8));
+  try {
+    repair.validate(4);
+    FAIL() << "validate accepted domain=8 on 4 processors";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("domain"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      FailureModel::parse("burst:p=0.2,domain=9").validate(5),
+      InvalidArgument);
+  // Plain bernoulli has no domain notion: nothing to validate.
+  EXPECT_NO_THROW(FailureModel::parse("bernoulli:p=0.2").validate(1));
+
+  FigureConfig config = policy_grid_config();
+  config.failure_models = {"repair:p=0.2,mttr=0.5,domain=8"};
+  EXPECT_THROW((void)SweepPlan(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -278,6 +278,34 @@ TEST_F(ServiceTest, IdleWorkerStealsFromStraggler) {
   EXPECT_EQ(sink.samples, expect.samples);
 }
 
+TEST_F(ServiceTest, StragglerDelayBeyondLeaseTimeoutNeverExpires) {
+  // Regression: heartbeats used to flow only while a worker was parked
+  // between leases, so a straggler whose per-sample delay exceeded the
+  // coordinator's timeout always read as dead mid-lease and had its work
+  // stolen and recomputed.  The worker now heartbeats through throttled
+  // samples (and after each completed evaluation group), so a slow-but-
+  // alive worker completes its lease with zero expiries — and the stream
+  // stays bit-identical to the in-process run.
+  FigureConfig config = small_config();
+  config.workloads = {"paper"};
+  config.scenarios = {"t0"};
+  config.granularities = {1.0};  // 2 instances total
+  const SweepPlan plan(config);
+  const RecordSink expect = inproc_reference(plan);
+  CoordinatorOptions copts;
+  copts.timeout = 0.4;
+  WorkerOptions slow;
+  slow.name = "throttled";
+  slow.sample_delay_ms = 1200;  // 3x the lease timeout, per sample
+  slow.heartbeat_ms = 50;
+  RecordSink sink;
+  const CoordinatorStats stats = run_service(plan, sink, copts, {slow});
+  EXPECT_EQ(stats.leases_expired, 0u);
+  EXPECT_EQ(stats.leases_requeued, 0u);
+  EXPECT_EQ(sink.ids, expect.ids);
+  EXPECT_EQ(sink.samples, expect.samples);
+}
+
 TEST_F(ServiceTest, DriftedFingerprintIsRejected) {
   const SweepPlan plan(small_config());
   RecordSink sink;

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "ftsched/core/bicriteria.hpp"
+#include "ftsched/core/reschedule.hpp"
 #include "ftsched/core/robustness.hpp"
 #include "ftsched/core/scheduler.hpp"
 #include "ftsched/core/schedule_io.hpp"
@@ -398,6 +399,12 @@ int cmd_list_failure_laws(const std::vector<std::string>& args,
          "domain=<rack\n"
          "  width> to draw correlated whole-domain victims, e.g. "
          "\"bernoulli:p=0.1,domain=4\"\n"
+         "  repair takes mttr=<mean time to repair> (exponential restart "
+         "delays),\n"
+         "  burst takes width=<window> (time-correlated crash instants), "
+         "hetero\n"
+         "  takes base=<rate>,spread=<gradient> (per-processor failure "
+         "rates);\n"
          "  counts above epsilon are simulated without the Theorem-4.1 "
          "guarantee;\n"
          "  sweeps then report per-cell success fractions (<algo>-Success "
@@ -409,6 +416,35 @@ int cmd_list_failure_laws(const std::vector<std::string>& args,
   }
   out << "  options: frac:f=F | uniform:hi=H | exp:mean=M, unit times "
          "anchored to M*\n";
+  return 0;
+}
+
+int cmd_list_policies(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  CliParser cli(
+      "ftsched_cli list-policies: online rescheduling policies (--policy) "
+      "of the sweep engine");
+  std::vector<const char*> argv{"list-policies"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const PolicyRegistry& registry = PolicyRegistry::global();
+  out << "rescheduling policies (sweep --policy): how the simulator reacts "
+         "to crash/repair events\n";
+  for (const std::string& name : registry.names()) {
+    const PolicyRegistry::Entry& entry = registry.entry(name);
+    out << "  " << name << "\n      " << entry.summary << '\n';
+    for (const SpecOptionSpec& option : entry.options) {
+      out << "      " << option.key << "=" << option.default_value << "  "
+          << option.help << '\n';
+    }
+  }
+  out << "  `none` replays the static schedule byte-identically; reactive "
+         "policies remap\n"
+         "  not-yet-started replicas onto survivors, pairing each cell's "
+         "draws with the\n"
+         "  static run (combine with --failures \"repair:...\" for "
+         "restart dynamics)\n";
   return 0;
 }
 
@@ -441,7 +477,9 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       << config.graphs_per_point << ", seed=" << config.seed << ") ===\n";
   out << "cells:        " << plan.workloads().size() << " workload(s) x "
       << plan.scenarios().size() << " scenario(s) x "
-      << plan.failures().size() << " failure model(s)\n";
+      << plan.failures().size() << " failure model(s) x "
+      << plan.policies().size() << " polic"
+      << (plan.policies().size() == 1 ? "y" : "ies") << "\n";
   out << "grid:         " << plan.grid_size() << " instances ("
       << plan.granularities().size() << " granularities x "
       << plan.repetitions() << " reps per cell)\n";
@@ -453,12 +491,13 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
   const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
   const std::size_t rows =
       limit == 0 ? plan.size() : std::min(plan.size(), limit);
-  TextTable table({"id", "workload", "scenario", "failure", "granularity",
-                   "rep"});
+  TextTable table({"id", "workload", "scenario", "failure", "policy",
+                   "granularity", "rep"});
   for (std::size_t k = 0; k < rows; ++k) {
     const InstanceCoord c = plan.coord(k);
     table.add_row({std::to_string(c.id), plan.workloads()[c.workload],
                    plan.scenarios()[c.scenario], plan.failures()[c.failure],
+                   plan.policies()[c.policy],
                    format_double(plan.granularities()[c.gran], 2),
                    std::to_string(c.rep)});
   }
@@ -521,8 +560,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   out << "=== sweep (epsilon=" << config.epsilon << ", m=" << config.proc_count
       << ", graphs/point=" << config.graphs_per_point << ", seed="
       << config.seed << ", cells=" << sweep.workloads.size() << "x"
-      << sweep.scenarios.size() << "x" << sweep.failures.size()
-      << ") ===\n";
+      << sweep.scenarios.size() << "x" << sweep.failures.size() << "x"
+      << sweep.policies.size() << ") ===\n";
   write_or_print(cli.get("out"), sweep_to_csv(sweep), out);
   return 0;
 }
@@ -759,14 +798,16 @@ std::string usage() {
       "  list-algos      registered scheduling algorithms and their options\n"
       "  list-backends   sweep execution backends (inproc, subprocess, ...)\n"
       "  list-failure-laws  failure-model and crash-time laws for sweeps\n"
+      "  list-policies   online rescheduling policies for sweeps\n"
       "  list-workloads  registered workload families and their options\n"
       "  plan            enumerate the sweep grid / a shard's slice of it\n"
       "  schedule        schedule a graph or workload (--algo, --workload)\n"
       "  serve           run the sweep-coordinator service (leases, work\n"
       "                  stealing, resumable manifests) over socket workers\n"
       "  simulate        execute a schedule under a crash scenario\n"
-      "  sweep           (workload x scenario x failure model x granularity)\n"
-      "                  sweep to CSV; --shard i/N emits a JSONL shard\n"
+      "  sweep           (workload x scenario x failure model x policy x\n"
+      "                  granularity) sweep to CSV; --shard i/N emits a\n"
+      "                  JSONL shard\n"
       "  merge           combine sweep shards into the unsharded CSV\n"
       "  validate        exhaustive Theorem-4.1 validation + kill-set "
       "analysis\n"
@@ -789,6 +830,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "list-failure-laws") {
       return cmd_list_failure_laws(rest, out);
     }
+    if (command == "list-policies") return cmd_list_policies(rest, out);
     if (command == "list-workloads") return cmd_list_workloads(rest, out);
     if (command == "merge") return cmd_merge(rest, out);
     if (command == "plan") return cmd_plan(rest, out);
